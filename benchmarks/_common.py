@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, printing the
+same rows/series the paper reports and saving them under
+``benchmarks/results/``.  The ``XMEM_BENCH_SCALE`` environment variable
+controls experiment size:
+
+* ``smoke``  (default) — minutes, reduced grids, CI-friendly;
+* ``small``  — a denser subsample;
+* ``full``   — the paper's full grids (thousands of runs; hours).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: per-scale knobs: (anova scale name, monte carlo samples, mc seed)
+_SCALES = {
+    "smoke": ("smoke", 16, 0),
+    "small": ("small", 60, 0),
+    "full": ("full", 1306, 0),
+}
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("XMEM_BENCH_SCALE", "smoke")
+    if scale not in _SCALES:
+        raise ValueError(
+            f"XMEM_BENCH_SCALE={scale!r}; choose from {sorted(_SCALES)}"
+        )
+    return scale
+
+
+def anova_scale() -> str:
+    return _SCALES[bench_scale()][0]
+
+
+def monte_carlo_samples() -> int:
+    return _SCALES[bench_scale()][1]
+
+
+def emit(name: str, text: str, capsys=None) -> None:
+    """Print a report block (bypassing capture) and persist it."""
+    banner = f"\n=== {name} (scale={bench_scale()}) ===\n"
+    payload = banner + text + "\n"
+    if capsys is not None:
+        with capsys.disabled():
+            print(payload)
+    else:  # pragma: no cover - direct invocation
+        print(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(payload)

@@ -1,0 +1,64 @@
+"""Ablations of xMem's design choices (DESIGN.md, 'Key design decisions').
+
+1. two-level allocator simulation vs single-level (DNNMem-style);
+2. orchestration rules vs raw CPU lifecycles;
+3. segment-level accounting vs tensor-byte summing (Horus-style);
+4. >=2 profiled iterations vs 1 (stateful-optimizer capture).
+"""
+
+from __future__ import annotations
+
+from repro.core.estimator import XMemEstimator
+from repro.runtime.ground_truth import run_gpu_ground_truth
+from repro.units import GB
+from repro.workload import RTX_3060, WorkloadConfig
+
+from _common import emit
+
+WORKLOAD = WorkloadConfig("distilgpt2", "adam", 8)
+
+VARIANTS = {
+    "xMem (full)": XMemEstimator(),
+    "no orchestrator": XMemEstimator(orchestrate=False),
+    "tensor accounting": XMemEstimator(account="tensor"),
+    "single-level sim": XMemEstimator(two_level=False),
+    "1-iteration profile": XMemEstimator(iterations=1),
+}
+
+
+def test_ablations(benchmark, capsys):
+    truth = run_gpu_ground_truth(
+        WORKLOAD.model,
+        WORKLOAD.batch_size,
+        WORKLOAD.optimizer,
+        capacity_bytes=RTX_3060.job_budget(),
+        seed=21,
+    )
+    rows = [
+        f"workload: {WORKLOAD.label()}  ground truth "
+        f"{truth.measured_peak / GB:.2f} GB",
+        f"{'variant':<22}{'estimate':>10}{'error':>9}",
+    ]
+    estimates = {}
+    for name, estimator in VARIANTS.items():
+        result = estimator.estimate(WORKLOAD, RTX_3060)
+        estimates[name] = result.peak_bytes
+        error = (
+            (result.peak_bytes - truth.measured_peak) / truth.measured_peak
+        )
+        rows.append(
+            f"{name:<22}{result.peak_bytes / GB:>9.2f}G{error * 100:>+8.1f}%"
+        )
+    emit("ablation", "\n".join(rows), capsys)
+
+    full = estimates["xMem (full)"]
+    full_error = abs(full - truth.measured_peak)
+    # 2. raw CPU lifecycles keep gradients alive too long -> overestimate
+    assert estimates["no orchestrator"] > full
+    # 3. summing tensor bytes ignores segments/rounding -> underestimate
+    assert estimates["tensor accounting"] < full
+    assert abs(estimates["tensor accounting"] - truth.measured_peak) > full_error
+    # 4. a 1-iteration profile misses the stabilized optimizer peak
+    assert estimates["1-iteration profile"] < full
+
+    benchmark(lambda: VARIANTS["xMem (full)"].estimate(WORKLOAD, RTX_3060))

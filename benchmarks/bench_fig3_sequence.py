@@ -1,0 +1,63 @@
+"""Figure 3: the deallocation order of identical tensors changes the peak.
+
+The paper's example: moving one block's deallocation relative to the next
+allocations drops the peak segment memory from 196 MB to 118 MB.  The
+reproduction replays two orderings of the same tensor set through the
+allocator simulation.
+"""
+
+from __future__ import annotations
+
+from repro.core.orchestrator import EventKind, MemoryOp, OrchestratedSequence
+from repro.core.simulator import MemorySimulator
+from repro.units import MB
+
+from _common import emit
+
+# the paper's figure uses a handful of tens-of-MB tensors
+TENSORS = [78 * MB, 40 * MB, 40 * MB, 38 * MB]
+
+
+def _sequence(early_free: bool) -> OrchestratedSequence:
+    """Sequence 1 frees the big block late; sequence 2 frees it before the
+    follow-up allocations (same tensors, different order)."""
+    events: list[MemoryOp] = []
+    ts = 0
+
+    def step(kind, block_id, size):
+        nonlocal ts
+        ts += 1
+        events.append(MemoryOp(ts=ts, kind=kind, block_id=block_id, size=size))
+
+    step(EventKind.ALLOC, 0, TENSORS[0])
+    if early_free:
+        step(EventKind.FREE, 0, TENSORS[0])
+    for index, size in enumerate(TENSORS[1:], start=1):
+        step(EventKind.ALLOC, index, size)
+    if not early_free:
+        step(EventKind.FREE, 0, TENSORS[0])
+    for index, size in enumerate(TENSORS[1:], start=1):
+        step(EventKind.FREE, index, size)
+    return OrchestratedSequence(
+        events=events, horizon=ts + 1, num_blocks=len(TENSORS),
+        persistent_bytes=0,
+    )
+
+
+def test_fig3_sequence_sensitivity(benchmark, capsys):
+    late = MemorySimulator().replay(_sequence(early_free=False))
+    early = MemorySimulator().replay(_sequence(early_free=True))
+    rows = [
+        f"{'sequence':<34}{'peak segment memory':>22}",
+        f"{'1: free after next allocations':<34}"
+        f"{late.peak_reserved_bytes / MB:>20.0f}MB",
+        f"{'2: free before next allocations':<34}"
+        f"{early.peak_reserved_bytes / MB:>20.0f}MB",
+    ]
+    # the paper's qualitative result: sequence 2 peaks far lower
+    assert early.peak_reserved_bytes < late.peak_reserved_bytes
+    reduction = 1 - early.peak_reserved_bytes / late.peak_reserved_bytes
+    rows.append(f"reduction: {reduction * 100:.0f}% (paper: 196MB -> 118MB, 40%)")
+    emit("fig3_sequence", "\n".join(rows), capsys)
+
+    benchmark(lambda: MemorySimulator().replay(_sequence(early_free=True)))

@@ -1,0 +1,63 @@
+"""Figures 7c/7d: per-model MRE boxes from the Monte Carlo runs.
+
+Random configurations across both GPUs and both zero_grad placements —
+the paper's robustness check on the same boxes as Figs. 7a/7b.
+"""
+
+from __future__ import annotations
+
+from repro.eval.anova import family_of
+from repro.eval.metrics import median_relative_error
+from repro.eval.reporting import format_mre_table
+
+from _common import emit
+from conftest import ESTIMATOR_NAMES
+
+
+def test_fig7cd_monte_carlo_mre(monte_carlo_result, benchmark, capsys):
+    table = benchmark(
+        lambda: format_mre_table(monte_carlo_result, ESTIMATOR_NAMES)
+    )
+    emit("fig7cd_mre_montecarlo", table, capsys)
+
+    # aggregated MREs per estimator: xMem lowest overall (paper: ~4%)
+    overall = {}
+    for name in ESTIMATOR_NAMES:
+        outcomes = [
+            o for o in monte_carlo_result.outcomes if o.estimator == name
+        ]
+        mre = median_relative_error(outcomes)
+        if mre is not None:
+            overall[name] = mre
+    assert overall["xMem"] == min(overall.values())
+    assert overall["xMem"] < 0.10
+
+
+def test_fig7cd_family_aggregates(monte_carlo_result, capsys, benchmark):
+    def aggregate():
+        rows = []
+        for family in ("cnn", "transformer"):
+            cells = {}
+            for name in ESTIMATOR_NAMES:
+                outcomes = [
+                    o
+                    for o in monte_carlo_result.outcomes
+                    if o.estimator == name
+                    and family_of(o.workload.model) == family
+                ]
+                mre = median_relative_error(outcomes)
+                cells[name] = "N/A" if mre is None else f"{mre * 100:.1f}%"
+            rows.append((family, cells))
+        return rows
+
+    rows = benchmark(aggregate)
+    lines = [
+        "family".ljust(14)
+        + "".join(name.rjust(12) for name in ESTIMATOR_NAMES)
+    ]
+    for family, cells in rows:
+        lines.append(
+            family.ljust(14)
+            + "".join(cells[name].rjust(12) for name in ESTIMATOR_NAMES)
+        )
+    emit("fig7cd_family_mre", "\n".join(lines), capsys)

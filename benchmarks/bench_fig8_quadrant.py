@@ -1,0 +1,60 @@
+"""Figures 8a/8b: the four-quadrant MRE-vs-PEF analysis.
+
+Each point is one (estimator, model) pair placed by its median relative
+error (y) and probability of estimation failure (x); 20% thresholds cut
+the plane into Optimal / Overestimation / Underestimation / Worst.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import quadrant_points, quadrant_summary
+
+from _common import emit
+from conftest import ESTIMATOR_NAMES
+
+
+def _report(result, label: str, capsys, benchmark=None) -> dict:
+    compute = lambda: (quadrant_points(result), quadrant_summary(result))
+    points, summary = benchmark(compute) if benchmark else compute()
+    lines = []
+    for name in ESTIMATOR_NAMES:
+        if name not in points:
+            continue
+        counts = summary[name]
+        lines.append(
+            f"{name:<12} optimal={counts['optimal']:<3} "
+            f"over={counts['overestimation']:<3} "
+            f"under={counts['underestimation']:<3} "
+            f"worst={counts['worst']}"
+        )
+        for model, mre, pef in points[name]:
+            lines.append(f"    {model:<30} MRE={mre:5.1f}%  PEF={pef:5.1f}%")
+    emit(label, "\n".join(lines), capsys)
+    return summary
+
+
+def test_fig8a_quadrants_anova(anova_result, benchmark, capsys):
+    summary = _report(anova_result, "fig8a_quadrant_anova", capsys, benchmark)
+    if "xMem" in summary:
+        counts = summary["xMem"]
+        total = sum(counts.values())
+        # paper: xMem models cluster dominantly in the Optimal quadrant
+        assert counts["optimal"] >= total * 0.6
+        # and never land in the Worst quadrant
+        assert counts["worst"] == 0
+
+
+def test_fig8b_quadrants_montecarlo(monte_carlo_result, benchmark, capsys):
+    summary = _report(
+        monte_carlo_result, "fig8b_quadrant_montecarlo", capsys, benchmark
+    )
+    if "xMem" in summary and "DNNMem" in summary:
+        # xMem's optimal share beats every baseline's
+        xmem_counts = summary["xMem"]
+        xmem_share = xmem_counts["optimal"] / max(1, sum(xmem_counts.values()))
+        for name in ("DNNMem", "SchedTune", "LLMem"):
+            if name not in summary:
+                continue
+            counts = summary[name]
+            share = counts["optimal"] / max(1, sum(counts.values()))
+            assert xmem_share >= share

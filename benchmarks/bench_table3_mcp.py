@@ -1,0 +1,39 @@
+"""Table 3: average Memory Conservation Potential (GB) by architecture.
+
+Positive values are memory saved per run; OOM-causing estimates are
+penalized with the device's whole budget (Eq. 7).  Monte Carlo data only,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.eval.anova import family_of
+from repro.eval.reporting import format_mcp_table, mcp_table
+
+from _common import emit
+from conftest import ESTIMATOR_NAMES
+
+
+def test_table3_mcp(monte_carlo_result, benchmark, capsys):
+    table = benchmark(
+        lambda: format_mcp_table(
+            monte_carlo_result, family_of, ESTIMATOR_NAMES
+        )
+    )
+    emit("table3_mcp", table, capsys)
+
+    rows = dict(mcp_table(monte_carlo_result, family_of, ESTIMATOR_NAMES))
+    overall = rows["overall"]
+    assert overall["xMem"] is not None
+    # paper's headline: xMem conserves the most memory, by a wide margin
+    for name in ("DNNMem", "SchedTune", "LLMem"):
+        value = overall[name]
+        if value is not None:
+            assert overall["xMem"] > value
+    # paper Table 3: xMem's MCP is strongly positive for both families
+    assert rows["cnn"]["xMem"] > 0
+    assert rows["transformer"]["xMem"] > 0
+    # and SchedTune's transformer MCP is negative (cold-start penalty)
+    schedtune_tf = rows["transformer"]["SchedTune"]
+    if schedtune_tf is not None:
+        assert schedtune_tf < rows["transformer"]["xMem"]

@@ -1,0 +1,25 @@
+"""Benchmark fixtures: experiment results are computed once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.anova import run_anova_experiment
+from repro.eval.montecarlo import run_monte_carlo_experiment
+
+from _common import anova_scale, monte_carlo_samples
+
+
+@pytest.fixture(scope="session")
+def anova_result():
+    """The systematic-grid experiment shared by Fig. 7a/7b and Fig. 8a."""
+    return run_anova_experiment(scale=anova_scale())
+
+
+@pytest.fixture(scope="session")
+def monte_carlo_result():
+    """The Monte Carlo experiment shared by Fig. 7c/7d, Fig. 8b, Tables 3-4."""
+    return run_monte_carlo_experiment(num_samples=monte_carlo_samples(), seed=0)
+
+
+ESTIMATOR_NAMES = ("xMem", "DNNMem", "SchedTune", "LLMem")

@@ -1,0 +1,92 @@
+"""Drive the CUDACachingAllocator simulator directly.
+
+The allocator simulation is a standalone artifact of the paper
+(contribution 4).  This example walks through the §2.2 mechanics: 512 B
+rounding, segment over-request, caching, best-fit splitting, the Fig. 3
+sequence effect, and the reclaim-then-OOM chain.
+
+Run with::
+
+    python examples/allocator_playground.py
+"""
+
+from repro import CachingAllocator, DeviceAllocator, format_bytes
+from repro.allocator import memory_snapshot, summarize_snapshot
+from repro.errors import SimOutOfMemoryError
+from repro.units import KiB, MiB
+
+
+def show(allocator: CachingAllocator, label: str) -> None:
+    print(
+        f"  {label:<42} tensors={format_bytes(allocator.allocated_bytes):>11}"
+        f"  segments={format_bytes(allocator.reserved_bytes):>11}"
+    )
+
+
+def main() -> None:
+    print("1. rounding + segment over-request (paper §2.2)")
+    device = DeviceAllocator(capacity=256 * MiB)
+    alloc = CachingAllocator(device)
+    block = alloc.malloc(1000)
+    print(f"   requested 1000 B -> block of {block.size} B (512-rounded)")
+    show(alloc, "after a 1000 B tensor (2 MiB segment!)")
+    big = alloc.malloc(6 * MiB)
+    show(alloc, "after a 6 MiB tensor (20 MiB buffer!)")
+
+    print("\n2. caching: frees do not return memory to the device")
+    alloc.free(block)
+    alloc.free(big)
+    show(alloc, "after freeing both tensors")
+    reused = alloc.malloc(5 * MiB)
+    print(f"   re-alloc 5 MiB -> cache hit at address {reused.addr:#x}, "
+          f"{alloc.stats.num_cache_hits} hit(s) so far")
+    alloc.free(reused)
+    released = alloc.empty_cache()
+    show(alloc, f"after empty_cache (released {format_bytes(released)})")
+
+    print("\n3. sequence sensitivity (Fig. 3): same tensors, different peaks")
+    for order, label in (
+        ("late-free", "alloc A, alloc B, free A, free B"),
+        ("early-free", "alloc A, free A, alloc B"),
+    ):
+        alloc = CachingAllocator(DeviceAllocator(capacity=256 * MiB))
+        a = alloc.malloc(40 * MiB)
+        if order == "late-free":
+            alloc.malloc(30 * MiB)
+            alloc.free(a)
+        else:
+            alloc.free(a)
+            alloc.malloc(30 * MiB)
+        print(f"   {label:<38} peak segments = "
+              f"{format_bytes(alloc.stats.reserved_bytes.peak)}")
+
+    print("\n4. two-level OOM chain: reclaim cached segments, then fail")
+    alloc = CachingAllocator(DeviceAllocator(capacity=64 * MiB))
+    cached = alloc.malloc(40 * MiB)
+    alloc.free(cached)
+    show(alloc, "40 MiB cached on a 64 MiB device")
+    survivor = alloc.malloc(60 * MiB)  # succeeds via reclamation
+    show(alloc, "60 MiB request survived (cache reclaimed)")
+    try:
+        alloc.malloc(60 * MiB)
+    except SimOutOfMemoryError as oom:
+        print(f"   second 60 MiB request: {oom}")
+    alloc.free(survivor)
+
+    print("\n5. snapshot (the torch.cuda.memory_snapshot analogue)")
+    alloc = CachingAllocator(DeviceAllocator(capacity=256 * MiB))
+    for size in (700, 300 * KiB, 3 * MiB):
+        alloc.malloc(size)
+    snapshot = memory_snapshot(alloc)
+    for segment in snapshot:
+        blocks = ", ".join(
+            f"{format_bytes(b['size'])}[{b['state'][0]}]"
+            for b in segment["blocks"]
+        )
+        print(f"   segment {format_bytes(segment['total_size']):>9} "
+              f"({segment['segment_type']}): {blocks}")
+    print(f"   totals: {summarize_snapshot(snapshot)}")
+
+
+if __name__ == "__main__":
+    main()

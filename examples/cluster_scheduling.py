@@ -1,0 +1,83 @@
+"""Downstream use-case: a GPU-sharing scheduler fed by memory estimates.
+
+The paper's introduction motivates estimation with shared-cluster
+scheduling: accurate estimates let the scheduler pack several jobs onto
+one GPU without OOM kills.  This example schedules the same job mix three
+ways — whole-GPU reservations (no estimator), xMem estimates, and a
+deliberately naive 50%-of-truth underestimator — and compares throughput,
+waste, and OOM kills.
+
+Run with::
+
+    python examples/cluster_scheduling.py
+"""
+
+from repro import RTX_3060, WorkloadConfig, XMemEstimator, format_gb
+from repro.cluster import Job, MemoryAwareScheduler
+from repro.runtime import run_gpu_ground_truth
+
+JOB_MIX = [
+    ("MobileNetV3Small", "sgd", 128),
+    ("MobileNetV3Large", "adam", 64),
+    ("distilgpt2", "adamw", 4),
+    ("MnasNet", "rmsprop", 64),
+    ("t5-small", "adafactor", 8),
+    ("MobileNetV2", "sgd", 128),
+]
+
+
+def build_jobs(reservation_policy: str) -> list[Job]:
+    estimator = XMemEstimator()
+    jobs = []
+    for index, (model, optimizer, batch) in enumerate(JOB_MIX):
+        workload = WorkloadConfig(model, optimizer, batch)
+        truth = run_gpu_ground_truth(
+            model, batch, optimizer,
+            capacity_bytes=RTX_3060.job_budget(), seed=100 + index,
+        )
+        if reservation_policy == "whole-gpu":
+            reserved = RTX_3060.job_budget()
+        elif reservation_policy == "xmem":
+            # schedulers add a small safety margin on top of any estimate
+            estimate = estimator.estimate(workload, RTX_3060).peak_bytes
+            reserved = int(estimate * 1.15)
+        elif reservation_policy == "lowball":
+            reserved = truth.measured_peak // 2
+        else:
+            raise ValueError(reservation_policy)
+        jobs.append(
+            Job(
+                workload=workload,
+                reserved_bytes=reserved,
+                actual_peak_bytes=truth.measured_peak,
+                duration=2,
+            )
+        )
+    return jobs
+
+
+def main() -> None:
+    print(f"cluster: 2x {RTX_3060.name}, job mix of {len(JOB_MIX)} trainings\n")
+    header = (
+        f"{'policy':<12}{'completed':>10}{'oom kills':>11}"
+        f"{'makespan':>10}{'wasted':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for policy in ("whole-gpu", "xmem", "lowball"):
+        scheduler = MemoryAwareScheduler([RTX_3060], gpus_per_device=2)
+        outcome = scheduler.simulate(build_jobs(policy))
+        print(
+            f"{policy:<12}{outcome.completed:>10}{outcome.oom_kills:>11}"
+            f"{outcome.makespan:>10}"
+            f"{format_gb(outcome.total_wasted_bytes):>12}"
+        )
+    print(
+        "\nAccurate estimates (xmem) pack jobs tightly without OOM kills;"
+        "\nwhole-GPU reservations waste capacity; underestimates get jobs"
+        "\nkilled — the trade-off the paper's MCP metric captures."
+    )
+
+
+if __name__ == "__main__":
+    main()

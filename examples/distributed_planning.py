@@ -1,0 +1,65 @@
+"""Paper §6.2 extension: plan pipeline parallelism from a CPU profile.
+
+A model too large for one GPU can still be profiled on the CPU (RAM is
+plentiful).  The Analyzer's per-layer attribution then yields per-layer
+memory profiles, and a partitioner places contiguous layer groups onto
+pipeline stages so each stage fits its device — all without touching a
+GPU or running distributed.
+
+Run with::
+
+    python examples/distributed_planning.py
+"""
+
+from repro import RTX_3060, format_bytes
+from repro.core import Analyzer
+from repro.distributed import extract_layer_profiles, minimum_stages
+from repro.models import get_model_spec
+from repro.runtime import profile_on_cpu
+
+MODEL = "pythia-1b"
+BATCH = 8
+
+
+def main() -> None:
+    spec = get_model_spec(MODEL)
+    model = spec.build()
+    print(f"model    : {spec.name} "
+          f"({model.num_parameters() / 1e6:.0f}M parameters)")
+    print(f"workload : batch {BATCH}, AdamW, device {RTX_3060.name}\n")
+
+    # 1. single-node CPU profile (the only measurement ever taken)
+    trace = profile_on_cpu(spec, batch_size=BATCH, optimizer="adamw")
+    analyzed = Analyzer().analyze(trace)
+
+    # 2. per-layer memory map
+    memory_map = extract_layer_profiles(analyzed, model, depth=1)
+    print(f"per-layer profiles ({len(memory_map)} layers, showing largest 8):")
+    largest = sorted(
+        memory_map.layers,
+        key=lambda p: p.parameter_bytes + p.activation_bytes,
+        reverse=True,
+    )[:8]
+    for profile in largest:
+        print(f"  {profile}")
+    print(f"  ... total params "
+          f"{format_bytes(memory_map.total_parameter_bytes())}, "
+          f"total activations "
+          f"{format_bytes(memory_map.total_activation_bytes())}\n")
+
+    # 3. pipeline plan: smallest number of stages that fits the device
+    plan = minimum_stages(
+        memory_map, RTX_3060, optimizer_state_multiplier=2.0  # AdamW
+    )
+    print(f"pipeline plan: {plan.num_stages} stage(s), "
+          f"balance {plan.balance:.2f} "
+          f"(budget {format_bytes(plan.device_budget)} per device)")
+    for stage in plan.stages:
+        head = stage.layers[0]
+        tail = stage.layers[-1]
+        print(f"  stage {stage.index}: {format_bytes(stage.memory_bytes):>10} "
+              f" [{head} ... {tail}] ({len(stage.layers)} layers)")
+
+
+if __name__ == "__main__":
+    main()

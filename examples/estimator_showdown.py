@@ -1,0 +1,68 @@
+"""Head-to-head: xMem vs DNNMem vs SchedTune vs LLMem on mixed workloads.
+
+A miniature of the paper's Fig. 7 / Table 3 analysis: each estimator
+predicts a handful of workloads, predictions are compared against the
+simulated-GPU ground truth, and the per-estimator error profile is shown.
+
+Run with::
+
+    python examples/estimator_showdown.py
+"""
+
+from repro import RTX_3060, WorkloadConfig, format_gb
+from repro.eval import default_estimators
+from repro.runtime import run_gpu_ground_truth
+
+WORKLOADS = [
+    WorkloadConfig("MobileNetV2", "sgd", 256),
+    WorkloadConfig("ResNet101", "adam", 128),
+    WorkloadConfig("VGG16", "adamw", 64),
+    WorkloadConfig("distilgpt2", "adam", 8),
+    WorkloadConfig("gpt2", "adamw", 8),
+    WorkloadConfig("opt-125m", "adam", 16),
+]
+
+
+def main() -> None:
+    estimators = default_estimators()
+    names = [e.name for e in estimators]
+    header = f"{'workload':<32}{'truth':>9}" + "".join(
+        f"{name:>16}" for name in names
+    )
+    print(header)
+    print("-" * len(header))
+
+    errors: dict[str, list[float]] = {name: [] for name in names}
+    for workload in WORKLOADS:
+        truth = run_gpu_ground_truth(
+            workload.model,
+            workload.batch_size,
+            workload.optimizer,
+            capacity_bytes=RTX_3060.job_budget(),
+            seed=7,
+        )
+        row = f"{workload.label():<32}{format_gb(truth.measured_peak):>9}"
+        for estimator in estimators:
+            if not estimator.supports(workload):
+                row += f"{'N/A':>16}"
+                continue
+            result = estimator.estimate(workload, RTX_3060)
+            error = (
+                (result.peak_bytes - truth.measured_peak)
+                / truth.measured_peak
+            )
+            errors[estimator.name].append(abs(error))
+            row += f"{format_gb(result.peak_bytes):>9} {error * 100:+5.1f}%"
+        print(row)
+
+    print("\nmedian absolute error:")
+    for name, values in errors.items():
+        if not values:
+            continue
+        values.sort()
+        median = values[len(values) // 2]
+        print(f"  {name:<12} {median * 100:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: estimate the peak GPU memory of a training job, a priori.
+
+Run with::
+
+    python examples/quickstart.py
+
+The workload never touches a (simulated) GPU during estimation — the
+estimate comes from a 3-iteration CPU profile, exactly like the paper's
+deployment.  Afterwards the script *does* run the simulated-GPU ground
+truth once, so you can see how close the estimate landed.
+"""
+
+from repro import (
+    RTX_3060,
+    WorkloadConfig,
+    XMemEstimator,
+    format_gb,
+    run_gpu_ground_truth,
+)
+
+
+def main() -> None:
+    workload = WorkloadConfig(model="gpt2", optimizer="adamw", batch_size=8)
+    device = RTX_3060
+
+    print(f"workload : {workload.label()}")
+    print(f"device   : {device.name} ({format_gb(device.capacity_bytes)})")
+    print()
+
+    # --- the a-priori, CPU-only estimate ---------------------------------
+    estimator = XMemEstimator()
+    result = estimator.estimate(workload, device)
+    print(f"xMem estimate        : {format_gb(result.peak_bytes)}")
+    print(f"prediction           : "
+          f"{'will OOM' if result.predicts_oom() else 'fits'}")
+    print(f"estimator runtime    : {result.runtime_seconds:.2f}s")
+    print(f"blocks analysed      : {result.detail['num_blocks']}")
+    print(f"persistent memory    : "
+          f"{format_gb(result.detail['persistent_bytes'])}")
+
+    # --- compare against the simulated-GPU ground truth ------------------
+    truth = run_gpu_ground_truth(
+        workload.model,
+        workload.batch_size,
+        workload.optimizer,
+        capacity_bytes=device.job_budget(),
+        seed=42,
+    )
+    print()
+    print(f"measured ground truth: {format_gb(truth.measured_peak)} "
+          f"(NVML-sampled)")
+    error = (result.peak_bytes - truth.measured_peak) / truth.measured_peak
+    print(f"relative error       : {error * 100:+.2f}%")
+
+
+if __name__ == "__main__":
+    main()

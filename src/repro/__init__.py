@@ -1,0 +1,85 @@
+"""xMem reproduction: CPU-based a-priori estimation of peak GPU memory for
+deep-learning training workloads (Shi, Pezaros, Elkhatib — Middleware '25).
+
+Quickstart::
+
+    from repro import XMemEstimator, WorkloadConfig, RTX_3060
+
+    workload = WorkloadConfig(model="gpt2", optimizer="adamw", batch_size=8)
+    result = XMemEstimator().estimate(workload, RTX_3060)
+    print(result.summary())
+
+Package layout:
+
+* :mod:`repro.core` — the xMem pipeline (Analyzer, Orchestrator, Simulator)
+* :mod:`repro.allocator` — the two-level CUDACachingAllocator simulation
+* :mod:`repro.framework` / :mod:`repro.models` — the symbolic DL framework
+  and the 25-model zoo of the paper's Table 2
+* :mod:`repro.runtime` — CPU profiling and simulated-GPU ground truth
+* :mod:`repro.baselines` — DNNMem, SchedTune, LLMem
+* :mod:`repro.eval` — metrics (Eqs. 1-8), two-round validation, experiments
+* :mod:`repro.cluster` — a scheduler consuming estimates (downstream demo)
+"""
+
+from .allocator import AllocatorConfig, CachingAllocator, DeviceAllocator
+from .baselines import DNNMemEstimator, LLMemEstimator, SchedTuneEstimator
+from .core import (
+    Analyzer,
+    EstimationResult,
+    MemoryOrchestrator,
+    MemorySimulator,
+    XMemEstimator,
+)
+from .errors import ReproError, SimOutOfMemoryError
+from .models import get_model_spec, list_models
+from .runtime import (
+    TrainLoopConfig,
+    profile_on_cpu,
+    run_gpu_ground_truth,
+)
+from .units import GB, GiB, KiB, MB, MiB, format_bytes, format_gb
+from .workload import (
+    A100_40GB,
+    EVAL_DEVICES,
+    RTX_3060,
+    RTX_4060,
+    DeviceSpec,
+    WorkloadConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100_40GB",
+    "AllocatorConfig",
+    "Analyzer",
+    "CachingAllocator",
+    "DNNMemEstimator",
+    "DeviceAllocator",
+    "DeviceSpec",
+    "EVAL_DEVICES",
+    "EstimationResult",
+    "GB",
+    "GiB",
+    "KiB",
+    "LLMemEstimator",
+    "MB",
+    "MemoryOrchestrator",
+    "MemorySimulator",
+    "MiB",
+    "RTX_3060",
+    "RTX_4060",
+    "ReproError",
+    "SchedTuneEstimator",
+    "SimOutOfMemoryError",
+    "TrainLoopConfig",
+    "WorkloadConfig",
+    "XMemEstimator",
+    "__version__",
+    "format_bytes",
+    "format_gb",
+    "get_model_spec",
+    "list_models",
+    "profile_on_cpu",
+    "run_gpu_ground_truth",
+]

@@ -1,0 +1,48 @@
+"""Two-level GPU memory-allocator simulation (paper §3.4).
+
+Public surface:
+
+* :class:`DeviceAllocator` — the simulated device (cudaMalloc level) with a
+  finite capacity.
+* :class:`CachingAllocator` — the framework-level caching allocator
+  (PyTorch's CUDACachingAllocator in Python).
+* :class:`AllocatorConfig` — tunable constants (512 B rounding, pool
+  boundaries, segment sizes) for ablations.
+* :func:`memory_snapshot` — snapshot export for fidelity comparisons.
+"""
+
+from .block import Block, Segment
+from .caching import CachingAllocator
+from .constants import DEFAULT_CONFIG, AllocatorConfig
+from .device import DeviceAllocator, DeviceStats
+from .pool import BlockPool
+from .rounding import is_small_request, round_size, segment_size
+from .snapshot import memory_snapshot, summarize_snapshot
+from .stats import (
+    AllocatorStats,
+    StatCounter,
+    TimelinePoint,
+    TimelineRecorder,
+    merge_timelines,
+)
+
+__all__ = [
+    "AllocatorConfig",
+    "AllocatorStats",
+    "Block",
+    "BlockPool",
+    "CachingAllocator",
+    "DEFAULT_CONFIG",
+    "DeviceAllocator",
+    "DeviceStats",
+    "Segment",
+    "StatCounter",
+    "TimelinePoint",
+    "TimelineRecorder",
+    "is_small_request",
+    "memory_snapshot",
+    "merge_timelines",
+    "round_size",
+    "segment_size",
+    "summarize_snapshot",
+]

@@ -1,0 +1,165 @@
+"""Device-level allocator: the simulated ``cudaMalloc`` / ``cudaFree``.
+
+The paper's simulator is *two-level* (§3.4): the framework's caching
+allocator requests segments from the device, and the device itself manages a
+finite physical capacity with its own allocator [GMAI, ref 6].  We model the
+device as a first-fit-with-coalescing free list over the address range
+``[0, capacity)``; an allocation that no free range can satisfy raises
+:class:`DeviceOutOfMemoryError`, which is the signal that makes the caching
+allocator reclaim its cached segments before declaring a true OOM.
+
+A capacity reservation API models the memory that is not available to the
+training job: the CUDA context / framework overhead (``M_fm``) and any
+memory already in use on the device (``M_init`` in the paper's notation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeviceOutOfMemoryError, InvalidFreeError
+
+
+@dataclass
+class _Range:
+    addr: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+
+@dataclass
+class DeviceStats:
+    """Counters mirroring what NVML exposes about a device."""
+
+    capacity: int
+    used: int = 0
+    peak_used: int = 0
+    num_allocs: int = 0
+    num_frees: int = 0
+    num_failed_allocs: int = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+
+class DeviceAllocator:
+    """First-fit free-list allocator over a fixed device capacity.
+
+    Addresses are virtual but stable, so the caching allocator's blocks can
+    use them for adjacency and best-fit tie-breaking.
+    """
+
+    #: cudaMalloc returns 512-byte (actually larger) aligned pointers; we use
+    #: 512 to match the block granularity of the level above.
+    ALIGNMENT = 512
+
+    def __init__(self, capacity: int, reserved: int = 0):
+        if capacity <= 0:
+            raise ValueError(f"device capacity must be positive, got {capacity}")
+        if reserved < 0 or reserved > capacity:
+            raise ValueError(
+                f"reserved bytes {reserved} outside [0, {capacity}]"
+            )
+        self.capacity = capacity
+        self.reserved = reserved
+        usable = capacity - reserved
+        self._free_ranges: list[_Range] = [_Range(0, usable)] if usable else []
+        self._allocations: dict[int, int] = {}
+        self.stats = DeviceStats(capacity=usable)
+
+    # ------------------------------------------------------------------
+    # allocation API
+    # ------------------------------------------------------------------
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the base address.
+
+        Raises :class:`DeviceOutOfMemoryError` when no contiguous free range
+        is large enough (capacity exhaustion *or* fragmentation).
+        """
+        if size <= 0:
+            raise ValueError(f"device allocation must be positive, got {size}")
+        aligned = self._align(size)
+        for index, free_range in enumerate(self._free_ranges):
+            if free_range.size >= aligned:
+                addr = free_range.addr
+                if free_range.size == aligned:
+                    del self._free_ranges[index]
+                else:
+                    free_range.addr += aligned
+                    free_range.size -= aligned
+                self._allocations[addr] = aligned
+                self.stats.used += aligned
+                self.stats.peak_used = max(self.stats.peak_used, self.stats.used)
+                self.stats.num_allocs += 1
+                return addr
+        self.stats.num_failed_allocs += 1
+        raise DeviceOutOfMemoryError(
+            requested=aligned,
+            free_bytes=self.stats.free,
+            capacity=self.stats.capacity,
+        )
+
+    def free(self, addr: int) -> int:
+        """Free a previous allocation; returns the number of bytes released."""
+        size = self._allocations.pop(addr, None)
+        if size is None:
+            raise InvalidFreeError(f"device free of unknown address {addr:#x}")
+        self.stats.used -= size
+        self.stats.num_frees += 1
+        self._insert_free_range(_Range(addr, size))
+        return size
+
+    def can_alloc(self, size: int) -> bool:
+        """True when :meth:`alloc` of ``size`` would currently succeed."""
+        aligned = self._align(size)
+        return any(r.size >= aligned for r in self._free_ranges)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.stats.used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.stats.free
+
+    @property
+    def largest_free_range(self) -> int:
+        return max((r.size for r in self._free_ranges), default=0)
+
+    def fragmentation(self) -> float:
+        """1 - largest_free/total_free; 0 when free space is contiguous."""
+        free = self.stats.free
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_range / free
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _align(self, size: int) -> int:
+        alignment = self.ALIGNMENT
+        return ((size + alignment - 1) // alignment) * alignment
+
+    def _insert_free_range(self, new_range: _Range) -> None:
+        """Insert into the address-ordered free list, coalescing neighbours."""
+        ranges = self._free_ranges
+        low, high = 0, len(ranges)
+        while low < high:
+            mid = (low + high) // 2
+            if ranges[mid].addr < new_range.addr:
+                low = mid + 1
+            else:
+                high = mid
+        index = low
+        ranges.insert(index, new_range)
+        # Coalesce with successor first, then predecessor.
+        if index + 1 < len(ranges) and new_range.end == ranges[index + 1].addr:
+            new_range.size += ranges[index + 1].size
+            del ranges[index + 1]
+        if index > 0 and ranges[index - 1].end == new_range.addr:
+            ranges[index - 1].size += new_range.size
+            del ranges[index]

@@ -1,0 +1,39 @@
+"""Size-rounding policies of the caching allocator (§3.4 "Round up").
+
+Two distinct roundings happen on every allocation:
+
+1. ``round_size`` — the *block* size handed to the tensor: requested bytes
+   rounded up to a 512 B multiple (hardware alignment).
+2. ``segment_size`` — the *segment* size requested from the device when no
+   cached block fits: 2 MiB for small allocations, 20 MiB for medium ones,
+   and a 2 MiB-aligned exact size for big ones.  This over-request is the
+   caching behaviour that tensor-summing estimators miss (§2.2.2).
+"""
+
+from __future__ import annotations
+
+from .constants import AllocatorConfig
+from ..units import align_up
+
+
+def round_size(size: int, config: AllocatorConfig) -> int:
+    """Round a requested tensor size up to the allocator's block granularity."""
+    if size <= 0:
+        raise ValueError(f"allocation size must be positive, got {size}")
+    if size < config.min_block_size:
+        return config.min_block_size
+    return align_up(size, config.min_block_size)
+
+
+def is_small_request(rounded_size: int, config: AllocatorConfig) -> bool:
+    """Small-pool requests are those at or below ``small_size`` (1 MiB)."""
+    return rounded_size <= config.small_size
+
+
+def segment_size(rounded_size: int, config: AllocatorConfig) -> int:
+    """Size of the device segment backing a cache-miss allocation."""
+    if is_small_request(rounded_size, config):
+        return config.small_buffer
+    if rounded_size < config.min_large_alloc:
+        return config.large_buffer
+    return align_up(rounded_size, config.round_large)

@@ -1,0 +1,59 @@
+"""Snapshot export, mirroring ``torch.cuda.memory_snapshot()``.
+
+The paper verifies its simulator against PyTorch's snapshot profiler
+(§3.4, Fig. 6); this module produces the same segment/block structure from a
+simulated allocator so fidelity checks can diff the two representations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .caching import CachingAllocator
+
+
+def memory_snapshot(allocator: "CachingAllocator") -> list[dict]:
+    """Export the allocator's segments as a list of JSON-safe dicts.
+
+    Each entry mirrors a PyTorch snapshot segment: base address, total /
+    allocated / active sizes, pool class, and the ordered block chain with
+    per-block state (``active_allocated`` or ``inactive``).
+    """
+    snapshot = []
+    for segment in allocator.segments():
+        blocks = []
+        for block in segment.blocks():
+            blocks.append(
+                {
+                    "address": block.addr,
+                    "size": block.size,
+                    "requested_size": block.requested_size,
+                    "state": "active_allocated" if block.allocated else "inactive",
+                }
+            )
+        allocated = segment.allocated_bytes
+        snapshot.append(
+            {
+                "address": segment.addr,
+                "total_size": segment.size,
+                "allocated_size": allocated,
+                "active_size": allocated,
+                "segment_type": "small" if segment.is_small else "large",
+                "blocks": blocks,
+            }
+        )
+    return snapshot
+
+
+def summarize_snapshot(snapshot: list[dict]) -> dict[str, int]:
+    """Aggregate a snapshot into totals (reserved/allocated/cached/segments)."""
+    reserved = sum(s["total_size"] for s in snapshot)
+    allocated = sum(s["allocated_size"] for s in snapshot)
+    return {
+        "num_segments": len(snapshot),
+        "reserved_bytes": reserved,
+        "allocated_bytes": allocated,
+        "cached_bytes": reserved - allocated,
+        "num_blocks": sum(len(s["blocks"]) for s in snapshot),
+    }

@@ -1,0 +1,14 @@
+"""Baseline estimators: DNNMem (static), SchedTune (ML), LLMem (GPU probe)."""
+
+from .base import Estimator
+from .dnnmem import DNNMemEstimator
+from .llmem import LLMemEstimator
+from .schedtune import HistoryRecord, SchedTuneEstimator
+
+__all__ = [
+    "DNNMemEstimator",
+    "Estimator",
+    "HistoryRecord",
+    "LLMemEstimator",
+    "SchedTuneEstimator",
+]

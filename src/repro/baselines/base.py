@@ -1,0 +1,5 @@
+"""Estimator interface (re-exported from :mod:`repro.core.base`)."""
+
+from ..core.base import Estimator
+
+__all__ = ["Estimator"]

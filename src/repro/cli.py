@@ -1,0 +1,179 @@
+"""Command-line interface: ``xmem estimate | models | trace | curve``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core.estimator import XMemEstimator
+from .models.registry import list_models
+from .runtime.loop import POS0, POS1
+from .runtime.profiler import profile_on_cpu
+from .trace.stats import summarize_trace
+from .units import format_gb, parse_size
+from .workload import A100_40GB, RTX_3060, RTX_4060, DeviceSpec, WorkloadConfig
+
+_DEVICES = {
+    "rtx3060": RTX_3060,
+    "rtx4060": RTX_4060,
+    "a100": A100_40GB,
+}
+
+
+def _device_from_args(args: argparse.Namespace) -> DeviceSpec:
+    if args.capacity:
+        return DeviceSpec(
+            name="custom", capacity_bytes=parse_size(args.capacity)
+        )
+    return _DEVICES[args.device]
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", required=True, help="model name (see `xmem models`)")
+    parser.add_argument("--batch-size", type=int, required=True)
+    parser.add_argument("--optimizer", default="adam")
+    parser.add_argument(
+        "--zero-grad-position",
+        choices=(POS0, POS1),
+        default=POS1,
+        help="placement of optimizer.zero_grad() in the loop (Fig. 1)",
+    )
+    parser.add_argument(
+        "--device", choices=sorted(_DEVICES), default="rtx3060"
+    )
+    parser.add_argument(
+        "--capacity", default=None, help='custom device capacity, e.g. "24GiB"'
+    )
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    workload = WorkloadConfig(
+        model=args.model,
+        optimizer=args.optimizer,
+        batch_size=args.batch_size,
+        zero_grad_position=args.zero_grad_position,
+    )
+    device = _device_from_args(args)
+    result = XMemEstimator(iterations=args.iterations).estimate(workload, device)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "model": workload.model,
+                    "optimizer": workload.optimizer,
+                    "batch_size": workload.batch_size,
+                    "device": device.name,
+                    "estimated_peak_bytes": result.peak_bytes,
+                    "predicts_oom": result.predicts_oom(),
+                    "runtime_seconds": result.runtime_seconds,
+                }
+            )
+        )
+    elif args.explain:
+        from .core.report import render_report
+
+        print(render_report(result))
+    else:
+        print(f"workload        : {workload.label()}")
+        print(f"device          : {device.name}")
+        print(f"estimated peak  : {format_gb(result.peak_bytes)}")
+        print(f"job budget      : {format_gb(device.job_budget())}")
+        print(f"prediction      : {'OOM' if result.predicts_oom() else 'fits'}")
+        print(f"estimator time  : {result.runtime_seconds:.2f}s")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    for spec in list_models(include_rq5=True):
+        model = spec.build()
+        marker = " *" if spec.rq5_only else ""
+        print(
+            f"{spec.name:34s} {spec.family:12s} "
+            f"{model.num_parameters() / 1e6:9.1f}M params{marker}"
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = profile_on_cpu(
+        args.model,
+        batch_size=args.batch_size,
+        optimizer=args.optimizer,
+        iterations=args.iterations,
+    )
+    if args.output:
+        trace.save(args.output)
+        print(f"trace written to {args.output}")
+    summary = summarize_trace(trace)
+    for key, value in summary.as_dict().items():
+        print(f"{key:24s} {value}")
+    return 0
+
+
+def _cmd_curve(args: argparse.Namespace) -> int:
+    workload = WorkloadConfig(
+        model=args.model,
+        optimizer=args.optimizer,
+        batch_size=args.batch_size,
+        zero_grad_position=args.zero_grad_position,
+    )
+    device = _device_from_args(args)
+    result = XMemEstimator(iterations=args.iterations).estimate(workload, device)
+    assert result.curve is not None
+    points = result.curve.downsample(args.points).points
+    for point in points:
+        print(f"{point.ts}\t{point.allocated_bytes}\t{point.reserved_bytes}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xmem",
+        description=(
+            "CPU-based a-priori estimation of peak GPU memory for DL "
+            "training (Middleware '25 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    estimate = sub.add_parser("estimate", help="estimate peak GPU memory")
+    _add_workload_args(estimate)
+    estimate.add_argument("--iterations", type=int, default=3)
+    estimate.add_argument("--json", action="store_true")
+    estimate.add_argument(
+        "--explain", action="store_true",
+        help="print the role breakdown and orchestration adjustments",
+    )
+    estimate.set_defaults(func=_cmd_estimate)
+
+    models = sub.add_parser("models", help="list the model zoo")
+    models.set_defaults(func=_cmd_models)
+
+    trace = sub.add_parser("trace", help="profile a workload on the CPU")
+    trace.add_argument("--model", required=True)
+    trace.add_argument("--batch-size", type=int, required=True)
+    trace.add_argument("--optimizer", default="adam")
+    trace.add_argument("--iterations", type=int, default=3)
+    trace.add_argument("--output", default=None, help="trace JSON path")
+    trace.set_defaults(func=_cmd_trace)
+
+    curve = sub.add_parser(
+        "curve", help="print the estimated memory curve (ts, tensor, segment)"
+    )
+    _add_workload_args(curve)
+    curve.add_argument("--iterations", type=int, default=3)
+    curve.add_argument("--points", type=int, default=200)
+    curve.set_defaults(func=_cmd_curve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Cluster scheduling demo: estimates drive GPU-sharing decisions."""
+
+from .job import Job, JobRecord
+from .scheduler import MemoryAwareScheduler, ScheduleOutcome
+
+__all__ = ["Job", "JobRecord", "MemoryAwareScheduler", "ScheduleOutcome"]

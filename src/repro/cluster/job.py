@@ -1,0 +1,66 @@
+"""Cluster jobs: DL training requests with (estimated) memory demands.
+
+The paper motivates xMem with shared-cluster scheduling (§1): accurate
+estimates let schedulers pack jobs onto GPUs without OOM.  This subpackage
+is the downstream consumer Fig. 4 points at — a small but real scheduler
+that turns estimates into placement decisions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..workload import WorkloadConfig
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One training job submitted to the cluster."""
+
+    workload: WorkloadConfig
+    #: estimated peak memory the scheduler reserves (bytes)
+    reserved_bytes: int
+    #: memory the job actually needs at peak (bytes) — revealed on run
+    actual_peak_bytes: int
+    duration: int = 1  # scheduling ticks the job occupies its GPU
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    submitted_at: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reserved_bytes < 0 or self.actual_peak_bytes <= 0:
+            raise ValueError("job memory figures must be positive")
+        if self.duration < 1:
+            raise ValueError("job duration must be >= 1 tick")
+
+    @property
+    def ooms_under_reservation(self) -> bool:
+        """True when the reservation is too small and the job will OOM."""
+        return self.actual_peak_bytes > self.reserved_bytes
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Final accounting for one job after the simulation."""
+
+    job_id: int
+    started_at: Optional[int]
+    finished_at: Optional[int]
+    device: Optional[str]
+    oomed: bool
+    reserved_bytes: int
+    actual_peak_bytes: int
+
+    @property
+    def completed(self) -> bool:
+        return self.finished_at is not None and not self.oomed
+
+    @property
+    def wasted_bytes(self) -> int:
+        """Reservation headroom (completed) or the whole reservation (OOM)."""
+        if self.oomed:
+            return self.reserved_bytes
+        return max(0, self.reserved_bytes - self.actual_peak_bytes)

@@ -1,0 +1,140 @@
+"""Hierarchical time-based attribution (paper §3.2, Fig. 5).
+
+Connects each reconstructed memory block to the operator / component that
+produced it, using the execution windows of ``cpu_op`` and
+``python_function`` events plus the training-loop ``user_annotation``
+markers.  Everything is derived from timestamps — the trace carries no
+explicit linkage, exactly the challenge the paper describes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Optional
+
+from ..framework.tensor import TensorRole
+from ..trace.events import EventCategory, SpanEvent
+from ..trace.reader import Trace
+from .lifecycle import MemoryBlock
+
+
+@dataclass
+class AttributedBlock:
+    """A memory block plus its attributed execution context."""
+
+    block: MemoryBlock
+    op: Optional[SpanEvent] = None  # innermost cpu_op at allocation
+    module_path: Optional[str] = None  # python_function stack at allocation
+    annotation: Optional[SpanEvent] = None  # innermost loop annotation
+    iteration: Optional[int] = None  # ProfilerStep index, None = setup
+    backward: bool = False  # allocated inside the backward engine
+    #: role classified by the Analyzer (None until classification runs)
+    role: Optional[TensorRole] = None
+
+    @property
+    def op_name(self) -> Optional[str]:
+        return self.op.name if self.op is not None else None
+
+    @property
+    def annotation_name(self) -> Optional[str]:
+        return self.annotation.name if self.annotation is not None else None
+
+
+class _SpanIndex:
+    """Point-in-span lookup over possibly nested spans of one category."""
+
+    def __init__(self, spans: list[SpanEvent]):
+        self._spans = sorted(spans, key=lambda e: (e.ts, -e.dur))
+        self._starts = [e.ts for e in self._spans]
+
+    def innermost_at(self, ts: int) -> Optional[SpanEvent]:
+        """Deepest span containing ``ts`` (latest start wins)."""
+        index = bisect.bisect_right(self._starts, ts)
+        best: Optional[SpanEvent] = None
+        # Walk left; stop early once starts are so old every enclosing span
+        # would already have been found.  Nested spans start later than
+        # their parents, so the first hit walking left is the innermost.
+        for position in range(index - 1, -1, -1):
+            span = self._spans[position]
+            if span.contains_time(ts):
+                best = span
+                break
+        return best
+
+    def stack_at(self, ts: int) -> list[SpanEvent]:
+        """All spans containing ``ts``, outermost first."""
+        index = bisect.bisect_right(self._starts, ts)
+        found = [
+            span
+            for span in self._spans[:index]
+            if span.contains_time(ts)
+        ]
+        found.sort(key=lambda e: (e.ts, -e.dur))
+        return found
+
+
+def attribute_blocks(
+    trace: Trace, blocks: list[MemoryBlock]
+) -> list[AttributedBlock]:
+    """Attribute every block to its operator, module stack, and loop phase."""
+    op_index = _SpanIndex(trace.by_category(EventCategory.CPU_OP))
+    fn_index = _SpanIndex(trace.by_category(EventCategory.PYTHON_FUNCTION))
+    ann_index = _SpanIndex(trace.by_category(EventCategory.USER_ANNOTATION))
+    iterations = trace.iterations()
+    iter_starts = [w.ts for w in iterations]
+
+    attributed: list[AttributedBlock] = []
+    for block in blocks:
+        ts = block.alloc_ts
+        op = op_index.innermost_at(ts)
+        fn_stack = fn_index.stack_at(ts)
+        module_path = (
+            "/".join(
+                span.name.removeprefix("nn.Module: ") for span in fn_stack
+            )
+            or None
+        )
+        backward = any(
+            span.name.startswith("autograd::") for span in fn_stack
+        ) or (op is not None and op.is_backward)
+        annotation = ann_index.innermost_at(ts)
+        iteration: Optional[int] = None
+        position = bisect.bisect_right(iter_starts, ts) - 1
+        if position >= 0 and iterations[position].contains_time(ts):
+            iteration = position
+        attributed.append(
+            AttributedBlock(
+                block=block,
+                op=op,
+                module_path=module_path,
+                annotation=annotation,
+                iteration=iteration,
+                backward=backward,
+            )
+        )
+    return attributed
+
+
+def operator_filter(attributed: list[AttributedBlock]) -> list[AttributedBlock]:
+    """The paper's operator-centric filter (§3.2).
+
+    Keep a block when either: (i) its whole lifespan falls within its
+    operator's window, or (ii) it was allocated in an operator window and
+    persists beyond it (activations, gradients, states).  Blocks allocated
+    inside loop annotations (parameters during ``Module.to``, batch data
+    during ``dataloader.__next__``, optimizer state during
+    ``Optimizer.step``) are kept via their annotation window.  Blocks
+    attributable to nothing — temporaries of the surrounding script — are
+    presumed CPU-only and dropped.
+    """
+    kept: list[AttributedBlock] = []
+    for item in attributed:
+        if item.op is not None:
+            kept.append(item)
+            continue
+        if item.annotation is not None:
+            kept.append(item)
+            continue
+        # python-function-only blocks: script temporaries — dropped
+    return kept

@@ -1,0 +1,41 @@
+"""Estimator interface shared by xMem and the baselines."""
+
+from __future__ import annotations
+
+from ..workload import DeviceSpec, WorkloadConfig
+from .result import EstimationResult
+
+
+class Estimator:
+    """A peak-GPU-memory estimator.
+
+    Implementations return an :class:`EstimationResult`; when a workload is
+    outside an estimator's scope (e.g. LLMem on CNNs) they return a result
+    with ``supported=False`` so evaluation can mark the cell N/A exactly as
+    the paper does.
+    """
+
+    name = "estimator"
+
+    def supports(self, workload: WorkloadConfig) -> bool:
+        raise NotImplementedError
+
+    def estimate(
+        self, workload: WorkloadConfig, device: DeviceSpec
+    ) -> EstimationResult:
+        raise NotImplementedError
+
+    def unsupported_result(
+        self, workload: WorkloadConfig, device: DeviceSpec
+    ) -> EstimationResult:
+        return EstimationResult(
+            estimator=self.name,
+            workload=workload,
+            device=device,
+            peak_bytes=0,
+            runtime_seconds=0.0,
+            supported=False,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

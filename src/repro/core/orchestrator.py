@@ -1,0 +1,219 @@
+"""The Memory Orchestrator: second stage of the xMem pipeline (§3.3).
+
+Refines the CPU-derived lifecycle of every block so that it reflects the
+block's expected lifecycle on the target GPU:
+
+1. **Model parameters** — persistent for the analysed window.
+2. **Batch data** — lifecycle limited to its training iteration.
+3. **Activations** — CPU timings retained (they approximate GPU timings).
+4. **Gradients** — deallocation snapped to the ``optimizer.zero_grad()``
+   call that clears them (the CPU trace releases them late, at the
+   iteration boundary, because the profiler pins them).
+5. **Optimizer state** — persistent from its first allocation.
+
+Rules are pluggable (:class:`OrchestrationRule`) so new frameworks or
+training-loop styles can add their own adjustments (paper §6.4).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..framework.tensor import TensorRole
+from .analyzer import AnalyzedTrace
+from .attribution import AttributedBlock
+
+
+class EventKind(str, Enum):
+    ALLOC = "alloc"
+    FREE = "free"
+
+
+@dataclass(frozen=True)
+class MemoryOp:
+    """One replayable allocator operation."""
+
+    ts: int
+    kind: EventKind
+    block_id: int
+    size: int
+    role: Optional[TensorRole] = None
+
+    def sort_key(self) -> tuple[int, int, int]:
+        # frees before allocs at equal timestamps: a GPU stream completes
+        # pending releases before the next kernel's allocations
+        kind_order = 0 if self.kind is EventKind.FREE else 1
+        return (self.ts, kind_order, self.block_id)
+
+
+@dataclass
+class OrchestratedSequence:
+    """Orchestrator output: the refined, replayable memory sequence."""
+
+    events: list[MemoryOp]
+    horizon: int  # timestamp at/after every event
+    num_blocks: int
+    persistent_bytes: int
+    adjustments: dict[str, int] = field(default_factory=dict)
+
+    def total_alloc_bytes(self) -> int:
+        return sum(e.size for e in self.events if e.kind is EventKind.ALLOC)
+
+
+class OrchestrationRule:
+    """One lifecycle-adjustment rule; returns a new free_ts (or None to
+    keep the block persistent) when the rule applies, else NO_CHANGE."""
+
+    NO_CHANGE = object()
+    name = "rule"
+
+    def adjust(self, item: AttributedBlock, analyzed: AnalyzedTrace):
+        raise NotImplementedError
+
+
+class ParameterRule(OrchestrationRule):
+    """Rule 1: parameters are persistent across the analysed iterations."""
+
+    name = "parameters_persistent"
+
+    def adjust(self, item: AttributedBlock, analyzed: AnalyzedTrace):
+        if item.role is TensorRole.PARAMETER:
+            return None
+        return self.NO_CHANGE
+
+
+class BatchDataRule(OrchestrationRule):
+    """Rule 2: batch data lives at most until its iteration boundary."""
+
+    name = "batch_iteration_bound"
+
+    def adjust(self, item: AttributedBlock, analyzed: AnalyzedTrace):
+        if item.role is not TensorRole.BATCH_DATA:
+            return self.NO_CHANGE
+        boundary = self._iteration_end(item, analyzed)
+        if boundary is None:
+            return self.NO_CHANGE
+        free_ts = item.block.free_ts
+        if free_ts is None or free_ts > boundary:
+            return boundary
+        return self.NO_CHANGE
+
+    @staticmethod
+    def _iteration_end(
+        item: AttributedBlock, analyzed: AnalyzedTrace
+    ) -> Optional[int]:
+        for window in analyzed.iterations:
+            if window.contains_time(item.block.alloc_ts):
+                return window.end
+        return None
+
+
+class GradientRule(OrchestrationRule):
+    """Rule 4: snap gradient deallocation to the clearing zero_grad call.
+
+    The matching call is the first ``zero_grad`` window that *starts after*
+    the gradient was allocated and at/before the traced (late) free.  Tail
+    gradients — allocated after the last zero_grad — stay persistent.
+    """
+
+    name = "gradient_zero_grad_alignment"
+
+    def adjust(self, item: AttributedBlock, analyzed: AnalyzedTrace):
+        if item.role is not TensorRole.GRADIENT:
+            return self.NO_CHANGE
+        starts = [w.ts for w in analyzed.zero_grads]
+        index = bisect.bisect_right(starts, item.block.alloc_ts)
+        if index >= len(analyzed.zero_grads):
+            return None  # no later zero_grad: persists past the trace
+        window = analyzed.zero_grads[index]
+        traced_free = item.block.free_ts
+        if traced_free is not None and traced_free < window.ts:
+            # freed before the next zero_grad (an activation gradient
+            # misclassified, or custom clearing) — trust the trace
+            return self.NO_CHANGE
+        return window.ts + max(1, window.dur // 2)
+
+
+class OptimizerStateRule(OrchestrationRule):
+    """Rule 5: optimizer state persists once allocated (why xMem profiles
+    at least two iterations)."""
+
+    name = "optimizer_state_persistent"
+
+    def adjust(self, item: AttributedBlock, analyzed: AnalyzedTrace):
+        if item.role is TensorRole.OPTIMIZER_STATE:
+            return None
+        return self.NO_CHANGE
+
+
+DEFAULT_RULES: tuple[OrchestrationRule, ...] = (
+    ParameterRule(),
+    BatchDataRule(),
+    GradientRule(),
+    OptimizerStateRule(),
+)
+
+
+class MemoryOrchestrator:
+    """Applies orchestration rules and emits the replayable sequence."""
+
+    def __init__(self, rules: tuple[OrchestrationRule, ...] = DEFAULT_RULES):
+        self.rules = rules
+
+    def orchestrate(self, analyzed: AnalyzedTrace) -> OrchestratedSequence:
+        """Refine lifecycles and produce the ordered event sequence."""
+        events: list[MemoryOp] = []
+        adjustments: dict[str, int] = {rule.name: 0 for rule in self.rules}
+        horizon = 0
+        persistent_bytes = 0
+        for item in analyzed.blocks:
+            free_ts = item.block.free_ts
+            for rule in self.rules:
+                outcome = rule.adjust(item, analyzed)
+                if outcome is OrchestrationRule.NO_CHANGE:
+                    continue
+                if outcome != free_ts:
+                    adjustments[rule.name] += 1
+                free_ts = outcome
+                break  # first applicable rule wins
+            events.append(
+                MemoryOp(
+                    ts=item.block.alloc_ts,
+                    kind=EventKind.ALLOC,
+                    block_id=item.block.block_id,
+                    size=item.block.size,
+                    role=item.role,
+                )
+            )
+            horizon = max(horizon, item.block.alloc_ts)
+            if free_ts is None:
+                persistent_bytes += item.block.size
+            else:
+                if free_ts < item.block.alloc_ts:
+                    free_ts = item.block.alloc_ts + 1
+                events.append(
+                    MemoryOp(
+                        ts=free_ts,
+                        kind=EventKind.FREE,
+                        block_id=item.block.block_id,
+                        size=item.block.size,
+                        role=item.role,
+                    )
+                )
+                horizon = max(horizon, free_ts)
+        events.sort(key=MemoryOp.sort_key)
+        return OrchestratedSequence(
+            events=events,
+            horizon=horizon + 1,
+            num_blocks=len(analyzed.blocks),
+            persistent_bytes=persistent_bytes,
+            adjustments=adjustments,
+        )
+
+
+def raw_sequence(analyzed: AnalyzedTrace) -> OrchestratedSequence:
+    """The un-orchestrated sequence (ablation: CPU lifecycles verbatim)."""
+    return MemoryOrchestrator(rules=()).orchestrate(analyzed)

@@ -1,0 +1,83 @@
+"""Human-readable estimation reports.
+
+Scheduler operators and model developers read these to understand *where*
+an estimate comes from: the role breakdown (parameters vs optimizer state
+vs activations), the orchestration adjustments applied, and the headroom
+against the device budget.  Rendered by ``xmem estimate --explain``.
+"""
+
+from __future__ import annotations
+
+from ..units import format_bytes, format_gb
+from .result import EstimationResult
+
+_ROLE_ORDER = (
+    "parameter",
+    "gradient",
+    "optimizer_state",
+    "activation",
+    "saved",
+    "batch_data",
+    "temporary",
+)
+
+
+def render_report(result: EstimationResult) -> str:
+    """Render a multi-line explanation of one estimation result."""
+    lines = [
+        f"workload        : {result.workload.label()}",
+        f"device          : {result.device.name} "
+        f"({format_gb(result.device.capacity_bytes)} capacity, "
+        f"{format_gb(result.device.job_budget())} job budget)",
+        f"estimator       : {result.estimator}",
+        f"estimated peak  : {format_gb(result.peak_bytes)}",
+    ]
+    if not result.supported:
+        lines.append("status          : workload not supported")
+        return "\n".join(lines)
+    budget = result.device.job_budget()
+    headroom = budget - result.peak_bytes
+    verdict = "OOM predicted" if result.predicts_oom() else "fits"
+    lines.append(
+        f"verdict         : {verdict} "
+        f"(headroom {format_gb(headroom)})"
+    )
+    lines.append(f"estimator time  : {result.runtime_seconds:.2f}s")
+
+    role_bytes = result.detail.get("role_bytes")
+    if role_bytes:
+        lines.append("memory by role (bytes allocated over the profile):")
+        total = sum(role_bytes.values()) or 1
+        for role in _ROLE_ORDER:
+            size = role_bytes.get(role)
+            if not size:
+                continue
+            share = size / total * 100
+            lines.append(
+                f"  {role:<16} {format_bytes(size):>12}  ({share:4.1f}%)"
+            )
+    peak_allocated = result.detail.get("peak_allocated_bytes")
+    if peak_allocated:
+        overhead = result.peak_bytes - peak_allocated
+        lines.append(
+            f"allocator overhead at peak: {format_bytes(overhead)} "
+            f"(segments vs tensors — caching, rounding, fragmentation)"
+        )
+    adjustments = result.detail.get("rule_adjustments")
+    if adjustments:
+        applied = {k: v for k, v in adjustments.items() if v}
+        if applied:
+            lines.append("orchestration adjustments:")
+            for rule, count in sorted(applied.items()):
+                lines.append(f"  {rule:<32} {count} block(s)")
+        else:
+            lines.append("orchestration adjustments: none needed")
+    dropped = result.detail.get("dropped_blocks")
+    if dropped:
+        lines.append(
+            f"CPU-only blocks filtered by attribution: {dropped}"
+        )
+    num_blocks = result.detail.get("num_blocks")
+    if num_blocks:
+        lines.append(f"memory blocks analysed: {num_blocks}")
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Simulator-fidelity verification against snapshots (paper §3.2/§3.4).
+
+The paper validates both the Analyzer's block sequence and the Simulator's
+replay against PyTorch's snapshot profiler.  This module implements that
+verification loop for the reproduction: it diffs the allocator state a
+replay produces against a reference run's snapshot, and compares whole
+memory curves, producing a structured fidelity report (the numbers behind
+Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..allocator.stats import TimelineRecorder
+
+
+@dataclass(frozen=True)
+class SnapshotDiff:
+    """Structural difference between two allocator snapshots."""
+
+    segments_a: int
+    segments_b: int
+    reserved_a: int
+    reserved_b: int
+    allocated_a: int
+    allocated_b: int
+    #: segment-size multiset difference (size -> count delta, a - b)
+    segment_size_delta: dict[int, int]
+
+    @property
+    def reserved_gap(self) -> int:
+        return abs(self.reserved_a - self.reserved_b)
+
+    @property
+    def allocated_gap(self) -> int:
+        return abs(self.allocated_a - self.allocated_b)
+
+    def matches(self, tolerance_bytes: int = 0) -> bool:
+        return (
+            self.reserved_gap <= tolerance_bytes
+            and self.allocated_gap <= tolerance_bytes
+        )
+
+
+def diff_snapshots(a: list[dict], b: list[dict]) -> SnapshotDiff:
+    """Diff two ``memory_snapshot`` exports."""
+    sizes_a: dict[int, int] = {}
+    sizes_b: dict[int, int] = {}
+    for segment in a:
+        sizes_a[segment["total_size"]] = sizes_a.get(segment["total_size"], 0) + 1
+    for segment in b:
+        sizes_b[segment["total_size"]] = sizes_b.get(segment["total_size"], 0) + 1
+    delta = {}
+    for size in set(sizes_a) | set(sizes_b):
+        diff = sizes_a.get(size, 0) - sizes_b.get(size, 0)
+        if diff:
+            delta[size] = diff
+    return SnapshotDiff(
+        segments_a=len(a),
+        segments_b=len(b),
+        reserved_a=sum(s["total_size"] for s in a),
+        reserved_b=sum(s["total_size"] for s in b),
+        allocated_a=sum(s["allocated_size"] for s in a),
+        allocated_b=sum(s["allocated_size"] for s in b),
+        segment_size_delta=delta,
+    )
+
+
+@dataclass(frozen=True)
+class CurveFidelity:
+    """How closely a simulated memory curve tracks a reference curve."""
+
+    peak_reference: int
+    peak_simulated: int
+    mean_abs_gap: int
+    max_abs_gap: int
+    samples: int
+
+    @property
+    def peak_error(self) -> float:
+        if self.peak_reference == 0:
+            return 0.0
+        return abs(self.peak_simulated - self.peak_reference) / self.peak_reference
+
+    @property
+    def mean_gap_fraction(self) -> float:
+        if self.peak_reference == 0:
+            return 0.0
+        return self.mean_abs_gap / self.peak_reference
+
+
+def compare_curves(
+    reference: TimelineRecorder,
+    simulated: TimelineRecorder,
+    samples: int = 256,
+) -> CurveFidelity:
+    """Resample both reserved-bytes curves onto a common fractional grid
+    and report the gap statistics (the Fig. 6 overlay, numerically)."""
+    if samples < 2:
+        raise ValueError("need at least 2 comparison samples")
+    ref_points = reference.points
+    sim_points = simulated.points
+
+    def value_at(points, fraction: float) -> int:
+        if not points:
+            return 0
+        index = min(int(fraction * (len(points) - 1)), len(points) - 1)
+        return points[index].reserved_bytes
+
+    gaps = []
+    for step in range(samples):
+        fraction = step / (samples - 1)
+        gaps.append(
+            abs(value_at(ref_points, fraction) - value_at(sim_points, fraction))
+        )
+    return CurveFidelity(
+        peak_reference=reference.peak_reserved(),
+        peak_simulated=simulated.peak_reserved(),
+        mean_abs_gap=sum(gaps) // len(gaps),
+        max_abs_gap=max(gaps),
+        samples=samples,
+    )

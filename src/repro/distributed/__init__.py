@@ -1,0 +1,22 @@
+"""Distributed-training preparation (paper §6.2): per-layer profiles and
+pipeline-stage planning from a single-node CPU profile."""
+
+from .planner import (
+    PipelinePlan,
+    PipelineStage,
+    PlanningError,
+    minimum_stages,
+    plan_pipeline,
+)
+from .profiles import LayerProfile, ModelMemoryMap, extract_layer_profiles
+
+__all__ = [
+    "LayerProfile",
+    "ModelMemoryMap",
+    "PipelinePlan",
+    "PipelineStage",
+    "PlanningError",
+    "extract_layer_profiles",
+    "minimum_stages",
+    "plan_pipeline",
+]

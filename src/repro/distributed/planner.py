@@ -1,0 +1,170 @@
+"""Pipeline-parallel memory planning over per-layer profiles (§6.2).
+
+Given the per-layer memory map of a model that does not fit on one GPU,
+the planner partitions the layer sequence into contiguous pipeline stages
+so that every stage's training memory (weights + gradients + optimizer
+state + activations + scratch) fits its device budget, balancing the
+stages.  This is exactly the use the paper sketches: the single-node CPU
+profile supplies the per-layer data; the planner simulates the
+distributed decision without ever running distributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import format_bytes
+from ..workload import DeviceSpec
+from .profiles import LayerProfile, ModelMemoryMap
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One contiguous group of layers assigned to one device."""
+
+    index: int
+    layers: tuple[str, ...]
+    memory_bytes: int
+
+    def __str__(self) -> str:
+        return (
+            f"stage {self.index}: {len(self.layers)} layers, "
+            f"{format_bytes(self.memory_bytes)}"
+        )
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """A complete assignment of layers to pipeline stages."""
+
+    stages: tuple[PipelineStage, ...]
+    device_budget: int
+    optimizer_state_multiplier: float
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def max_stage_bytes(self) -> int:
+        return max(s.memory_bytes for s in self.stages)
+
+    @property
+    def balance(self) -> float:
+        """max/mean stage memory; 1.0 is perfectly balanced."""
+        mean = sum(s.memory_bytes for s in self.stages) / len(self.stages)
+        return self.max_stage_bytes / mean if mean else 1.0
+
+    def fits(self) -> bool:
+        return self.max_stage_bytes <= self.device_budget
+
+
+class PlanningError(ValueError):
+    """No valid pipeline partition exists for the given budget."""
+
+
+def _stage_cost(
+    layers: list[LayerProfile], optimizer_state_multiplier: float
+) -> int:
+    # weights/grads/state add up; activations add up (all stages hold
+    # their activations simultaneously in a 1F1B schedule); scratch is
+    # the max since only one op runs at a time per stage
+    weights = sum(
+        int(p.parameter_bytes * (2 + optimizer_state_multiplier))
+        for p in layers
+    )
+    activations = sum(p.activation_bytes for p in layers)
+    scratch = max((p.workspace_bytes for p in layers), default=0)
+    return weights + activations + scratch
+
+
+def plan_pipeline(
+    memory_map: ModelMemoryMap,
+    device: DeviceSpec,
+    num_stages: int,
+    optimizer_state_multiplier: float = 2.0,
+) -> PipelinePlan:
+    """Partition layers into ``num_stages`` contiguous stages minimizing
+    the maximum stage memory (classic linear-partition DP).
+
+    Raises :class:`PlanningError` when even the optimal partition exceeds
+    the device budget (use more stages or a frugal optimizer).
+    """
+    layers = memory_map.layers
+    if num_stages < 1:
+        raise ValueError("need at least one stage")
+    if num_stages > len(layers):
+        raise PlanningError(
+            f"cannot split {len(layers)} layers into {num_stages} stages"
+        )
+
+    count = len(layers)
+
+    def cost(start: int, end: int) -> int:  # [start, end)
+        return _stage_cost(layers[start:end], optimizer_state_multiplier)
+
+    # dp[k][i] = minimal possible max-stage-cost splitting layers[:i] into k
+    infinity = float("inf")
+    dp = [[infinity] * (count + 1) for _ in range(num_stages + 1)]
+    cut = [[0] * (count + 1) for _ in range(num_stages + 1)]
+    dp[0][0] = 0
+    for k in range(1, num_stages + 1):
+        for i in range(k, count + 1):
+            for j in range(k - 1, i):
+                candidate = max(dp[k - 1][j], cost(j, i))
+                if candidate < dp[k][i]:
+                    dp[k][i] = candidate
+                    cut[k][i] = j
+    if dp[num_stages][count] is infinity:
+        raise PlanningError("no feasible partition")  # pragma: no cover
+
+    # reconstruct
+    bounds = [count]
+    k, i = num_stages, count
+    while k > 0:
+        j = cut[k][i]
+        bounds.append(j)
+        i, k = j, k - 1
+    bounds.reverse()
+    stages = []
+    for index in range(num_stages):
+        start, end = bounds[index], bounds[index + 1]
+        stages.append(
+            PipelineStage(
+                index=index,
+                layers=tuple(p.name for p in layers[start:end]),
+                memory_bytes=cost(start, end),
+            )
+        )
+    plan = PipelinePlan(
+        stages=tuple(stages),
+        device_budget=device.job_budget(),
+        optimizer_state_multiplier=optimizer_state_multiplier,
+    )
+    if not plan.fits():
+        raise PlanningError(
+            f"optimal {num_stages}-stage partition needs "
+            f"{format_bytes(plan.max_stage_bytes)} per device, budget is "
+            f"{format_bytes(plan.device_budget)}"
+        )
+    return plan
+
+
+def minimum_stages(
+    memory_map: ModelMemoryMap,
+    device: DeviceSpec,
+    max_stages: int = 32,
+    optimizer_state_multiplier: float = 2.0,
+) -> PipelinePlan:
+    """Smallest stage count whose optimal partition fits the device."""
+    last_error: PlanningError | None = None
+    for num_stages in range(1, min(max_stages, len(memory_map.layers)) + 1):
+        try:
+            return plan_pipeline(
+                memory_map, device, num_stages, optimizer_state_multiplier
+            )
+        except PlanningError as error:
+            last_error = error
+    raise PlanningError(
+        f"model does not fit in {max_stages} stages: {last_error}"
+    )

@@ -1,0 +1,157 @@
+"""Per-layer memory profiles — the §6.2 distributed foundation.
+
+The paper argues that planning model/pipeline parallelism "would be based
+on guesswork" without per-layer memory data, and that xMem's Analyzer
+already produces it: every activation block is attributed to the module
+that allocated it, while parameters (and hence gradients and optimizer
+state) are read from the model structure.  This module combines the two
+into the per-layer profiles a partitioner consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import units
+from ..core.analyzer import AnalyzedTrace
+from ..core.lifecycle import peak_live_bytes
+from ..framework.module import Module
+from ..framework.tensor import TensorRole
+
+
+@dataclass
+class LayerProfile:
+    """Memory demand of one top-level layer across an iteration."""
+
+    name: str
+    parameter_bytes: int = 0
+    activation_bytes: int = 0  # peak concurrent activations attributed here
+    workspace_bytes: int = 0  # largest transient scratch observed
+    num_blocks: int = 0
+    #: first allocation timestamp attributed here — execution order
+    first_ts: int = 2**62
+
+    @property
+    def gradient_bytes(self) -> int:
+        """Parameter gradients mirror parameter bytes."""
+        return self.parameter_bytes
+
+    def training_bytes(self, optimizer_state_multiplier: float = 0.0) -> int:
+        """Memory when this layer trains on one device: weights + grads +
+        optimizer state + its activations and scratch."""
+        return int(
+            self.parameter_bytes * (2 + optimizer_state_multiplier)
+            + self.activation_bytes
+            + self.workspace_bytes
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: params={units.format_bytes(self.parameter_bytes)} "
+            f"act={units.format_bytes(self.activation_bytes)} "
+            f"ws={units.format_bytes(self.workspace_bytes)}"
+        )
+
+
+def _layer_key(module_path: str | None, depth: int) -> str | None:
+    """Truncate an attribution path to pipeline-stage granularity.
+
+    Attribution paths come from the python_function stack and look like
+    ``model/distilgpt2/block3/attn`` (plan root, model module, then
+    children); ``depth`` keeps ``depth`` segments below the model module,
+    matching the keys :func:`_accumulate_params` derives from the module
+    tree.  Paths outside the model (the autograd engine) yield None;
+    top-level siblings of the model (the loss head) keep their own name.
+    """
+    if not module_path or module_path.startswith("autograd"):
+        return None
+    segments = [s for s in module_path.split("/") if s]
+    if len(segments) < 2:
+        return None
+    keep = segments[2 : 2 + depth]
+    if keep:
+        return "/".join(keep)
+    return segments[1]
+
+
+def extract_layer_profiles(
+    analyzed: AnalyzedTrace,
+    model: Module,
+    depth: int = 2,
+) -> "ModelMemoryMap":
+    """Build per-layer profiles from an analyzed trace plus the model.
+
+    Activation bytes are the *peak concurrent* footprint per layer
+    (computed from block lifecycles), not a sum — the quantity pipeline
+    planning actually needs.
+    """
+    profiles: dict[str, LayerProfile] = {}
+    activation_blocks: dict[str, list] = {}
+    for item in analyzed.blocks:
+        key = _layer_key(item.module_path, depth)
+        if key is None:
+            continue
+        profile = profiles.setdefault(key, LayerProfile(name=key))
+        profile.num_blocks += 1
+        profile.first_ts = min(profile.first_ts, item.block.alloc_ts)
+        if item.role is TensorRole.TEMPORARY:
+            profile.workspace_bytes = max(
+                profile.workspace_bytes, item.block.size
+            )
+        elif item.role in (TensorRole.ACTIVATION, TensorRole.SAVED):
+            activation_blocks.setdefault(key, []).append(item.block)
+    for key, blocks in activation_blocks.items():
+        profiles[key].activation_bytes = peak_live_bytes(blocks)
+
+    # parameters per layer from the model structure
+    for child in model.children():
+        _accumulate_params(child, child.name, profiles, depth)
+
+    # pipeline stages need layers in *execution* order
+    ordered = sorted(profiles.values(), key=lambda p: (p.first_ts, p.name))
+    return ModelMemoryMap(layers=ordered)
+
+
+def _accumulate_params(
+    module: Module,
+    path: str,
+    profiles: dict[str, LayerProfile],
+    depth: int,
+    level: int = 1,
+) -> None:
+    """Assign parameter bytes to the same truncated keys as the trace."""
+    if level >= depth or not module.children():
+        key = "/".join(path.split("/")[:depth])
+        profile = profiles.setdefault(key, LayerProfile(name=key))
+        profile.parameter_bytes += module.parameter_bytes()
+        return
+    own = module.own_param_bytes()
+    if own:
+        profile = profiles.setdefault(path, LayerProfile(name=path))
+        profile.parameter_bytes += own
+    for child in module.children():
+        _accumulate_params(
+            child, f"{path}/{child.name}", profiles, depth, level + 1
+        )
+
+
+@dataclass
+class ModelMemoryMap:
+    """All layer profiles of one workload plus convenience totals."""
+
+    layers: list[LayerProfile] = field(default_factory=list)
+
+    def total_parameter_bytes(self) -> int:
+        return sum(p.parameter_bytes for p in self.layers)
+
+    def total_activation_bytes(self) -> int:
+        return sum(p.activation_bytes for p in self.layers)
+
+    def layer(self, name: str) -> LayerProfile:
+        for profile in self.layers:
+            if profile.name == name:
+                return profile
+        raise KeyError(name)
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the xMem reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers embedding the library (schedulers, experiment drivers) can catch one
+base type.  OOM conditions are modelled as *data*, not just exceptions: the
+simulated allocators raise :class:`DeviceOutOfMemoryError` /
+:class:`SimOutOfMemoryError` carrying the allocator state needed to produce
+PyTorch-style diagnostics.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TraceError(ReproError):
+    """A profiler trace is malformed or internally inconsistent."""
+
+
+class TraceSchemaError(TraceError):
+    """A trace JSON document does not match the expected event schema."""
+
+
+class LifecycleError(ReproError):
+    """Memory lifecycle reconstruction failed (e.g. double free)."""
+
+
+class OrchestrationError(ReproError):
+    """The memory orchestrator received events it cannot reconcile."""
+
+
+class ModelNotFoundError(ReproError, KeyError):
+    """An unknown model name was requested from the registry."""
+
+
+class UnsupportedModelError(ReproError):
+    """An estimator does not support this model family (e.g. LLMem + CNN)."""
+
+
+class AllocatorError(ReproError):
+    """Base class for allocator-simulation failures."""
+
+
+class InvalidFreeError(AllocatorError):
+    """A free was issued for an address the allocator does not own."""
+
+
+class DeviceOutOfMemoryError(AllocatorError):
+    """The simulated *device* (cudaMalloc level) could not satisfy a request."""
+
+    def __init__(self, requested: int, free_bytes: int, capacity: int):
+        self.requested = requested
+        self.free_bytes = free_bytes
+        self.capacity = capacity
+        super().__init__(
+            f"device OOM: requested {requested} bytes, "
+            f"{free_bytes} free of {capacity} total"
+        )
+
+
+class SimOutOfMemoryError(AllocatorError):
+    """The two-level allocator failed even after reclaiming cached segments.
+
+    Mirrors the ``torch.cuda.OutOfMemoryError`` message shape so that the
+    diagnostics users rely on (tried-to-allocate / reserved / allocated) are
+    available from the simulation too.
+    """
+
+    def __init__(
+        self,
+        requested: int,
+        allocated: int,
+        reserved: int,
+        capacity: int,
+    ):
+        self.requested = requested
+        self.allocated = allocated
+        self.reserved = reserved
+        self.capacity = capacity
+        super().__init__(
+            f"simulated CUDA out of memory: tried to allocate {requested} bytes "
+            f"({allocated} bytes allocated by tensors, {reserved} bytes reserved "
+            f"by the allocator, {capacity} bytes device capacity)"
+        )
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce an estimate for a configuration."""
+
+
+class ValidationError(ReproError):
+    """The two-round validation protocol was driven with inconsistent inputs."""

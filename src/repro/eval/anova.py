@@ -1,0 +1,92 @@
+"""ANOVA experiment (paper §4.1.4 setting 1, Figs. 7a/7b/8a).
+
+Full-factorial configuration grid on the RTX 3060, five repeats per
+configuration, followed by a one-way analysis of variance over the
+estimators' error distributions.  ``scale`` shrinks the grid for CI-sized
+runs; ``scale="full"`` reproduces the paper's ~3900 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..baselines.base import Estimator
+from ..models.registry import get_model_spec
+from ..workload import RTX_3060, DeviceSpec
+from .runner import ExperimentResult, ExperimentRunner
+from .workloads import anova_grid
+
+#: grid-shrink presets: (max batches per model, max optimizers, repeats)
+SCALES = {
+    "smoke": (1, 1, 1),
+    "small": (2, 2, 2),
+    "medium": (3, 3, 3),
+    "full": (None, None, 5),
+}
+
+
+@dataclass(frozen=True)
+class AnovaReport:
+    """ANOVA summary over per-run errors grouped by estimator."""
+
+    f_statistic: Optional[float]
+    p_value: Optional[float]
+    group_sizes: dict[str, int]
+
+
+def run_anova_experiment(
+    scale: str = "small",
+    families: Sequence[str] = ("cnn", "transformer"),
+    models: Sequence[str] | None = None,
+    device: DeviceSpec = RTX_3060,
+    estimators: Optional[Sequence[Estimator]] = None,
+) -> ExperimentResult:
+    """Run the systematic grid at the requested scale."""
+    try:
+        max_batches, max_optimizers, repeats = SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None
+    grid = anova_grid(
+        families=families,
+        models=models,
+        max_batches_per_model=max_batches,
+        max_optimizers=max_optimizers,
+    )
+    runner = ExperimentRunner(estimators=estimators, repeats=repeats)
+    return runner.run([(workload, device) for workload in grid])
+
+
+def anova_over_estimators(result: ExperimentResult) -> AnovaReport:
+    """One-way ANOVA: do the estimators' error distributions differ?"""
+    groups: dict[str, list[float]] = {}
+    for outcome in result.outcomes:
+        if outcome.error is not None:
+            groups.setdefault(outcome.estimator, []).append(outcome.error)
+    populated = {k: v for k, v in groups.items() if len(v) >= 2}
+    if len(populated) < 2:
+        return AnovaReport(
+            f_statistic=None,
+            p_value=None,
+            group_sizes={k: len(v) for k, v in groups.items()},
+        )
+    try:
+        from scipy.stats import f_oneway
+    except ImportError:  # pragma: no cover - scipy is an eval dependency
+        return AnovaReport(
+            f_statistic=None,
+            p_value=None,
+            group_sizes={k: len(v) for k, v in groups.items()},
+        )
+    f_stat, p_value = f_oneway(*populated.values())
+    return AnovaReport(
+        f_statistic=float(f_stat),
+        p_value=float(p_value),
+        group_sizes={k: len(v) for k, v in groups.items()},
+    )
+
+
+def family_of(model: str) -> str:
+    return get_model_spec(model).family

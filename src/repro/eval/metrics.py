@@ -1,0 +1,151 @@
+"""Evaluation metrics — Eqs. (1)-(8) of the paper (§4.1.5).
+
+* **MRE** — median relative error of the estimated peak vs the NVML
+  ground truth, over runs without a real round-1 OOM.
+* **PEF** — probability of estimation failure: the fraction of runs whose
+  estimate did not pass the two-round validation check :math:`C_{jde2}`.
+* **MCP** — memory conservation potential: average memory saved per run,
+  with a full-capacity penalty for estimates that caused a round-2 OOM.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..workload import DeviceSpec, WorkloadConfig
+
+
+@dataclass(frozen=True)
+class ValidationOutcome:
+    """Everything recorded for one (estimator, configuration, run) triple.
+
+    Field names map to the paper's notation (Table 1): ``oom1`` is
+    :math:`OOM_{jd1}`, ``c1`` is :math:`C_{jde1}`, ``m_peak2`` is
+    :math:`M^{peak}_{j2d}`, and so on.
+    """
+
+    estimator: str
+    workload: WorkloadConfig
+    device: DeviceSpec
+    run_index: int
+    supported: bool
+    est_peak: int  # \hat{M}^{peak}_{jde}
+    oom_pred: bool  # \hat{OOM}_{jde}, Eq. (1)
+    oom1: bool  # OOM_{jd1}
+    m_peak1: Optional[int]  # M^{peak}_{j1d} (None when round 1 OOMed)
+    c1: bool  # Eq. (4)
+    ran_round2: bool
+    oom2: Optional[bool]  # OOM_{jde2}
+    m_peak2: Optional[int]  # M^{peak}_{j2d}
+    c2: bool  # Eq. (5)
+    runtime_seconds: float
+
+    @property
+    def error(self) -> Optional[float]:
+        """Eq. (2)/(3) operand: relative error for this run, or None.
+
+        Defined only when round 1 did not OOM; uses the round-2 peak when
+        the round-2 run completed, else the round-1 peak.
+        """
+        if self.oom1 or not self.supported:
+            return None
+        if self.ran_round2 and self.oom2 is False and self.m_peak2:
+            truth = self.m_peak2
+        elif self.m_peak1:
+            truth = self.m_peak1
+        else:
+            return None
+        return abs(self.est_peak - truth) / truth
+
+    @property
+    def m_save(self) -> Optional[int]:
+        """Eq. (7): memory conserved by this run's estimate (bytes)."""
+        if not self.supported:
+            return None
+        budget = self.device.job_budget()
+        if self.c1 and self.oom1:
+            return budget
+        if self.c1 and self.ran_round2 and self.oom2 is False:
+            return budget - self.est_peak
+        return -budget
+
+
+def relative_error(estimate: int, truth: int) -> float:
+    """Eq. (2): ||estimate - truth|| / truth."""
+    if truth <= 0:
+        raise ValueError("ground-truth peak must be positive")
+    return abs(estimate - truth) / truth
+
+
+def median_relative_error(
+    outcomes: Iterable[ValidationOutcome],
+) -> Optional[float]:
+    """Eq. (3): the median of per-run relative errors (MRE)."""
+    errors = [o.error for o in outcomes if o.error is not None]
+    if not errors:
+        return None
+    return statistics.median(errors)
+
+
+def probability_of_estimation_failure(
+    outcomes: Iterable[ValidationOutcome],
+) -> Optional[float]:
+    """Eq. (6) with C2 (the paper's headline PEF, :math:`P_{je2}`)."""
+    relevant = [o for o in outcomes if o.supported]
+    if not relevant:
+        return None
+    failures = sum(1 for o in relevant if not o.c2)
+    return failures / len(relevant)
+
+
+def memory_conservation_potential(
+    outcomes: Iterable[ValidationOutcome],
+) -> Optional[float]:
+    """Eq. (8): average per-run conserved bytes (MCP)."""
+    savings = [o.m_save for o in outcomes if o.m_save is not None]
+    if not savings:
+        return None
+    return sum(savings) / len(savings)
+
+
+def mean_runtime_seconds(
+    outcomes: Iterable[ValidationOutcome],
+) -> Optional[float]:
+    relevant = [o.runtime_seconds for o in outcomes if o.supported]
+    if not relevant:
+        return None
+    return sum(relevant) / len(relevant)
+
+
+@dataclass(frozen=True)
+class EstimatorScore:
+    """Aggregate metrics for one estimator over a set of outcomes."""
+
+    estimator: str
+    num_runs: int
+    mre: Optional[float]
+    pef: Optional[float]
+    mcp_bytes: Optional[float]
+    mean_runtime_seconds: Optional[float]
+
+
+def score_outcomes(
+    outcomes: list[ValidationOutcome],
+) -> dict[str, EstimatorScore]:
+    """Aggregate outcomes per estimator."""
+    by_estimator: dict[str, list[ValidationOutcome]] = {}
+    for outcome in outcomes:
+        by_estimator.setdefault(outcome.estimator, []).append(outcome)
+    scores: dict[str, EstimatorScore] = {}
+    for name, group in sorted(by_estimator.items()):
+        scores[name] = EstimatorScore(
+            estimator=name,
+            num_runs=len(group),
+            mre=median_relative_error(group),
+            pef=probability_of_estimation_failure(group),
+            mcp_bytes=memory_conservation_potential(group),
+            mean_runtime_seconds=mean_runtime_seconds(group),
+        )
+    return scores

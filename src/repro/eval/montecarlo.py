@@ -1,0 +1,37 @@
+"""Monte Carlo experiment (paper §4.1.4 setting 2, Figs. 7c/7d/8b, Tables
+3-4).
+
+Configurations are drawn at random from the full space — model, optimizer,
+batch size, ``zero_grad`` placement, target GPU — simulating the
+"randomness and uncertainty of reality" the paper leans on for the MCP
+analysis.  The paper uses 1306 runs; ``num_samples`` scales that down or
+up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..baselines.base import Estimator
+from ..workload import EVAL_DEVICES, DeviceSpec
+from .runner import ExperimentResult, ExperimentRunner
+from .workloads import monte_carlo_samples
+
+PAPER_NUM_RUNS = 1306
+
+
+def run_monte_carlo_experiment(
+    num_samples: int = 40,
+    seed: int = 0,
+    devices: Sequence[DeviceSpec] = EVAL_DEVICES,
+    families: Sequence[str] = ("cnn", "transformer"),
+    estimators: Optional[Sequence[Estimator]] = None,
+) -> ExperimentResult:
+    """Run ``num_samples`` random configurations through validation."""
+    samples = list(
+        monte_carlo_samples(
+            num_samples, seed=seed, devices=devices, families=families
+        )
+    )
+    runner = ExperimentRunner(estimators=estimators, repeats=1)
+    return runner.run(samples)

@@ -1,0 +1,177 @@
+"""Text reports matching the paper's tables and figure series."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..units import GB
+from .metrics import (
+    ValidationOutcome,
+    median_relative_error,
+    probability_of_estimation_failure,
+)
+from .runner import ExperimentResult
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Summary of one box in the paper's Fig. 7 box plots."""
+
+    n: int
+    median: float
+    q1: float
+    q3: float
+    maximum: float
+
+    @classmethod
+    def from_errors(cls, errors: Sequence[float]) -> Optional["BoxStats"]:
+        if not errors:
+            return None
+        ordered = sorted(errors)
+        return cls(
+            n=len(ordered),
+            median=statistics.median(ordered),
+            q1=_quantile(ordered, 0.25),
+            q3=_quantile(ordered, 0.75),
+            maximum=ordered[-1],
+        )
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def mre_box_table(
+    result: ExperimentResult, estimators: Sequence[str]
+) -> list[tuple[str, dict[str, Optional[BoxStats]]]]:
+    """Per-model MRE boxes (the Fig. 7 series), in percent."""
+    models = sorted({o.workload.model for o in result.outcomes})
+    rows = []
+    for model in models:
+        boxes: dict[str, Optional[BoxStats]] = {}
+        for estimator in estimators:
+            errors = [e * 100 for e in result.errors_for(model, estimator)]
+            boxes[estimator] = BoxStats.from_errors(errors)
+        rows.append((model, boxes))
+    return rows
+
+
+def format_mre_table(
+    result: ExperimentResult, estimators: Sequence[str]
+) -> str:
+    lines = [
+        "Model".ljust(30)
+        + "".join(name.rjust(14) for name in estimators)
+        + "   (median relative error, %)"
+    ]
+    for model, boxes in mre_box_table(result, estimators):
+        row = model.ljust(30)
+        for estimator in estimators:
+            box = boxes[estimator]
+            row += ("N/A" if box is None else f"{box.median:.1f}").rjust(14)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def quadrant_points(
+    result: ExperimentResult,
+) -> dict[str, list[tuple[str, float, float]]]:
+    """(model, MRE%, PEF%) per estimator — the Fig. 8 scatter."""
+    grouped: dict[tuple[str, str], list[ValidationOutcome]] = {}
+    for outcome in result.outcomes:
+        grouped.setdefault(
+            (outcome.estimator, outcome.workload.model), []
+        ).append(outcome)
+    points: dict[str, list[tuple[str, float, float]]] = {}
+    for (estimator, model), outcomes in sorted(grouped.items()):
+        mre = median_relative_error(outcomes)
+        pef = probability_of_estimation_failure(outcomes)
+        if mre is None or pef is None:
+            continue
+        points.setdefault(estimator, []).append((model, mre * 100, pef * 100))
+    return points
+
+
+def quadrant_summary(
+    result: ExperimentResult, threshold_pct: float = 20.0
+) -> dict[str, dict[str, int]]:
+    """Count models per quadrant per estimator (Fig. 8 reading)."""
+    summary: dict[str, dict[str, int]] = {}
+    for estimator, points in quadrant_points(result).items():
+        counts = {
+            "optimal": 0,
+            "overestimation": 0,
+            "underestimation": 0,
+            "worst": 0,
+        }
+        for _, mre, pef in points:
+            high_mre = mre > threshold_pct
+            high_pef = pef > threshold_pct
+            if not high_mre and not high_pef:
+                counts["optimal"] += 1
+            elif high_mre and not high_pef:
+                counts["overestimation"] += 1
+            elif not high_mre and high_pef:
+                counts["underestimation"] += 1
+            else:
+                counts["worst"] += 1
+        summary[estimator] = counts
+    return summary
+
+
+def mcp_table(
+    result: ExperimentResult, family_of, estimators: Sequence[str]
+) -> list[tuple[str, dict[str, Optional[float]]]]:
+    """Average MCP in GB per (architecture class, estimator) — Table 3."""
+    rows = []
+    classes = ("cnn", "transformer", "overall")
+    for cls in classes:
+        cells: dict[str, Optional[float]] = {}
+        for estimator in estimators:
+            outcomes = [
+                o
+                for o in result.outcomes
+                if o.estimator == estimator
+                and (cls == "overall" or family_of(o.workload.model) == cls)
+            ]
+            savings = [o.m_save for o in outcomes if o.m_save is not None]
+            cells[estimator] = (
+                sum(savings) / len(savings) / GB if savings else None
+            )
+        rows.append((cls, cells))
+    return rows
+
+
+def format_mcp_table(
+    result: ExperimentResult, family_of, estimators: Sequence[str]
+) -> str:
+    lines = [
+        "Model Arch".ljust(14)
+        + "".join(name.rjust(12) for name in estimators)
+        + "   (avg MCP, GB)"
+    ]
+    for cls, cells in mcp_table(result, family_of, estimators):
+        row = cls.ljust(14)
+        for estimator in estimators:
+            value = cells[estimator]
+            row += ("N/A" if value is None else f"{value:.2f}").rjust(12)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def runtime_table(result: ExperimentResult) -> dict[str, float]:
+    """Average estimator runtime in seconds — Table 4."""
+    scores = result.scores()
+    return {
+        name: score.mean_runtime_seconds
+        for name, score in scores.items()
+        if score.mean_runtime_seconds is not None
+    }

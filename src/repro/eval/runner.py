@@ -1,0 +1,123 @@
+"""Experiment runner: drives estimators through the validation protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..baselines.base import Estimator
+from ..baselines.dnnmem import DNNMemEstimator
+from ..baselines.llmem import LLMemEstimator
+from ..baselines.schedtune import SchedTuneEstimator
+from ..core.estimator import XMemEstimator
+from ..core.result import EstimationResult
+from ..workload import DeviceSpec, WorkloadConfig
+from .metrics import EstimatorScore, ValidationOutcome, score_outcomes
+from .validation import GroundTruthCache, validate
+
+
+def default_estimators(
+    schedtune_history=None,
+) -> list[Estimator]:
+    """The paper's estimator lineup: xMem + the three baselines."""
+    schedtune = SchedTuneEstimator(history=schedtune_history)
+    return [
+        XMemEstimator(),
+        DNNMemEstimator(),
+        schedtune,
+        LLMemEstimator(),
+    ]
+
+
+@dataclass
+class ExperimentResult:
+    """All outcomes of one experiment plus aggregate views."""
+
+    outcomes: list[ValidationOutcome] = field(default_factory=list)
+
+    def scores(self) -> dict[str, EstimatorScore]:
+        return score_outcomes(self.outcomes)
+
+    def by_model(self) -> dict[tuple[str, str], list[ValidationOutcome]]:
+        """(model, estimator) -> outcomes, for per-model boxes (Fig. 7)."""
+        table: dict[tuple[str, str], list[ValidationOutcome]] = {}
+        for outcome in self.outcomes:
+            key = (outcome.workload.model, outcome.estimator)
+            table.setdefault(key, []).append(outcome)
+        return table
+
+    def by_family(
+        self, family_of: Callable[[str], str]
+    ) -> dict[tuple[str, str], list[ValidationOutcome]]:
+        """(family, estimator) -> outcomes, for Table 3."""
+        table: dict[tuple[str, str], list[ValidationOutcome]] = {}
+        for outcome in self.outcomes:
+            key = (family_of(outcome.workload.model), outcome.estimator)
+            table.setdefault(key, []).append(outcome)
+        return table
+
+    def errors_for(self, model: str, estimator: str) -> list[float]:
+        return [
+            o.error
+            for o in self.outcomes
+            if o.workload.model == model
+            and o.estimator == estimator
+            and o.error is not None
+        ]
+
+
+class ExperimentRunner:
+    """Runs (configuration x estimator x repeat) validations with caching."""
+
+    def __init__(
+        self,
+        estimators: Optional[Sequence[Estimator]] = None,
+        repeats: int = 1,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.estimators = (
+            list(estimators) if estimators is not None else default_estimators()
+        )
+        self.repeats = repeats
+        self.cache = GroundTruthCache()
+        self._progress = progress
+        self._estimate_cache: dict[tuple, EstimationResult] = {}
+
+    def run(
+        self,
+        configurations: Sequence[tuple[WorkloadConfig, DeviceSpec]],
+    ) -> ExperimentResult:
+        result = ExperimentResult()
+        for workload, device in configurations:
+            for estimator in self.estimators:
+                estimate = self._estimate_once(estimator, workload, device)
+                for run_index in range(self.repeats):
+                    outcome = validate(
+                        estimator,
+                        workload,
+                        device,
+                        run_index=run_index,
+                        cache=self.cache,
+                        estimate=estimate,
+                    )
+                    result.outcomes.append(outcome)
+            if self._progress is not None:
+                self._progress(workload.label())
+        return result
+
+    def _estimate_once(
+        self,
+        estimator: Estimator,
+        workload: WorkloadConfig,
+        device: DeviceSpec,
+    ) -> EstimationResult:
+        """Estimates are deterministic per configuration — compute once."""
+        key = (estimator.name, workload, device.name)
+        if key not in self._estimate_cache:
+            if estimator.supports(workload):
+                self._estimate_cache[key] = estimator.estimate(workload, device)
+            else:
+                self._estimate_cache[key] = estimator.unsupported_result(
+                    workload, device
+                )
+        return self._estimate_cache[key]

@@ -1,0 +1,133 @@
+"""The two-round validation protocol (paper §4.1.4).
+
+Round 1 (initial validation): the job runs with the device's full job
+budget; the estimator's OOM prediction (Eq. 1) is checked against the
+actual outcome, and the NVML peak is recorded.
+
+Round 2 (subsequent validation): only when round 1 agreed and did not OOM,
+the job runs again with the *estimate itself* as the maximum runnable
+memory (:math:`M^{init} + M^{fm} + \\hat{M}^{peak}`).  Surviving round 2
+means the estimate is directly usable as a safe memory cap — the property
+PEF and MCP measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..baselines.base import Estimator
+from ..core.result import EstimationResult
+from ..runtime.ground_truth import GroundTruthResult, run_gpu_ground_truth
+from ..runtime.loop import TrainLoopConfig
+from ..workload import DeviceSpec, WorkloadConfig
+from .metrics import ValidationOutcome
+
+#: ground-truth runs use 2 iterations: enough for stateful optimizers'
+#: persistent allocations plus one stabilized iteration
+GROUND_TRUTH_ITERATIONS = 2
+
+
+class GroundTruthCache:
+    """Memoizes round-1 ground-truth runs, shared across estimators."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, GroundTruthResult] = {}
+        self.misses = 0
+
+    def round1(
+        self, workload: WorkloadConfig, device: DeviceSpec, seed: int
+    ) -> GroundTruthResult:
+        key = (workload, device.name, seed)
+        if key not in self._cache:
+            self.misses += 1
+            self._cache[key] = _run(workload, device.job_budget(), seed)
+        return self._cache[key]
+
+
+def _run(
+    workload: WorkloadConfig, capacity_bytes: int, seed: int
+) -> GroundTruthResult:
+    return run_gpu_ground_truth(
+        workload.model,
+        workload.batch_size,
+        workload.optimizer,
+        loop=TrainLoopConfig(
+            iterations=GROUND_TRUTH_ITERATIONS,
+            zero_grad_position=workload.zero_grad_position,
+            set_to_none=workload.set_to_none,
+        ),
+        capacity_bytes=capacity_bytes,
+        seed=seed,
+        iterations=GROUND_TRUTH_ITERATIONS,
+    )
+
+
+def validate(
+    estimator: Estimator,
+    workload: WorkloadConfig,
+    device: DeviceSpec,
+    run_index: int = 0,
+    cache: Optional[GroundTruthCache] = None,
+    estimate: Optional[EstimationResult] = None,
+) -> ValidationOutcome:
+    """Run the full two-round validation for one configuration.
+
+    ``run_index`` seeds the ground-truth jitter so repeated trials differ
+    the way repeated real runs do.  ``estimate`` lets callers reuse a
+    previously computed estimate (estimates are deterministic per
+    configuration, matching the paper's protocol of estimating once).
+    """
+    seed = _seed_for(workload, device, run_index)
+    cache = cache or GroundTruthCache()
+    if not estimator.supports(workload):
+        result = estimator.unsupported_result(workload, device)
+    elif estimate is not None:
+        result = estimate
+    else:
+        result = estimator.estimate(workload, device)
+
+    truth1 = cache.round1(workload, device, seed)
+    oom_pred = result.supported and result.predicts_oom()
+    c1 = result.supported and (oom_pred == truth1.oom)
+
+    ran_round2 = False
+    oom2: Optional[bool] = None
+    m_peak2: Optional[int] = None
+    if c1 and not truth1.oom:
+        ran_round2 = True
+        truth2 = _run(
+            workload,
+            capacity_bytes=max(1, result.peak_bytes),
+            seed=seed + 7919,
+        )
+        oom2 = truth2.oom
+        m_peak2 = None if truth2.oom else truth2.measured_peak
+    c2 = bool(c1 and (oom2 is False or truth1.oom))
+
+    return ValidationOutcome(
+        estimator=estimator.name,
+        workload=workload,
+        device=device,
+        run_index=run_index,
+        supported=result.supported,
+        est_peak=result.peak_bytes,
+        oom_pred=oom_pred,
+        oom1=truth1.oom,
+        m_peak1=None if truth1.oom else truth1.measured_peak,
+        c1=c1,
+        ran_round2=ran_round2,
+        oom2=oom2,
+        m_peak2=m_peak2,
+        c2=c2,
+        runtime_seconds=result.runtime_seconds,
+    )
+
+
+def _seed_for(
+    workload: WorkloadConfig, device: DeviceSpec, run_index: int
+) -> int:
+    """Deterministic per-(configuration, run) seed."""
+    import zlib
+
+    key = f"{workload.label()}|{device.name}|{run_index}".encode()
+    return zlib.crc32(key)

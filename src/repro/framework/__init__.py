@@ -1,0 +1,34 @@
+"""Symbolic deep-learning framework: modules plan allocation sequences.
+
+This substitutes for PyTorch in the reproduction: modules carry parameter
+metadata and *plan* their forward pass as a DAG of :class:`OpSpec` records
+(output sizes, saved-for-backward sets, workspaces).  The training runtime
+interprets plans to generate the memory-event streams xMem consumes.
+"""
+
+from . import layers, optim
+from .dtypes import DEFAULT_DTYPE, DType
+from .loss import CrossEntropyLoss, MSELoss
+from .module import Identity, Module, Parameter, Residual, Sequential
+from .plan import ModulePlan, OpSpec, PlanContext
+from .tensor import TensorMeta, TensorRole, tensor
+
+__all__ = [
+    "CrossEntropyLoss",
+    "DEFAULT_DTYPE",
+    "DType",
+    "Identity",
+    "MSELoss",
+    "Module",
+    "ModulePlan",
+    "OpSpec",
+    "Parameter",
+    "PlanContext",
+    "Residual",
+    "Sequential",
+    "TensorMeta",
+    "TensorRole",
+    "layers",
+    "optim",
+    "tensor",
+]

@@ -1,0 +1,31 @@
+"""Data types of the symbolic framework (element sizes drive all byte math)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DType(Enum):
+    """Tensor element types with their byte widths."""
+
+    float32 = ("float32", 4)
+    float16 = ("float16", 2)
+    bfloat16 = ("bfloat16", 2)
+    float64 = ("float64", 8)
+    int64 = ("int64", 8)
+    int32 = ("int32", 4)
+    int8 = ("int8", 1)
+    uint8 = ("uint8", 1)
+    bool = ("bool", 1)
+
+    def __init__(self, type_name: str, itemsize: int):
+        self.type_name = type_name
+        self.itemsize = itemsize
+
+    def __repr__(self) -> str:
+        return f"DType.{self.type_name}"
+
+
+#: Default compute precision; the paper evaluates FP32 training (§6.3 notes
+#: FP16 works identically once profiling data exists).
+DEFAULT_DTYPE = DType.float32

@@ -1,0 +1,63 @@
+"""Shape arithmetic shared by the layer implementations."""
+
+from __future__ import annotations
+
+
+def conv2d_output_hw(
+    height: int,
+    width: int,
+    kernel_size: int,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> tuple[int, int]:
+    """Spatial output size of a 2D convolution (PyTorch semantics)."""
+    effective = dilation * (kernel_size - 1) + 1
+    out_h = (height + 2 * padding - effective) // stride + 1
+    out_w = (width + 2 * padding - effective) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"conv output collapsed: {height}x{width} k={kernel_size} "
+            f"s={stride} p={padding} d={dilation}"
+        )
+    return out_h, out_w
+
+
+def pool2d_output_hw(
+    height: int,
+    width: int,
+    kernel_size: int,
+    stride: int | None = None,
+    padding: int = 0,
+) -> tuple[int, int]:
+    """Spatial output size of a 2D pooling op."""
+    stride = stride if stride is not None else kernel_size
+    return conv2d_output_hw(height, width, kernel_size, stride, padding)
+
+
+def conv2d_flops(
+    batch: int,
+    in_channels: int,
+    out_channels: int,
+    out_h: int,
+    out_w: int,
+    kernel_size: int,
+    groups: int = 1,
+) -> int:
+    """Multiply-accumulate count of a conv (2 ops per MAC folded in)."""
+    per_position = (in_channels // groups) * kernel_size * kernel_size
+    return 2 * batch * out_channels * out_h * out_w * per_position
+
+
+def linear_flops(batch_rows: int, in_features: int, out_features: int) -> int:
+    return 2 * batch_rows * in_features * out_features
+
+
+def make_divisible(value: float, divisor: int = 8, min_value: int | None = None) -> int:
+    """Channel rounding used by the MobileNet family (width multipliers)."""
+    if min_value is None:
+        min_value = divisor
+    rounded = max(min_value, int(value + divisor / 2) // divisor * divisor)
+    if rounded < 0.9 * value:  # never round down more than 10%
+        rounded += divisor
+    return rounded

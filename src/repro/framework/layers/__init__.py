@@ -1,0 +1,55 @@
+"""Layer library of the symbolic framework."""
+
+from .activation import (
+    GELU,
+    Hardsigmoid,
+    Hardswish,
+    ReLU,
+    Sigmoid,
+    SiLU,
+    Softmax,
+    Tanh,
+    make_activation,
+)
+from .attention import MultiHeadSelfAttention
+from .conv import Conv2d, ConvBnAct
+from .dropout import Dropout
+from .embedding import Embedding, PositionalEmbedding
+from .linear import Linear
+from .norm import BatchNorm2d, GroupNorm, LayerNorm, RMSNorm
+from .pooling import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    GlobalAvgPoolFlatten,
+    MaxPool2d,
+)
+from .shape import Flatten, Reshape
+
+__all__ = [
+    "AdaptiveAvgPool2d",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "ConvBnAct",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GELU",
+    "GlobalAvgPoolFlatten",
+    "GroupNorm",
+    "Hardsigmoid",
+    "Hardswish",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "MultiHeadSelfAttention",
+    "PositionalEmbedding",
+    "RMSNorm",
+    "ReLU",
+    "Reshape",
+    "Sigmoid",
+    "SiLU",
+    "Softmax",
+    "Tanh",
+    "make_activation",
+]

@@ -1,0 +1,130 @@
+"""Elementwise activation layers.
+
+All activations are ``fusible``: a GPU backend fuses them into the
+preceding kernel, eliminating the separate output buffer the CPU run
+materializes.  This is one of the systematic CPU-vs-GPU differences the
+paper's observation (ii) covers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..module import Module
+from ..plan import PlanContext
+
+
+class _Elementwise(Module):
+    """Shared planning for unary elementwise ops."""
+
+    op_name = "aten::elementwise"
+    #: "output" → backward needs the result (ReLU); "input" → needs the
+    #: pre-activation (GELU/SiLU); None → nothing saved (view-like).
+    saves = "output"
+    flops_per_element = 1
+
+    def __init__(self, inplace: bool = False, name: Optional[str] = None):
+        super().__init__(name=name or type(self).__name__)
+        self.inplace = inplace
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        ctx.add(
+            self.op_name,
+            output=x,
+            inplace=self.inplace,
+            saves_input=self.saves == "input",
+            saves_output=self.saves == "output",
+            fusible=True,
+            flops=self.flops_per_element * x.numel,
+        )
+
+
+class ReLU(_Elementwise):
+    op_name = "aten::relu"
+    saves = "output"
+
+
+class GELU(_Elementwise):
+    op_name = "aten::gelu"
+    saves = "input"
+    flops_per_element = 8
+
+
+class SiLU(_Elementwise):
+    op_name = "aten::silu"
+    saves = "input"
+    flops_per_element = 5
+
+
+class Hardswish(_Elementwise):
+    op_name = "aten::hardswish"
+    saves = "input"
+    flops_per_element = 3
+
+
+class Hardsigmoid(_Elementwise):
+    op_name = "aten::hardsigmoid"
+    saves = "input"
+    flops_per_element = 2
+
+
+class Sigmoid(_Elementwise):
+    op_name = "aten::sigmoid"
+    saves = "output"
+    flops_per_element = 4
+
+
+class Tanh(_Elementwise):
+    op_name = "aten::tanh"
+    saves = "output"
+    flops_per_element = 4
+
+
+class Softmax(Module):
+    """Softmax over the last dimension; saves its output for backward.
+
+    Never in-place and never fused: the (B, H, T, T) attention-probability
+    tensor it produces is the quadratic memory term of transformers.
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name or "Softmax")
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        ctx.add(
+            "aten::_softmax",
+            output=x,
+            saves_output=True,
+            flops=5 * x.numel,
+        )
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "gelu": GELU,
+    "silu": SiLU,
+    "swish": SiLU,
+    "hardswish": Hardswish,
+    "hardsigmoid": Hardsigmoid,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+}
+
+
+def make_activation(
+    kind: str, name: Optional[str] = None, inplace: bool = False
+) -> Module:
+    """Instantiate an activation by name (``relu``, ``gelu``, ...).
+
+    ``inplace`` mirrors ``nn.ReLU(inplace=True)``: the op reuses its input
+    buffer on every backend (torchvision CNNs use this throughout).
+    """
+    try:
+        cls = _ACTIVATIONS[kind.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {kind!r}; known: {sorted(_ACTIVATIONS)}"
+        ) from None
+    return cls(name=name, inplace=inplace)

@@ -1,0 +1,130 @@
+"""Multi-head attention — the quadratic memory term of transformers.
+
+The plan materializes the (B, H, T, T) score and probability tensors the
+way eager PyTorch attention does, because those tensors dominate
+transformer activation memory and are exactly what feature-based
+estimators get wrong at larger batch sizes.
+
+Supports grouped-query attention (``num_kv_heads < num_heads``, used by
+Llama-3.2 / Qwen3 / DeepSeek-R1 distills) and cross-attention
+(``kv_source_op``, used by the T5 decoder).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dtypes import DType
+from ..module import Module
+from ..plan import PlanContext
+from ..tensor import TensorMeta
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard eager-mode multi-head attention.
+
+    Emits: fused qkv projection, score batch-matmul, softmax, optional
+    dropout on the probabilities, context batch-matmul, output projection.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        num_kv_heads: Optional[int] = None,
+        dropout: float = 0.0,
+        bias: bool = True,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "Attention")
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.num_kv_heads = num_kv_heads or num_heads
+        if num_heads % self.num_kv_heads:
+            raise ValueError(
+                f"heads {num_heads} not divisible by kv heads "
+                f"{self.num_kv_heads}"
+            )
+        self.head_dim = dim // num_heads
+        self.kv_dim = self.num_kv_heads * self.head_dim
+        self.dropout = dropout
+        qkv_out = dim + 2 * self.kv_dim
+        self.qkv_weight = self.register_param(
+            "qkv.weight", TensorMeta((qkv_out, dim))
+        )
+        self.out_weight = self.register_param(
+            "out.weight", TensorMeta((dim, dim))
+        )
+        if bias:
+            self.qkv_bias = self.register_param("qkv.bias", TensorMeta((qkv_out,)))
+            self.out_bias = self.register_param("out.bias", TensorMeta((dim,)))
+        bias_elems = (qkv_out + dim) if bias else 0
+        self._qkv_param_bytes = (qkv_out * dim + (qkv_out if bias else 0)) * 4
+        self._out_param_bytes = (dim * dim + (dim if bias else 0)) * 4
+        del bias_elems
+
+    def plan(self, ctx: PlanContext, kv_source_op: Optional[int] = None) -> None:
+        x = ctx.current_meta
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"{self.name}: expected trailing dim {self.dim}, got {x.shape}"
+            )
+        batch, seq_q, _ = x.shape
+        seq_kv = seq_q
+        heads = self.num_heads
+        # 1. fused qkv projection, input saved for the weight gradient
+        qkv_id = ctx.add(
+            "aten::addmm",
+            output=TensorMeta((batch, seq_q, self.dim + 2 * self.kv_dim)),
+            saves_input=True,
+            param_bytes=self._qkv_param_bytes,
+            flops=2 * batch * seq_q * self.dim * (self.dim + 2 * self.kv_dim),
+        )
+        score_inputs: tuple[int, ...] = (qkv_id,)
+        if kv_source_op is not None:
+            score_inputs = (qkv_id, kv_source_op)
+        # 2. scaled dot-product scores (B, H, Tq, Tkv); q and k are pinned
+        #    (saved) for the backward matmuls.
+        scores_id = ctx.add(
+            "aten::bmm",
+            output=TensorMeta((batch, heads, seq_q, seq_kv)),
+            inputs=score_inputs,
+            saves_input=True,
+            flops=2 * batch * heads * seq_q * seq_kv * self.head_dim,
+        )
+        # 3. softmax over the key axis — probabilities saved for backward
+        probs_id = ctx.add(
+            "aten::_softmax",
+            output=TensorMeta((batch, heads, seq_q, seq_kv)),
+            inputs=(scores_id,),
+            saves_output=True,
+            flops=5 * batch * heads * seq_q * seq_kv,
+        )
+        if self.dropout > 0.0:
+            mask = TensorMeta((batch, heads, seq_q, seq_kv), dtype=DType.uint8)
+            probs_id = ctx.add(
+                "aten::native_dropout",
+                output=TensorMeta((batch, heads, seq_q, seq_kv)),
+                inputs=(probs_id,),
+                extra_saved=(mask,),
+                flops=2 * batch * heads * seq_q * seq_kv,
+            )
+        # 4. probs @ v — probabilities and v pinned by the preceding ops
+        context_id = ctx.add(
+            "aten::bmm",
+            output=TensorMeta((batch, seq_q, self.dim)),
+            inputs=(probs_id, qkv_id),
+            saves_input=True,
+            flops=2 * batch * heads * seq_q * seq_kv * self.head_dim,
+        )
+        # 5. output projection
+        ctx.add(
+            "aten::addmm",
+            output=TensorMeta((batch, seq_q, self.dim)),
+            inputs=(context_id,),
+            saves_input=True,
+            param_bytes=self._out_param_bytes,
+            flops=2 * batch * seq_q * self.dim * self.dim,
+        )

@@ -1,0 +1,144 @@
+"""Convolution layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..functional import conv2d_flops, conv2d_output_hw
+from ..module import Module
+from ..plan import PlanContext
+from ..tensor import TensorMeta
+
+
+class Conv2d(Module):
+    """2D convolution (supports groups for depthwise convs).
+
+    CPU backends lower convolution through an im2col buffer — a per-image
+    unfolded patch matrix — which the plan exposes as forward workspace.
+    GPU backends replace it with a cuDNN-style algorithm workspace (see
+    ``repro.runtime.backend``); the difference between the two is one of the
+    CPU→GPU behavioural gaps xMem must tolerate (§3.3 footnote 3).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        dilation: int = 1,
+        bias: bool = True,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "Conv2d")
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"channels ({in_channels}->{out_channels}) not divisible "
+                f"by groups={groups}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.dilation = dilation
+        self.weight = self.register_param(
+            "weight",
+            TensorMeta(
+                (out_channels, in_channels // groups, kernel_size, kernel_size)
+            ),
+        )
+        self.bias = (
+            self.register_param("bias", TensorMeta((out_channels,)))
+            if bias
+            else None
+        )
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (B, {self.in_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        batch, _, height, width = x.shape
+        out_h, out_w = conv2d_output_hw(
+            height, width, self.kernel_size, self.stride, self.padding,
+            self.dilation,
+        )
+        output = x.with_shape((batch, self.out_channels, out_h, out_w))
+        # Per-image im2col patch matrix; 1x1 convs skip the unfold entirely.
+        if self.kernel_size == 1 and self.dilation == 1:
+            workspace = 0
+        else:
+            patch_rows = (self.in_channels // self.groups) * self.kernel_size ** 2
+            workspace = patch_rows * out_h * out_w * x.dtype.itemsize
+        ctx.add(
+            "aten::convolution",
+            output=output,
+            saves_input=True,
+            param_bytes=self.own_param_bytes(),
+            workspace_bytes=workspace,
+            backward_workspace_bytes=workspace,
+            flops=conv2d_flops(
+                batch,
+                self.in_channels,
+                self.out_channels,
+                out_h,
+                out_w,
+                self.kernel_size,
+                self.groups,
+            ),
+        )
+
+
+class ConvBnAct(Module):
+    """Conv2d + BatchNorm2d + activation — the workhorse CNN block."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        groups: int = 1,
+        activation: Optional[str] = "relu",
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "ConvBnAct")
+        from .activation import make_activation
+        from .norm import BatchNorm2d
+
+        if padding is None:
+            padding = kernel_size // 2
+        self.conv = self.register_child(
+            Conv2d(
+                in_channels,
+                out_channels,
+                kernel_size,
+                stride=stride,
+                padding=padding,
+                groups=groups,
+                bias=False,
+                name="conv",
+            )
+        )
+        self.bn = self.register_child(BatchNorm2d(out_channels, name="bn"))
+        # torchvision conv blocks use in-place activations
+        self.act = (
+            self.register_child(
+                make_activation(activation, name="act", inplace=True)
+            )
+            if activation
+            else None
+        )
+
+    def plan(self, ctx: PlanContext) -> None:
+        self.conv(ctx)
+        self.bn(ctx)
+        if self.act is not None:
+            self.act(ctx)

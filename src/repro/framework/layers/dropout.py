@@ -1,0 +1,34 @@
+"""Dropout — saves a byte mask the size of its input."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dtypes import DType
+from ..module import Module
+from ..plan import PlanContext
+from ..tensor import TensorMeta
+
+
+class Dropout(Module):
+    """Training-mode dropout; p == 0 degrades to a view."""
+
+    def __init__(self, p: float = 0.1, name: Optional[str] = None):
+        super().__init__(name=name or "Dropout")
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability {p} outside [0, 1)")
+        self.p = p
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        if self.p == 0.0:
+            ctx.add("aten::dropout", output=x, inplace=True, kind="view")
+            return
+        mask = TensorMeta(x.shape, dtype=DType.uint8)
+        # eager-mode dropout materializes its output on every backend
+        ctx.add(
+            "aten::native_dropout",
+            output=x,
+            extra_saved=(mask,),
+            flops=2 * x.numel,
+        )

@@ -1,0 +1,67 @@
+"""Embedding layers for transformer inputs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dtypes import DType
+from ..module import Module
+from ..plan import PlanContext
+from ..tensor import TensorMeta
+
+
+class Embedding(Module):
+    """Token embedding lookup: (B, T) int64 -> (B, T, dim) float."""
+
+    def __init__(self, num_embeddings: int, dim: int, name: Optional[str] = None):
+        super().__init__(name=name or "Embedding")
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = self.register_param(
+            "weight", TensorMeta((num_embeddings, dim))
+        )
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        if x.dtype is not DType.int64:
+            raise ValueError(f"{self.name}: expected int64 indices, got {x}")
+        batch, seq = x.shape
+        indices = TensorMeta((batch, seq), dtype=DType.int64)
+        ctx.add(
+            "aten::embedding",
+            output=TensorMeta((batch, seq, self.dim)),
+            extra_saved=(indices,),
+            param_bytes=self.own_param_bytes(),
+            flops=batch * seq * self.dim,
+        )
+
+
+class PositionalEmbedding(Module):
+    """Learned positional embedding added to the hidden states."""
+
+    def __init__(self, max_positions: int, dim: int, name: Optional[str] = None):
+        super().__init__(name=name or "PositionalEmbedding")
+        self.max_positions = max_positions
+        self.dim = dim
+        self.weight = self.register_param(
+            "weight", TensorMeta((max_positions, dim))
+        )
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"{self.name}: expected trailing dim {self.dim}, got {x.shape}"
+            )
+        if x.shape[1] > self.max_positions:
+            raise ValueError(
+                f"{self.name}: sequence {x.shape[1]} exceeds "
+                f"max positions {self.max_positions}"
+            )
+        ctx.add(
+            "aten::add",
+            output=x,
+            param_bytes=self.own_param_bytes(),
+            fusible=True,
+            flops=x.numel,
+        )

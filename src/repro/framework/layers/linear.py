@@ -1,0 +1,55 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..functional import linear_flops
+from ..module import Module
+from ..plan import PlanContext
+from ..tensor import TensorMeta
+
+
+class Linear(Module):
+    """``y = x W^T + b`` over the last dimension.
+
+    Saves its input for the weight gradient, so every Linear pins one
+    activation until its backward — the dominant activation cost in
+    transformer MLP blocks.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "Linear")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_param(
+            "weight", TensorMeta((out_features, in_features))
+        )
+        self.bias = (
+            self.register_param("bias", TensorMeta((out_features,)))
+            if bias
+            else None
+        )
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected last dim {self.in_features}, "
+                f"got {x.shape}"
+            )
+        out_shape = x.shape[:-1] + (self.out_features,)
+        rows = x.numel // self.in_features
+        ctx.add(
+            "aten::addmm" if self.bias is not None else "aten::mm",
+            output=x.with_shape(out_shape),
+            saves_input=True,
+            param_bytes=self.own_param_bytes(),
+            flops=linear_flops(rows, self.in_features, self.out_features),
+        )

@@ -1,0 +1,123 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..module import Module
+from ..plan import PlanContext
+from ..tensor import TensorMeta
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over (B, C, H, W); saves input + per-channel
+    statistics for backward."""
+
+    def __init__(self, num_features: int, name: Optional[str] = None):
+        super().__init__(name=name or "BatchNorm2d")
+        self.num_features = num_features
+        self.weight = self.register_param("weight", TensorMeta((num_features,)))
+        self.bias = self.register_param("bias", TensorMeta((num_features,)))
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected (B, {self.num_features}, H, W), "
+                f"got {x.shape}"
+            )
+        stats = TensorMeta((2, self.num_features))
+        ctx.add(
+            "aten::batch_norm",
+            output=x,
+            saves_input=True,
+            extra_saved=(stats,),
+            param_bytes=self.own_param_bytes(),
+            flops=4 * x.numel,
+        )
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing dimension."""
+
+    def __init__(self, dim: int, name: Optional[str] = None):
+        super().__init__(name=name or "LayerNorm")
+        self.dim = dim
+        self.weight = self.register_param("weight", TensorMeta((dim,)))
+        self.bias = self.register_param("bias", TensorMeta((dim,)))
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"{self.name}: expected trailing dim {self.dim}, got {x.shape}"
+            )
+        rows = x.numel // self.dim
+        # mean + rstd per normalized row
+        stats = TensorMeta((2, rows))
+        ctx.add(
+            "aten::native_layer_norm",
+            output=x,
+            saves_input=True,
+            extra_saved=(stats,),
+            param_bytes=self.own_param_bytes(),
+            flops=5 * x.numel,
+        )
+
+
+class RMSNorm(Module):
+    """RMS normalization (Llama/Qwen-style, no bias, no mean)."""
+
+    def __init__(self, dim: int, name: Optional[str] = None):
+        super().__init__(name=name or "RMSNorm")
+        self.dim = dim
+        self.weight = self.register_param("weight", TensorMeta((dim,)))
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"{self.name}: expected trailing dim {self.dim}, got {x.shape}"
+            )
+        rows = x.numel // self.dim
+        stats = TensorMeta((rows,))
+        ctx.add(
+            "aten::rms_norm",
+            output=x,
+            saves_input=True,
+            extra_saved=(stats,),
+            param_bytes=self.own_param_bytes(),
+            flops=3 * x.numel,
+        )
+
+
+class GroupNorm(Module):
+    """Group normalization (used by ConvNeXt-style stages)."""
+
+    def __init__(self, num_groups: int, num_channels: int, name: Optional[str] = None):
+        super().__init__(name=name or "GroupNorm")
+        if num_channels % num_groups:
+            raise ValueError(
+                f"channels {num_channels} not divisible by groups {num_groups}"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.weight = self.register_param("weight", TensorMeta((num_channels,)))
+        self.bias = self.register_param("bias", TensorMeta((num_channels,)))
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"{self.name}: expected (B, {self.num_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        stats = TensorMeta((2, x.shape[0] * self.num_groups))
+        ctx.add(
+            "aten::group_norm",
+            output=x,
+            saves_input=True,
+            extra_saved=(stats,),
+            param_bytes=self.own_param_bytes(),
+            flops=5 * x.numel,
+        )

@@ -1,0 +1,111 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dtypes import DType
+from ..functional import pool2d_output_hw
+from ..module import Module
+from ..plan import PlanContext
+from ..tensor import TensorMeta
+
+
+class MaxPool2d(Module):
+    """Max pooling; saves int64 argmax indices for backward."""
+
+    def __init__(
+        self,
+        kernel_size: int,
+        stride: Optional[int] = None,
+        padding: int = 0,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "MaxPool2d")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        batch, channels, height, width = x.shape
+        out_h, out_w = pool2d_output_hw(
+            height, width, self.kernel_size, self.stride, self.padding
+        )
+        output = x.with_shape((batch, channels, out_h, out_w))
+        indices = TensorMeta(output.shape, dtype=DType.int64)
+        ctx.add(
+            "aten::max_pool2d_with_indices",
+            output=output,
+            extra_saved=(indices,),
+            flops=x.numel,
+        )
+
+
+class AvgPool2d(Module):
+    """Average pooling; backward needs only shapes, nothing saved."""
+
+    def __init__(
+        self,
+        kernel_size: int,
+        stride: Optional[int] = None,
+        padding: int = 0,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "AvgPool2d")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        batch, channels, height, width = x.shape
+        out_h, out_w = pool2d_output_hw(
+            height, width, self.kernel_size, self.stride, self.padding
+        )
+        ctx.add(
+            "aten::avg_pool2d",
+            output=x.with_shape((batch, channels, out_h, out_w)),
+            flops=x.numel,
+        )
+
+
+class AdaptiveAvgPool2d(Module):
+    """Adaptive average pooling to a fixed output size."""
+
+    def __init__(self, output_size: int = 1, name: Optional[str] = None):
+        super().__init__(name=name or "AdaptiveAvgPool2d")
+        self.output_size = output_size
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        batch, channels = x.shape[0], x.shape[1]
+        ctx.add(
+            "aten::adaptive_avg_pool2d",
+            output=x.with_shape(
+                (batch, channels, self.output_size, self.output_size)
+            ),
+            flops=x.numel,
+        )
+
+
+class GlobalAvgPoolFlatten(Module):
+    """Adaptive-1 average pool followed by flatten to (B, C)."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name or "GlobalAvgPoolFlatten")
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        batch, channels = x.shape[0], x.shape[1]
+        ctx.add(
+            "aten::adaptive_avg_pool2d",
+            output=x.with_shape((batch, channels, 1, 1)),
+            flops=x.numel,
+        )
+        ctx.add(
+            "aten::flatten",
+            output=x.with_shape((batch, channels)),
+            inplace=True,
+            kind="view",
+        )

@@ -1,0 +1,40 @@
+"""Shape-manipulation layers (views — no allocation)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..module import Module
+from ..plan import PlanContext
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension (a view)."""
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        batch = x.shape[0]
+        flat = x.numel // batch
+        ctx.add(
+            "aten::flatten",
+            output=x.reshape_keep_bytes((batch, flat)),
+            inplace=True,
+            kind="view",
+        )
+
+
+class Reshape(Module):
+    """Reshape to an explicit target shape (a view)."""
+
+    def __init__(self, shape: tuple[int, ...], name: Optional[str] = None):
+        super().__init__(name=name or "Reshape")
+        self.shape = shape
+
+    def plan(self, ctx: PlanContext) -> None:
+        x = ctx.current_meta
+        ctx.add(
+            "aten::reshape",
+            output=x.reshape_keep_bytes(self.shape),
+            inplace=True,
+            kind="view",
+        )

@@ -1,0 +1,55 @@
+"""Loss heads.
+
+A loss module closes the plan: it consumes the model output (logits) and
+produces a scalar.  ``log_softmax`` saves its full-size output, so the
+logits-sized buffer survives into the backward pass — significant for
+large-vocabulary language models where (B·T, V) dwarfs the hidden states.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .module import Module
+from .plan import PlanContext
+from .tensor import TensorMeta
+
+
+class CrossEntropyLoss(Module):
+    """log_softmax + NLL over the trailing class/vocab dimension."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name or "CrossEntropyLoss")
+
+    def plan(self, ctx: PlanContext) -> None:
+        logits = ctx.current_meta
+        rows = logits.numel // logits.shape[-1]
+        ctx.add(
+            "aten::log_softmax",
+            output=logits,
+            saves_output=True,
+            flops=5 * logits.numel,
+        )
+        ctx.add(
+            "aten::nll_loss",
+            output=TensorMeta((1,)),
+            flops=rows,
+            kind="loss",
+        )
+
+
+class MSELoss(Module):
+    """Mean-squared-error head (used by synthetic regression examples)."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name or "MSELoss")
+
+    def plan(self, ctx: PlanContext) -> None:
+        predictions = ctx.current_meta
+        ctx.add(
+            "aten::mse_loss",
+            output=TensorMeta((1,)),
+            saves_input=True,
+            flops=3 * predictions.numel,
+            kind="loss",
+        )

@@ -1,0 +1,143 @@
+"""Module base class and containers of the symbolic framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .plan import ModulePlan, PlanContext
+from .tensor import TensorMeta
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A named parameter tensor belonging to a module."""
+
+    name: str  # fully qualified at collection time
+    meta: TensorMeta
+
+    @property
+    def nbytes(self) -> int:
+        return self.meta.nbytes
+
+    @property
+    def numel(self) -> int:
+        return self.meta.numel
+
+
+class Module:
+    """Base class: a named node that registers parameters and children and
+    contributes ops to a :class:`PlanContext` via :meth:`plan`."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or type(self).__name__
+        self._params: list[Parameter] = []
+        self._children: list[Module] = []
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_param(self, name: str, meta: TensorMeta) -> Parameter:
+        param = Parameter(name=name, meta=meta)
+        self._params.append(param)
+        return param
+
+    def register_child(self, child: "Module") -> "Module":
+        self._children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def parameters(self, prefix: str = "") -> Iterator[Parameter]:
+        """All parameters of this module and its children, qualified names."""
+        base = f"{prefix}.{self.name}" if prefix else self.name
+        for param in self._params:
+            yield Parameter(name=f"{base}.{param.name}", meta=param.meta)
+        for child in self._children:
+            yield from child.parameters(prefix=base)
+
+    def num_parameters(self) -> int:
+        return sum(p.numel for p in self.parameters())
+
+    def parameter_bytes(self) -> int:
+        return sum(p.nbytes for p in self.parameters())
+
+    def own_param_bytes(self) -> int:
+        """Bytes of parameters registered directly on this module."""
+        return sum(p.nbytes for p in self._params)
+
+    def children(self) -> list["Module"]:
+        return list(self._children)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, ctx: PlanContext) -> None:
+        """Append this module's ops to ``ctx``; subclasses implement."""
+        raise NotImplementedError(f"{type(self).__name__}.plan")
+
+    def __call__(self, ctx: PlanContext) -> None:
+        with ctx.module(self.name):
+            self.plan(ctx)
+
+    def build_plan(self, input_meta: TensorMeta, root: str = "model") -> ModulePlan:
+        """Plan a full forward pass starting from ``input_meta``."""
+        ctx = PlanContext(input_meta, root=root)
+        self(ctx)
+        return ctx.finish()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Sequential(Module):
+    """Chains children; each consumes the previous child's output."""
+
+    def __init__(self, *modules: Module, name: Optional[str] = None):
+        super().__init__(name=name or "Sequential")
+        for index, module in enumerate(modules):
+            module.name = f"{index}.{module.name}"
+            self.register_child(module)
+
+    def plan(self, ctx: PlanContext) -> None:
+        for child in self.children():
+            child(ctx)
+
+
+class Residual(Module):
+    """``y = x + body(x)`` — the skip connection of ResNet/Transformer blocks.
+
+    The entry tensor is an extra input of the final add, so the runtime
+    keeps it alive across the body: the allocation pattern that makes
+    residual networks' memory non-linear in depth.
+    """
+
+    def __init__(self, body: Module, name: Optional[str] = None):
+        super().__init__(name=name or "Residual")
+        self.body = self.register_child(body)
+
+    def plan(self, ctx: PlanContext) -> None:
+        entry_id = ctx.current_id
+        entry_meta = ctx.current_meta
+        self.body(ctx)
+        body_id = ctx.current_id
+        body_meta = ctx.current_meta
+        if body_meta.shape != entry_meta.shape:
+            raise ValueError(
+                f"residual shape mismatch: {entry_meta.shape} vs "
+                f"{body_meta.shape} in {self.name}"
+            )
+        ctx.add(
+            "aten::add",
+            output=body_meta,
+            inputs=(entry_id, body_id),
+            flops=body_meta.numel,
+        )
+
+
+class Identity(Module):
+    """No-op module (planning emits nothing)."""
+
+    def plan(self, ctx: PlanContext) -> None:
+        return None

@@ -1,0 +1,25 @@
+"""Optimizer memory models."""
+
+from .base import Optimizer
+from .optimizers import (
+    SGD,
+    Adafactor,
+    Adagrad,
+    Adam,
+    AdamW,
+    RMSprop,
+    make_optimizer,
+    optimizer_names,
+)
+
+__all__ = [
+    "Adafactor",
+    "Adagrad",
+    "Adam",
+    "AdamW",
+    "Optimizer",
+    "RMSprop",
+    "SGD",
+    "make_optimizer",
+    "optimizer_names",
+]

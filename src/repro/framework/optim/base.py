@@ -1,0 +1,42 @@
+"""Optimizer memory models.
+
+An optimizer contributes to the peak in two ways the Orchestrator must
+capture (§3.3 rule 5):
+
+* **persistent state** allocated at the first ``step()`` (e.g. Adam's two
+  moments per parameter) that lives for the rest of training, and
+* **transient step workspace** allocated and freed inside each ``step()``.
+
+Optimizers here are pure memory models — they describe those allocations
+per parameter tensor and never compute updates.
+"""
+
+from __future__ import annotations
+
+from ..tensor import TensorMeta
+
+
+class Optimizer:
+    """Base optimizer memory model."""
+
+    #: Name used in workload configs and traces ("Optimizer.step#SGD").
+    name = "Optimizer"
+    #: True when the optimizer keeps per-parameter state across steps.
+    stateful = False
+
+    def state_tensors(self, param: TensorMeta) -> list[tuple[str, TensorMeta]]:
+        """Persistent state allocated for ``param`` at the first step."""
+        return []
+
+    def step_workspace_bytes(self, param: TensorMeta) -> int:
+        """Transient bytes used while updating ``param`` in one step."""
+        return 0
+
+    def state_bytes(self, param: TensorMeta) -> int:
+        return sum(meta.nbytes for _, meta in self.state_tensors(param))
+
+    def total_state_bytes(self, params: list[TensorMeta]) -> int:
+        return sum(self.state_bytes(p) for p in params)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,195 @@
+"""Operator planning IR.
+
+A module does not "run" — it *plans*: it appends :class:`OpSpec` records to
+a :class:`PlanContext`, declaring for each primitive operator what the
+training runtime must allocate (output, workspaces), what is saved for the
+backward pass, which earlier ops feed it (a DAG, so residual connections
+keep their producers alive), and which parameters receive gradients.
+
+The runtime (``repro.runtime.engine``) interprets a completed
+:class:`ModulePlan` twice per iteration — forward and reverse — generating
+the allocation/deallocation event stream on either backend.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .tensor import TensorMeta
+
+
+@dataclass
+class OpSpec:
+    """One primitive operator in a model's execution plan."""
+
+    op_id: int
+    name: str  # e.g. "aten::convolution"
+    module_path: str  # e.g. "model.features.3.conv"
+    output: Optional[TensorMeta]  # None for in-place / no-output ops
+    inputs: tuple[int, ...] = ()  # op_ids of producers feeding this op
+    saves_input: bool = False  # inputs kept for backward
+    saves_output: bool = False  # output kept for backward
+    extra_saved: tuple[TensorMeta, ...] = ()  # e.g. max-pool indices, masks
+    workspace_bytes: int = 0  # forward scratch, freed at op end
+    backward_workspace_bytes: int = 0
+    param_bytes: int = 0  # parameter bytes receiving gradients here
+    flops: int = 0  # drives the op-duration cost model
+    fusible: bool = False  # elementwise; GPU backends fuse it away
+    inplace: bool = False  # reuses its input buffer (no output alloc)
+    kind: str = "compute"  # compute | view | loss
+
+    def __post_init__(self) -> None:
+        if self.inplace and self.output is not None and not self.inputs:
+            raise ValueError(f"in-place op {self.name} needs an input")
+        if self.workspace_bytes < 0 or self.backward_workspace_bytes < 0:
+            raise ValueError(f"negative workspace on {self.name}")
+
+    @property
+    def output_bytes(self) -> int:
+        if self.output is None or self.inplace:
+            return 0
+        return self.output.nbytes
+
+
+@dataclass
+class ModulePlan:
+    """A completed forward plan: the op DAG plus entry/exit tensor ids."""
+
+    ops: list[OpSpec]
+    input_op_ids: tuple[int, ...]
+    output_op_id: int
+    input_meta: TensorMeta
+    output_meta: TensorMeta
+
+    def consumers(self) -> dict[int, list[int]]:
+        """Map producer op_id -> list of consumer op_ids."""
+        table: dict[int, list[int]] = {op.op_id: [] for op in self.ops}
+        for op_id in self.input_op_ids:
+            table.setdefault(op_id, [])
+        for op in self.ops:
+            for producer in op.inputs:
+                table.setdefault(producer, []).append(op.op_id)
+        return table
+
+    def op_by_id(self, op_id: int) -> OpSpec:
+        return self.ops[op_id - self._base()]
+
+    def _base(self) -> int:
+        return self.ops[0].op_id if self.ops else 0
+
+    def total_param_bytes(self) -> int:
+        return sum(op.param_bytes for op in self.ops)
+
+    def total_output_bytes(self) -> int:
+        return sum(op.output_bytes for op in self.ops)
+
+
+class PlanContext:
+    """Collects :class:`OpSpec` records while modules plan themselves.
+
+    Tracks the "current" tensor (output of the last op) so sequential
+    modules chain automatically, and a module-path stack so every op knows
+    which layer produced it — the attribution target of the Analyzer.
+    """
+
+    #: op_id reserved for the batch-input pseudo-producer.
+    INPUT_OP_ID = 0
+
+    def __init__(self, input_meta: TensorMeta, root: str = "model"):
+        self.ops: list[OpSpec] = []
+        self._path: list[str] = [root]
+        self._next_id = self.INPUT_OP_ID + 1
+        self._current_id = self.INPUT_OP_ID
+        self._current_meta = input_meta
+        self._input_meta = input_meta
+
+    # ------------------------------------------------------------------
+    # module scoping
+    # ------------------------------------------------------------------
+    @contextmanager
+    def module(self, name: str) -> Iterator[None]:
+        self._path.append(name)
+        try:
+            yield
+        finally:
+            self._path.pop()
+
+    @property
+    def module_path(self) -> str:
+        return ".".join(self._path)
+
+    # ------------------------------------------------------------------
+    # current-tensor tracking
+    # ------------------------------------------------------------------
+    @property
+    def current_id(self) -> int:
+        return self._current_id
+
+    @property
+    def current_meta(self) -> TensorMeta:
+        return self._current_meta
+
+    def set_current(self, op_id: int, meta: TensorMeta) -> None:
+        """Rewind the current tensor (used by branching modules)."""
+        self._current_id = op_id
+        self._current_meta = meta
+
+    # ------------------------------------------------------------------
+    # op emission
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        output: Optional[TensorMeta],
+        inputs: Optional[tuple[int, ...]] = None,
+        saves_input: bool = False,
+        saves_output: bool = False,
+        extra_saved: tuple[TensorMeta, ...] = (),
+        workspace_bytes: int = 0,
+        backward_workspace_bytes: int = 0,
+        param_bytes: int = 0,
+        flops: int = 0,
+        fusible: bool = False,
+        inplace: bool = False,
+        kind: str = "compute",
+    ) -> int:
+        """Append an op consuming the current tensor (or explicit inputs);
+        returns its op_id and advances the current tensor to its output."""
+        if inputs is None:
+            inputs = (self._current_id,)
+        op = OpSpec(
+            op_id=self._next_id,
+            name=name,
+            module_path=self.module_path,
+            output=output,
+            inputs=inputs,
+            saves_input=saves_input,
+            saves_output=saves_output,
+            extra_saved=extra_saved,
+            workspace_bytes=workspace_bytes,
+            backward_workspace_bytes=backward_workspace_bytes,
+            param_bytes=param_bytes,
+            flops=flops,
+            fusible=fusible,
+            inplace=inplace,
+            kind=kind,
+        )
+        self.ops.append(op)
+        self._next_id += 1
+        self._current_id = op.op_id
+        if output is not None:
+            self._current_meta = output
+        return op.op_id
+
+    def finish(self) -> ModulePlan:
+        if not self.ops:
+            raise ValueError("plan contains no ops")
+        return ModulePlan(
+            ops=self.ops,
+            input_op_ids=(self.INPUT_OP_ID,),
+            output_op_id=self._current_id,
+            input_meta=self._input_meta,
+            output_meta=self._current_meta,
+        )

@@ -1,0 +1,21 @@
+"""Model zoo: all 25 models of the paper's Table 2."""
+
+from .registry import (
+    CNN_IMAGE_SIZE,
+    NUM_CLASSES,
+    SEQ_LEN,
+    ModelSpec,
+    get_model_spec,
+    list_models,
+    rq5_models,
+)
+
+__all__ = [
+    "CNN_IMAGE_SIZE",
+    "ModelSpec",
+    "NUM_CLASSES",
+    "SEQ_LEN",
+    "get_model_spec",
+    "list_models",
+    "rq5_models",
+]

@@ -1,0 +1,5 @@
+"""CNN model zoo (Table 2, convolutional half)."""
+
+from . import common, convnext, mnasnet, mobilenet, regnet, resnet, vgg
+
+__all__ = ["common", "convnext", "mnasnet", "mobilenet", "regnet", "resnet", "vgg"]

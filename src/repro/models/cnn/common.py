@@ -1,0 +1,133 @@
+"""Shared CNN building blocks (squeeze-excite, classifier heads)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...framework.layers import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPoolFlatten,
+    Linear,
+    make_activation,
+)
+from ...framework.module import Module, Sequential
+from ...framework.plan import PlanContext
+from ...framework.tensor import TensorMeta
+
+
+class SqueezeExcite(Module):
+    """Squeeze-and-excitation gate: global pool -> bottleneck MLP -> scale.
+
+    The gate multiply consumes both the block activation and the gate, so
+    the block activation stays alive across the SE branch — an example of
+    the DAG lifetimes that make CNN memory more than a running sum.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        reduced: int,
+        gate: str = "sigmoid",
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "SqueezeExcite")
+        self.fc1 = self.register_child(
+            Conv2d(channels, reduced, kernel_size=1, name="fc1")
+        )
+        self.act = self.register_child(make_activation("relu", name="act"))
+        self.fc2 = self.register_child(
+            Conv2d(reduced, channels, kernel_size=1, name="fc2")
+        )
+        self.gate = self.register_child(make_activation(gate, name="gate"))
+
+    def plan(self, ctx: PlanContext) -> None:
+        entry_id = ctx.current_id
+        entry_meta = ctx.current_meta
+        batch, channels = entry_meta.shape[0], entry_meta.shape[1]
+        ctx.add(
+            "aten::adaptive_avg_pool2d",
+            output=entry_meta.with_shape((batch, channels, 1, 1)),
+            flops=entry_meta.numel,
+        )
+        self.fc1(ctx)
+        self.act(ctx)
+        self.fc2(ctx)
+        self.gate(ctx)
+        gate_id = ctx.current_id
+        ctx.add(
+            "aten::mul",
+            output=entry_meta,
+            inputs=(entry_id, gate_id),
+            saves_input=True,
+            flops=entry_meta.numel,
+        )
+
+
+class ClassifierHead(Module):
+    """Global-average-pool classifier with optional dropout."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        dropout: float = 0.0,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "ClassifierHead")
+        self.pool = self.register_child(GlobalAvgPoolFlatten(name="pool"))
+        self.dropout = (
+            self.register_child(Dropout(dropout, name="dropout"))
+            if dropout > 0
+            else None
+        )
+        self.fc = self.register_child(Linear(in_features, num_classes, name="fc"))
+
+    def plan(self, ctx: PlanContext) -> None:
+        self.pool(ctx)
+        if self.dropout is not None:
+            self.dropout(ctx)
+        self.fc(ctx)
+
+
+class ImageModel(Module):
+    """Container pairing a feature extractor with a classifier head and
+    declaring the input spec CNN workloads use."""
+
+    def __init__(
+        self,
+        name: str,
+        body: Module,
+        image_size: int = 64,
+        in_channels: int = 3,
+    ):
+        super().__init__(name=name)
+        self.body = self.register_child(body)
+        self.image_size = image_size
+        self.in_channels = in_channels
+
+    def input_meta(self, batch_size: int) -> TensorMeta:
+        return TensorMeta(
+            (batch_size, self.in_channels, self.image_size, self.image_size)
+        )
+
+    def plan(self, ctx: PlanContext) -> None:
+        self.body(ctx)
+
+
+def mlp_classifier(
+    in_features: int, hidden: int, num_classes: int, dropout: float = 0.5
+) -> Sequential:
+    """VGG-style two-hidden-layer classifier."""
+    return Sequential(
+        Flatten(),
+        Linear(in_features, hidden, name="fc1"),
+        make_activation("relu", name="act1"),
+        Dropout(dropout, name="drop1"),
+        Linear(hidden, hidden, name="fc2"),
+        make_activation("relu", name="act2"),
+        Dropout(dropout, name="drop2"),
+        Linear(hidden, num_classes, name="fc3"),
+        name="classifier",
+    )

@@ -1,0 +1,93 @@
+"""ConvNeXt-Tiny / ConvNeXt-Base (Liu et al., 2022).
+
+Depthwise 7x7 + LayerNorm + inverted MLP blocks.  Channel-last LayerNorm is
+modelled as GroupNorm(1, C) ("LayerNorm2d"), the standard equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...framework.layers import Conv2d, GroupNorm, make_activation
+from ...framework.module import Module, Sequential
+from ...framework.plan import PlanContext
+from .common import ClassifierHead, ImageModel
+
+
+class ConvNeXtBlock(Module):
+    """dwconv7x7 -> LayerNorm -> pwconv(4x) -> GELU -> pwconv -> +residual."""
+
+    def __init__(self, dim: int, name: Optional[str] = None):
+        super().__init__(name=name or "ConvNeXtBlock")
+        self.dwconv = self.register_child(
+            Conv2d(dim, dim, 7, padding=3, groups=dim, name="dwconv")
+        )
+        self.norm = self.register_child(GroupNorm(1, dim, name="norm"))
+        self.pwconv1 = self.register_child(Conv2d(dim, 4 * dim, 1, name="pwconv1"))
+        self.act = self.register_child(make_activation("gelu", name="act"))
+        self.pwconv2 = self.register_child(Conv2d(4 * dim, dim, 1, name="pwconv2"))
+
+    def plan(self, ctx: PlanContext) -> None:
+        entry_id = ctx.current_id
+        entry_meta = ctx.current_meta
+        self.dwconv(ctx)
+        self.norm(ctx)
+        self.pwconv1(ctx)
+        self.act(ctx)
+        self.pwconv2(ctx)
+        body_id = ctx.current_id
+        ctx.add(
+            "aten::add",
+            output=entry_meta,
+            inputs=(body_id, entry_id),
+            flops=entry_meta.numel,
+        )
+
+
+class _Downsample(Module):
+    """Norm + strided conv between ConvNeXt stages."""
+
+    def __init__(self, in_dim: int, out_dim: int, name: Optional[str] = None):
+        super().__init__(name=name or "Downsample")
+        self.norm = self.register_child(GroupNorm(1, in_dim, name="norm"))
+        self.conv = self.register_child(
+            Conv2d(in_dim, out_dim, 2, stride=2, name="conv")
+        )
+
+    def plan(self, ctx: PlanContext) -> None:
+        self.norm(ctx)
+        self.conv(ctx)
+
+
+def _convnext(
+    name: str,
+    depths: tuple[int, ...],
+    dims: tuple[int, ...],
+    image_size: int,
+    num_classes: int,
+) -> ImageModel:
+    modules: list[Module] = [
+        Conv2d(3, dims[0], 4, stride=4, name="stem"),
+        GroupNorm(1, dims[0], name="stem_norm"),
+    ]
+    for stage, (depth, dim) in enumerate(zip(depths, dims)):
+        if stage > 0:
+            modules.append(_Downsample(dims[stage - 1], dim, name=f"down{stage}"))
+        for index in range(depth):
+            modules.append(ConvNeXtBlock(dim, name=f"s{stage}b{index}"))
+    modules.append(ClassifierHead(dims[-1], num_classes, name="head"))
+    return ImageModel(name, Sequential(*modules, name=name.lower()), image_size)
+
+
+def convnext_tiny(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """ConvNeXt-Tiny (~28.6M parameters)."""
+    return _convnext(
+        "ConvNeXtTiny", (3, 3, 9, 3), (96, 192, 384, 768), image_size, num_classes
+    )
+
+
+def convnext_base(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """ConvNeXt-Base (~88.6M parameters)."""
+    return _convnext(
+        "ConvNeXtBase", (3, 3, 27, 3), (128, 256, 512, 1024), image_size, num_classes
+    )

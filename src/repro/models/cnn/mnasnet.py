@@ -1,0 +1,42 @@
+"""MnasNet-B1 (Tan et al., 2019)."""
+
+from __future__ import annotations
+
+from ...framework.layers import ConvBnAct
+from ...framework.module import Module, Sequential
+from .common import ClassifierHead, ImageModel
+from .mobilenet import InvertedResidual
+
+# expansion, channels, repeats, stride, kernel
+_B1_SETTINGS = [
+    (3, 24, 3, 2, 3),
+    (3, 40, 3, 2, 5),
+    (6, 80, 3, 2, 5),
+    (6, 96, 2, 1, 3),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+]
+
+
+def mnasnet(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """MnasNet-B1 at depth multiplier 1.0 (~4.4M parameters)."""
+    modules: list[Module] = [
+        ConvBnAct(3, 32, 3, stride=2, name="stem"),
+        InvertedResidual(32, 16, 3, 1, expand_channels=32, name="sep"),
+    ]
+    channels = 16
+    for expansion, out, repeats, stride, kernel in _B1_SETTINGS:
+        for index in range(repeats):
+            block_stride = stride if index == 0 else 1
+            modules.append(
+                InvertedResidual(
+                    channels, out, kernel, block_stride,
+                    expand_channels=channels * expansion,
+                )
+            )
+            channels = out
+    modules.append(ConvBnAct(channels, 1280, 1, name="head_conv"))
+    modules.append(ClassifierHead(1280, num_classes, dropout=0.2, name="head"))
+    return ImageModel(
+        "MnasNet", Sequential(*modules, name="mnasnet"), image_size=image_size
+    )

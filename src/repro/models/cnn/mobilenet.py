@@ -1,0 +1,224 @@
+"""MobileNetV2 / MobileNetV3 (Sandler et al., 2018; Howard et al., 2019)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...framework.functional import make_divisible
+from ...framework.layers import ConvBnAct, Dropout, GlobalAvgPoolFlatten, Linear, make_activation
+from ...framework.module import Module, Sequential
+from ...framework.plan import PlanContext
+from .common import ImageModel, SqueezeExcite
+
+
+class InvertedResidual(Module):
+    """Expand (1x1) -> depthwise (kxk) -> project (1x1), optional SE,
+    residual when stride 1 and channels match (MobileNetV2/V3 block)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int,
+        expand_channels: int,
+        activation: str = "relu",
+        se_ratio: float = 0.0,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "InvertedResidual")
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.expand = None
+        if expand_channels != in_channels:
+            self.expand = self.register_child(
+                ConvBnAct(
+                    in_channels, expand_channels, 1,
+                    activation=activation, name="expand",
+                )
+            )
+        self.depthwise = self.register_child(
+            ConvBnAct(
+                expand_channels,
+                expand_channels,
+                kernel_size,
+                stride=stride,
+                groups=expand_channels,
+                activation=activation,
+                name="depthwise",
+            )
+        )
+        self.se = None
+        if se_ratio > 0:
+            reduced = make_divisible(expand_channels * se_ratio)
+            self.se = self.register_child(
+                SqueezeExcite(expand_channels, reduced, gate="hardsigmoid")
+            )
+        self.project = self.register_child(
+            ConvBnAct(expand_channels, out_channels, 1, activation=None, name="project")
+        )
+
+    def plan(self, ctx: PlanContext) -> None:
+        entry_id = ctx.current_id
+        if self.expand is not None:
+            self.expand(ctx)
+        self.depthwise(ctx)
+        if self.se is not None:
+            self.se(ctx)
+        self.project(ctx)
+        if self.use_residual:
+            body_id = ctx.current_id
+            body_meta = ctx.current_meta
+            ctx.add(
+                "aten::add",
+                output=body_meta,
+                inputs=(body_id, entry_id),
+                flops=body_meta.numel,
+            )
+
+
+class _MobileHead(Module):
+    """MobileNet classifier: 1x1 conv expand, pool, (hidden fc), fc."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        conv_channels: int,
+        hidden: Optional[int],
+        num_classes: int,
+        activation: str,
+        dropout: float = 0.2,
+    ):
+        super().__init__(name="head")
+        self.conv = self.register_child(
+            ConvBnAct(in_channels, conv_channels, 1, activation=activation, name="conv")
+        )
+        self.pool = self.register_child(GlobalAvgPoolFlatten(name="pool"))
+        self.hidden = None
+        self.hidden_act = None
+        features = conv_channels
+        if hidden is not None:
+            self.hidden = self.register_child(Linear(conv_channels, hidden, name="fc1"))
+            self.hidden_act = self.register_child(
+                make_activation(activation, name="act")
+            )
+            features = hidden
+        self.dropout = self.register_child(Dropout(dropout, name="dropout"))
+        self.fc = self.register_child(Linear(features, num_classes, name="fc"))
+
+    def plan(self, ctx: PlanContext) -> None:
+        self.conv(ctx)
+        self.pool(ctx)
+        if self.hidden is not None:
+            self.hidden(ctx)
+            self.hidden_act(ctx)
+        self.dropout(ctx)
+        self.fc(ctx)
+
+
+# t (expansion factor), c (channels), n (repeats), s (stride)
+_V2_SETTINGS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+# kernel, expanded, out, se_ratio, activation, stride
+_V3_LARGE_SETTINGS = [
+    (3, 16, 16, 0.0, "relu", 1),
+    (3, 64, 24, 0.0, "relu", 2),
+    (3, 72, 24, 0.0, "relu", 1),
+    (5, 72, 40, 0.25, "relu", 2),
+    (5, 120, 40, 0.25, "relu", 1),
+    (5, 120, 40, 0.25, "relu", 1),
+    (3, 240, 80, 0.0, "hardswish", 2),
+    (3, 200, 80, 0.0, "hardswish", 1),
+    (3, 184, 80, 0.0, "hardswish", 1),
+    (3, 184, 80, 0.0, "hardswish", 1),
+    (3, 480, 112, 0.25, "hardswish", 1),
+    (3, 672, 112, 0.25, "hardswish", 1),
+    (5, 672, 160, 0.25, "hardswish", 2),
+    (5, 960, 160, 0.25, "hardswish", 1),
+    (5, 960, 160, 0.25, "hardswish", 1),
+]
+
+_V3_SMALL_SETTINGS = [
+    (3, 16, 16, 0.25, "relu", 2),
+    (3, 72, 24, 0.0, "relu", 2),
+    (3, 88, 24, 0.0, "relu", 1),
+    (5, 96, 40, 0.25, "hardswish", 2),
+    (5, 240, 40, 0.25, "hardswish", 1),
+    (5, 240, 40, 0.25, "hardswish", 1),
+    (5, 120, 48, 0.25, "hardswish", 1),
+    (5, 144, 48, 0.25, "hardswish", 1),
+    (5, 288, 96, 0.25, "hardswish", 2),
+    (5, 576, 96, 0.25, "hardswish", 1),
+    (5, 576, 96, 0.25, "hardswish", 1),
+]
+
+
+def mobilenet_v2(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """MobileNetV2 (~3.5M parameters)."""
+    modules: list[Module] = [
+        ConvBnAct(3, 32, 3, stride=2, activation="relu", name="stem")
+    ]
+    channels = 32
+    for t, c, n, s in _V2_SETTINGS:
+        for index in range(n):
+            stride = s if index == 0 else 1
+            modules.append(
+                InvertedResidual(
+                    channels, c, 3, stride,
+                    expand_channels=channels * t,
+                    activation="relu",
+                )
+            )
+            channels = c
+    modules.append(_MobileHead(channels, 1280, None, num_classes, "relu"))
+    body = Sequential(*modules, name="mobilenetv2")
+    return ImageModel("MobileNetV2", body, image_size=image_size)
+
+
+def _mobilenet_v3(
+    name: str,
+    settings: list,
+    head_conv: int,
+    head_hidden: int,
+    image_size: int,
+    num_classes: int,
+) -> ImageModel:
+    modules: list[Module] = [
+        ConvBnAct(3, 16, 3, stride=2, activation="hardswish", name="stem")
+    ]
+    channels = 16
+    for kernel, expanded, out, se_ratio, activation, stride in settings:
+        modules.append(
+            InvertedResidual(
+                channels, out, kernel, stride,
+                expand_channels=expanded,
+                activation=activation,
+                se_ratio=se_ratio,
+            )
+        )
+        channels = out
+    modules.append(
+        _MobileHead(channels, head_conv, head_hidden, num_classes, "hardswish")
+    )
+    return ImageModel(name, Sequential(*modules, name=name.lower()), image_size)
+
+
+def mobilenet_v3_large(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """MobileNetV3-Large (~5.4M parameters)."""
+    return _mobilenet_v3(
+        "MobileNetV3Large", _V3_LARGE_SETTINGS, 960, 1280, image_size, num_classes
+    )
+
+
+def mobilenet_v3_small(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """MobileNetV3-Small (~2.5M parameters)."""
+    return _mobilenet_v3(
+        "MobileNetV3Small", _V3_SMALL_SETTINGS, 576, 1024, image_size, num_classes
+    )

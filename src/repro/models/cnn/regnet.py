@@ -1,0 +1,131 @@
+"""RegNetX-400MF / RegNetY-400MF (Radosavovic et al., 2020).
+
+Stage widths/depths follow the published 400MF design; RegNetY adds
+squeeze-excitation to each block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...framework.layers import ConvBnAct, make_activation
+from ...framework.module import Module, Sequential
+from ...framework.plan import PlanContext
+from .common import ClassifierHead, ImageModel, SqueezeExcite
+
+# RegNet-400MF design: depths and widths per stage, group width 16.
+_X400_DEPTHS = (1, 2, 7, 12)
+_X400_WIDTHS = (32, 64, 160, 384)
+_Y400_DEPTHS = (1, 3, 6, 6)
+_Y400_WIDTHS = (48, 104, 208, 440)
+_GROUP_WIDTH = 16  # RegNetX-400MF
+_Y_GROUP_WIDTH = 8  # RegNetY-400MF
+
+
+class XBlock(Module):
+    """RegNet bottleneck block (ratio 1): 1x1, grouped 3x3, 1x1 + shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        group_width: int,
+        se_ratio: float = 0.0,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "XBlock")
+        groups = max(1, out_channels // group_width)
+        self.conv1 = self.register_child(
+            ConvBnAct(in_channels, out_channels, 1, name="conv1")
+        )
+        self.conv2 = self.register_child(
+            ConvBnAct(
+                out_channels, out_channels, 3,
+                stride=stride, groups=groups, name="conv2",
+            )
+        )
+        self.se = None
+        if se_ratio > 0:
+            reduced = max(1, int(in_channels * se_ratio))
+            self.se = self.register_child(SqueezeExcite(out_channels, reduced))
+        self.conv3 = self.register_child(
+            ConvBnAct(out_channels, out_channels, 1, activation=None, name="conv3")
+        )
+        self.shortcut = None
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = self.register_child(
+                ConvBnAct(
+                    in_channels, out_channels, 1,
+                    stride=stride, activation=None, name="shortcut",
+                )
+            )
+        self.act = self.register_child(
+            make_activation("relu", name="act", inplace=True)
+        )
+
+    def plan(self, ctx: PlanContext) -> None:
+        entry_id = ctx.current_id
+        entry_meta = ctx.current_meta
+        self.conv1(ctx)
+        self.conv2(ctx)
+        if self.se is not None:
+            self.se(ctx)
+        self.conv3(ctx)
+        body_id = ctx.current_id
+        body_meta = ctx.current_meta
+        if self.shortcut is not None:
+            ctx.set_current(entry_id, entry_meta)
+            self.shortcut(ctx)
+            shortcut_id = ctx.current_id
+        else:
+            shortcut_id = entry_id
+        ctx.add(
+            "aten::add",
+            output=body_meta,
+            inputs=(body_id, shortcut_id),
+            flops=body_meta.numel,
+        )
+        self.act(ctx)
+
+
+def _regnet(
+    name: str,
+    depths: tuple[int, ...],
+    widths: tuple[int, ...],
+    group_width: int,
+    se_ratio: float,
+    image_size: int,
+    num_classes: int,
+) -> ImageModel:
+    modules: list[Module] = [ConvBnAct(3, 32, 3, stride=2, name="stem")]
+    channels = 32
+    for stage, (depth, width) in enumerate(zip(depths, widths)):
+        for index in range(depth):
+            stride = 2 if index == 0 else 1
+            modules.append(
+                XBlock(
+                    channels, width, stride, group_width,
+                    se_ratio=se_ratio,
+                    name=f"s{stage + 1}b{index + 1}",
+                )
+            )
+            channels = width
+    modules.append(ClassifierHead(channels, num_classes, name="head"))
+    return ImageModel(name, Sequential(*modules, name=name.lower()), image_size)
+
+
+def regnet_x_400mf(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """RegNetX-400MF (~5.2M parameters)."""
+    return _regnet(
+        "RegNetX400MF", _X400_DEPTHS, _X400_WIDTHS, _GROUP_WIDTH, 0.0,
+        image_size, num_classes,
+    )
+
+
+def regnet_y_400mf(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """RegNetY-400MF (~4.3M parameters, with squeeze-excitation)."""
+    return _regnet(
+        "RegNetY400MF", _Y400_DEPTHS, _Y400_WIDTHS, _Y_GROUP_WIDTH, 0.25,
+        image_size, num_classes,
+    )

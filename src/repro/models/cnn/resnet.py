@@ -1,0 +1,114 @@
+"""ResNet-101 / ResNet-152 (He et al., 2016) with bottleneck blocks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...framework.layers import ConvBnAct, MaxPool2d, make_activation
+from ...framework.module import Module, Sequential
+from ...framework.plan import PlanContext
+from .common import ClassifierHead, ImageModel
+
+_EXPANSION = 4
+
+
+class Bottleneck(Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck with identity or projection shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        planes: int,
+        stride: int = 1,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "Bottleneck")
+        out_channels = planes * _EXPANSION
+        self.conv1 = self.register_child(
+            ConvBnAct(in_channels, planes, 1, name="conv1")
+        )
+        self.conv2 = self.register_child(
+            ConvBnAct(planes, planes, 3, stride=stride, name="conv2")
+        )
+        self.conv3 = self.register_child(
+            ConvBnAct(planes, out_channels, 1, activation=None, name="conv3")
+        )
+        self.downsample = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = self.register_child(
+                ConvBnAct(
+                    in_channels,
+                    out_channels,
+                    1,
+                    stride=stride,
+                    activation=None,
+                    name="downsample",
+                )
+            )
+        self.act = self.register_child(
+            make_activation("relu", name="act", inplace=True)
+        )
+
+    def plan(self, ctx: PlanContext) -> None:
+        entry_id = ctx.current_id
+        entry_meta = ctx.current_meta
+        self.conv1(ctx)
+        self.conv2(ctx)
+        self.conv3(ctx)
+        body_id = ctx.current_id
+        body_meta = ctx.current_meta
+        if self.downsample is not None:
+            ctx.set_current(entry_id, entry_meta)
+            self.downsample(ctx)
+            shortcut_id = ctx.current_id
+        else:
+            shortcut_id = entry_id
+        ctx.add(
+            "aten::add",
+            output=body_meta,
+            inputs=(body_id, shortcut_id),
+            flops=body_meta.numel,
+        )
+        self.act(ctx)
+
+
+def _make_stage(
+    in_channels: int, planes: int, blocks: int, stride: int, name: str
+) -> tuple[Sequential, int]:
+    modules: list[Module] = [Bottleneck(in_channels, planes, stride=stride)]
+    out_channels = planes * _EXPANSION
+    for _ in range(blocks - 1):
+        modules.append(Bottleneck(out_channels, planes))
+    return Sequential(*modules, name=name), out_channels
+
+
+def _resnet(
+    name: str, layers: list[int], image_size: int, num_classes: int
+) -> ImageModel:
+    stem = Sequential(
+        ConvBnAct(3, 64, 7, stride=2, padding=3, name="stem"),
+        MaxPool2d(kernel_size=3, stride=2, padding=1),
+        name="stem",
+    )
+    channels = 64
+    stages: list[Module] = [stem]
+    for index, (planes, blocks) in enumerate(zip((64, 128, 256, 512), layers)):
+        stride = 1 if index == 0 else 2
+        stage, channels = _make_stage(
+            channels, planes, blocks, stride, name=f"layer{index + 1}"
+        )
+        stages.append(stage)
+    stages.append(ClassifierHead(channels, num_classes, name="head"))
+    return ImageModel(
+        name=name, body=Sequential(*stages, name="resnet"), image_size=image_size
+    )
+
+
+def resnet101(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """ResNet-101 (~44.5M parameters)."""
+    return _resnet("ResNet101", [3, 4, 23, 3], image_size, num_classes)
+
+
+def resnet152(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """ResNet-152 (~60.2M parameters)."""
+    return _resnet("ResNet152", [3, 8, 36, 3], image_size, num_classes)

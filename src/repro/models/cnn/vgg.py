@@ -1,0 +1,62 @@
+"""VGG-16 / VGG-19 (Simonyan & Zisserman, 2014).
+
+Classic plain conv stacks: enormous early activations and a 138M/144M
+parameter count dominated by the fully connected head — the CNN worst case
+for activation memory in the paper's batch sweep.
+"""
+
+from __future__ import annotations
+
+from ...framework.layers import AdaptiveAvgPool2d, Conv2d, MaxPool2d, make_activation
+from ...framework.module import Module, Sequential
+from .common import ImageModel, mlp_classifier
+
+_VGG16_CFG = [
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+]
+_VGG19_CFG = [
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+]
+
+
+def _make_features(cfg: list) -> Sequential:
+    modules: list[Module] = []
+    in_channels = 3
+    for item in cfg:
+        if item == "M":
+            modules.append(MaxPool2d(kernel_size=2, stride=2))
+            continue
+        modules.append(
+            Conv2d(in_channels, item, kernel_size=3, padding=1, name="conv")
+        )
+        modules.append(make_activation("relu", inplace=True))
+        in_channels = item
+    return Sequential(*modules, name="features")
+
+
+def _vgg(name: str, cfg: list, image_size: int, num_classes: int) -> ImageModel:
+    body = Sequential(
+        _make_features(cfg),
+        AdaptiveAvgPool2d(7, name="avgpool"),
+        mlp_classifier(512 * 7 * 7, 4096, num_classes),
+        name="vgg",
+    )
+    return ImageModel(name=name, body=body, image_size=image_size)
+
+
+def vgg16(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """VGG-16 (~138M parameters)."""
+    return _vgg("VGG16", _VGG16_CFG, image_size, num_classes)
+
+
+def vgg19(image_size: int = 64, num_classes: int = 1000) -> ImageModel:
+    """VGG-19 (~144M parameters)."""
+    return _vgg("VGG19", _VGG19_CFG, image_size, num_classes)

@@ -1,0 +1,14 @@
+"""Transformer model zoo (Table 2, transformer half + RQ5 models)."""
+
+from . import configs
+from .decoder import DecoderBlock, DecoderConfig, DecoderLM
+from .t5 import T5Config, T5Model
+
+__all__ = [
+    "DecoderBlock",
+    "DecoderConfig",
+    "DecoderLM",
+    "T5Config",
+    "T5Model",
+    "configs",
+]

@@ -1,0 +1,47 @@
+"""Training runtime: executes model plans on CPU (profiled) or GPU (truth)."""
+
+from .backend import Backend, CpuBackend, ExecOp, GpuBackend
+from .clock import VirtualClock
+from .engine import RunResult, TrainingEngine
+from .ground_truth import GroundTruthResult, run_gpu_ground_truth
+from .loop import POS0, POS1, TrainLoopConfig
+from .nvml import (
+    DEFAULT_SAMPLE_INTERVAL_US,
+    NvmlSample,
+    sample_timeline,
+    sampled_peak,
+)
+from .profiler import DEFAULT_PROFILE_ITERATIONS, profile_on_cpu
+from .sink import (
+    AllocationHandle,
+    AllocatorSink,
+    CpuProfilingSink,
+    MemorySink,
+    NullSink,
+)
+
+__all__ = [
+    "AllocationHandle",
+    "AllocatorSink",
+    "Backend",
+    "CpuBackend",
+    "CpuProfilingSink",
+    "DEFAULT_PROFILE_ITERATIONS",
+    "DEFAULT_SAMPLE_INTERVAL_US",
+    "ExecOp",
+    "GpuBackend",
+    "GroundTruthResult",
+    "MemorySink",
+    "NullSink",
+    "NvmlSample",
+    "POS0",
+    "POS1",
+    "RunResult",
+    "TrainLoopConfig",
+    "TrainingEngine",
+    "VirtualClock",
+    "profile_on_cpu",
+    "run_gpu_ground_truth",
+    "sample_timeline",
+    "sampled_peak",
+]

@@ -1,0 +1,210 @@
+"""Execution backends: how the same plan *behaves* on CPU vs GPU.
+
+The paper's premise (§1 observations i-iii) is that CPU and GPU executions
+share the core tensor set but diverge in operator-level details.  This
+module is where that divergence lives:
+
+* **Workspaces** — CPU convolutions use im2col buffers (what the plan
+  declares); GPU convolutions use a cuDNN-style algorithm workspace whose
+  size depends on the algorithm heuristically chosen per shape.
+* **Fusion** — GPU backends fuse elementwise ops into the producing kernel,
+  eliminating the separate output buffer the CPU run materializes.
+* **One-time library state** — the first GPU matmul allocates a persistent
+  cuBLAS workspace.
+* **Deferred frees** — GPU stream semantics return buffers slightly later
+  than eager CPU code does.
+* **Run-to-run jitter** — autotuner choices vary per run (seeded RNG).
+
+These differences are exactly what makes CPU-trace-driven estimation
+non-trivial, and what bounds xMem's residual error (§3.3 footnote 3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..framework.plan import OpSpec
+from ..units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class ExecOp:
+    """Backend-resolved execution behaviour for one planned op."""
+
+    op: OpSpec
+    materialize_output: bool  # False when fused/in-place on this backend
+    workspace_bytes: int
+    backward_workspace_bytes: int
+    duration_us: int
+    backward_duration_us: int
+    #: Extra persistent allocation made the first time this op kind runs
+    #: (e.g. the cuBLAS handle workspace); (tag, bytes) or None.
+    library_state: tuple[str, int] | None = None
+    #: Delay (us) applied to frees issued by this op (stream semantics).
+    free_delay_us: int = 0
+
+
+class Backend:
+    """Base backend: resolves plan ops into execution behaviour."""
+
+    name = "backend"
+    #: effective throughput, FLOPs per microsecond
+    flops_per_us = 100_000
+    min_op_us = 2
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def resolve(self, op: OpSpec) -> ExecOp:
+        raise NotImplementedError
+
+    def _duration(self, flops: int, bytes_touched: int) -> int:
+        compute = flops // self.flops_per_us
+        memory = bytes_touched // (self.flops_per_us * 4)
+        return max(self.min_op_us, compute + memory)
+
+
+class CpuBackend(Backend):
+    """Faithful interpretation of the plan: what the profiler observes.
+
+    CPU execution materializes every op output (no fusion) and frees
+    buffers eagerly the moment Python reference counts drop.  oneDNN-style
+    kernels bring their own workspaces: per-thread im2col buffers for
+    convolutions and matrix-packing buffers for GEMMs — generally *larger*
+    than the GPU's tuned scratch, which is why a CPU-trace replay tends to
+    land slightly above the GPU truth (the safe side for OOM thresholds).
+    """
+
+    name = "cpu"
+    flops_per_us = 50_000  # ~50 GFLOP/s effective
+    #: intra-op threads unfolding im2col buffers concurrently
+    num_threads = 16
+    MAX_CONV_WORKSPACE = 128 * MiB
+    MAX_GEMM_WORKSPACE = 64 * MiB
+
+    def resolve(self, op: OpSpec) -> ExecOp:
+        workspace = self._cpu_workspace(op, backward=False)
+        backward_workspace = self._cpu_workspace(op, backward=True)
+        bytes_touched = op.output_bytes + workspace
+        duration = self._duration(op.flops, bytes_touched)
+        return ExecOp(
+            op=op,
+            materialize_output=not op.inplace,
+            workspace_bytes=workspace,
+            backward_workspace_bytes=backward_workspace,
+            duration_us=duration,
+            backward_duration_us=2 * duration,
+            library_state=None,
+            free_delay_us=0,
+        )
+
+    def _cpu_workspace(self, op: OpSpec, backward: bool) -> int:
+        out_bytes = op.output.nbytes if op.output is not None else 0
+        if op.name == "aten::convolution":
+            # plan's workspace is the per-image im2col patch matrix; each
+            # intra-op thread unfolds its own copy
+            per_image = (
+                op.backward_workspace_bytes if backward else op.workspace_bytes
+            )
+            return min(self.MAX_CONV_WORKSPACE, per_image * self.num_threads)
+        if op.name in ("aten::addmm", "aten::mm", "aten::bmm") and out_bytes:
+            # oneDNN packs A/B panels into blocked layouts before the GEMM
+            return min(self.MAX_GEMM_WORKSPACE, out_bytes // 4)
+        if op.name == "aten::_softmax" and out_bytes:
+            return min(32 * MiB, out_bytes // 4)
+        if backward and out_bytes and (
+            "norm" in op.name or op.name == "aten::log_softmax"
+        ):
+            return min(32 * MiB, out_bytes // 2)
+        if backward:
+            return op.backward_workspace_bytes
+        return op.workspace_bytes
+
+
+class GpuBackend(Backend):
+    """GPU-flavoured interpretation — the behaviour xMem must predict.
+
+    ``seed`` controls the per-run autotuner/jitter choices, giving the
+    run-to-run ground-truth variance the paper's repeated trials exhibit.
+    """
+
+    name = "gpu"
+    flops_per_us = 2_000_000  # ~2 TFLOP/s effective
+
+    #: cuBLAS allocates one persistent workspace per handle at first use.
+    CUBLAS_WORKSPACE = 8 * MiB + 512 * KiB
+    #: cuDNN benchmark workspace cap.
+    MAX_CONV_WORKSPACE = 32 * MiB
+
+    _MATMUL_OPS = ("aten::addmm", "aten::mm", "aten::bmm")
+
+    def __init__(self, seed: int = 0, fuse_elementwise: bool = False):
+        """``fuse_elementwise`` models a compiled (torch.compile-style)
+        execution that folds elementwise kernels into their producers;
+        eager mode — the paper's setting — materializes them, so the
+        default is False."""
+        super().__init__(seed)
+        self.fuse_elementwise = fuse_elementwise
+        # Algorithm choice is sticky per (op name, shape) within a run,
+        # mirroring the cuDNN autotuner cache.
+        self._algo_cache: dict[tuple, float] = {}
+
+    def resolve(self, op: OpSpec) -> ExecOp:
+        workspace = self._gpu_workspace(op)
+        backward_workspace = self._gpu_workspace(op, backward=True)
+        fused = (
+            self.fuse_elementwise
+            and op.fusible
+            and op.output is not None
+        )
+        bytes_touched = (0 if fused else op.output_bytes) + workspace
+        duration = self._duration(op.flops, bytes_touched)
+        library_state = None
+        if op.name in self._MATMUL_OPS:
+            library_state = ("cublas.workspace", self.CUBLAS_WORKSPACE)
+        return ExecOp(
+            op=op,
+            materialize_output=not op.inplace and not fused,
+            workspace_bytes=workspace,
+            backward_workspace_bytes=backward_workspace,
+            duration_us=duration,
+            backward_duration_us=2 * duration,
+            library_state=library_state,
+            free_delay_us=self._rng.randint(0, 3),
+        )
+
+    def _gpu_workspace(self, op: OpSpec, backward: bool = False) -> int:
+        out_bytes = op.output.nbytes if op.output is not None else 0
+        if op.name == "aten::convolution":
+            # cuDNN algorithm choice: implicit GEMM (tiny workspace),
+            # tiled FFT, or Winograd (larger workspaces); sticky per shape
+            # like the autotuner cache.
+            factor = self._sticky_factor(op, backward, (0.0625, 0.25, 0.5))
+            workspace = int(out_bytes * factor)
+            return min(self.MAX_CONV_WORKSPACE, max(256 * KiB, workspace))
+        if op.name in ("aten::bmm", "aten::addmm", "aten::mm") and out_bytes:
+            # split-K reduction scratch for large matmuls; the split factor
+            # is an autotuner choice, sticky per shape.
+            factor = self._sticky_factor(op, backward, (0.03125, 0.0625, 0.125))
+            return min(32 * MiB, int(out_bytes * factor))
+        if op.name == "aten::_softmax" and out_bytes:
+            # warp-level reduction scratch of the fused softmax kernel
+            return min(16 * MiB, out_bytes // 8)
+        if backward and out_bytes and (
+            "norm" in op.name or op.name == "aten::log_softmax"
+        ):
+            # grid-wide reduction buffers of the normalization backwards
+            return min(16 * MiB, out_bytes // 4)
+        return 0
+
+    def _sticky_factor(
+        self, op: OpSpec, backward: bool, choices: tuple[float, ...]
+    ) -> float:
+        key = (op.name, op.output.shape if op.output else (), backward)
+        factor = self._algo_cache.get(key)
+        if factor is None:
+            factor = self._rng.choice(choices)
+            self._algo_cache[key] = factor
+        return factor

@@ -1,0 +1,111 @@
+"""Simulated GPU ground truth: what actually happens when the job runs.
+
+The paper's validation executes every configuration on a real GPU and
+records the NVML-sampled peak (round 1 with full device memory; round 2
+with the estimate as the memory cap).  This module is that testbed for the
+simulated device: the same plan is executed with the GPU backend's
+behaviour (workspaces, fusion, deferred frees, per-run jitter), flowing
+through the real two-level caching allocator, under a configurable
+capacity limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..allocator.caching import CachingAllocator
+from ..allocator.device import DeviceAllocator
+from ..allocator.stats import TimelineRecorder
+from ..framework.module import Module
+from ..framework.optim import make_optimizer
+from ..framework.optim.base import Optimizer
+from ..models.registry import ModelSpec, get_model_spec
+from .backend import GpuBackend
+from .engine import TrainingEngine
+from .loop import TrainLoopConfig
+from .nvml import DEFAULT_SAMPLE_INTERVAL_US, sampled_peak
+from .sink import AllocatorSink
+
+
+@dataclass(frozen=True)
+class GroundTruthResult:
+    """Outcome of one simulated GPU training run."""
+
+    oom: bool
+    completed_iterations: int
+    #: instantaneous peak of reserved (segment) bytes — the true peak
+    peak_reserved_bytes: int
+    #: peak as an NVML 1 ms poller would have measured it (the paper's
+    #: ground truth M^peak)
+    nvml_peak_bytes: int
+    peak_allocated_bytes: int
+    timeline: TimelineRecorder
+    param_bytes: int = 0
+    optimizer_state_bytes: int = 0
+
+    @property
+    def measured_peak(self) -> int:
+        """The paper's ground-truth peak (NVML-sampled)."""
+        return self.nvml_peak_bytes
+
+
+def run_gpu_ground_truth(
+    model_name: str | ModelSpec,
+    batch_size: int,
+    optimizer: str | Optimizer = "adam",
+    loop: Optional[TrainLoopConfig] = None,
+    capacity_bytes: int = 12 * 1024**3,
+    seed: int = 0,
+    iterations: int = 2,
+    model: Optional[Module] = None,
+    sample_interval_us: int = DEFAULT_SAMPLE_INTERVAL_US,
+) -> GroundTruthResult:
+    """Train ``iterations`` iterations on the simulated GPU.
+
+    ``capacity_bytes`` is the memory available to the *job* (device
+    capacity minus pre-existing usage and framework overhead — the
+    M_max - M_init - M_fm budget of the paper's validation rounds).
+    ``seed`` selects the run's autotuner/jitter realization, giving
+    repeated trials realistic variance.
+    """
+    spec = (
+        model_name
+        if isinstance(model_name, ModelSpec)
+        else get_model_spec(model_name)
+    )
+    if isinstance(optimizer, str):
+        optimizer = make_optimizer(optimizer)
+    loop = loop or TrainLoopConfig(iterations=iterations)
+    if loop.iterations != iterations:
+        loop = TrainLoopConfig(
+            iterations=iterations,
+            zero_grad_position=loop.zero_grad_position,
+            set_to_none=loop.set_to_none,
+        )
+    built_model = model if model is not None else spec.build()
+    device = DeviceAllocator(capacity=capacity_bytes)
+    allocator = CachingAllocator(device)
+    sink = AllocatorSink(allocator)
+    engine = TrainingEngine(
+        model=built_model,
+        input_meta=spec.input_meta(batch_size),
+        label_meta=spec.label_meta(batch_size),
+        optimizer=optimizer,
+        backend=GpuBackend(seed=seed),
+        sink=sink,
+        loop=loop,
+        tracer=None,
+    )
+    result = engine.run()
+    timeline = allocator.timeline or TimelineRecorder()
+    return GroundTruthResult(
+        oom=result.oom,
+        completed_iterations=result.completed_iterations,
+        peak_reserved_bytes=allocator.peak_reserved_bytes,
+        nvml_peak_bytes=sampled_peak(timeline, interval_us=sample_interval_us),
+        peak_allocated_bytes=allocator.peak_allocated_bytes,
+        timeline=timeline,
+        param_bytes=result.param_bytes,
+        optimizer_state_bytes=result.optimizer_state_bytes,
+    )

@@ -1,0 +1,140 @@
+"""Profiler event model (paper §3.2).
+
+The Analyzer consumes exactly four event categories from the PyTorch
+Profiler; this module defines them:
+
+* ``python_function`` — Python-level calls (``nn.Module`` invocations,
+  training-script functions).  Nested spans form the call hierarchy.
+* ``user_annotation`` — markers for training-loop phases
+  (``ProfilerStep#k``, ``Optimizer.zero_grad#...``, ``Optimizer.step#...``,
+  ``dataloader.__next__``).
+* ``cpu_op`` — ATen kernels dispatched to the CPU backend
+  (``aten::convolution`` …), with forward/backward linking sequence numbers.
+* ``cpu_instant_event`` — ``[memory]`` records: signed byte deltas with the
+  address, emitted by the allocator hooks.
+
+Span events carry microsecond ``ts``/``dur``; instant events carry ``ts``
+only.  All events are immutable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+_event_ids = itertools.count(1)
+
+
+class EventCategory(str, Enum):
+    PYTHON_FUNCTION = "python_function"
+    USER_ANNOTATION = "user_annotation"
+    CPU_OP = "cpu_op"
+    CPU_INSTANT_EVENT = "cpu_instant_event"
+
+
+#: Annotation names the Orchestrator keys on (paper §3.3).
+PROFILER_STEP_PREFIX = "ProfilerStep#"
+ZERO_GRAD_PREFIX = "Optimizer.zero_grad#"
+OPTIMIZER_STEP_PREFIX = "Optimizer.step#"
+DATALOADER_NEXT = "dataloader.__next__"
+MODEL_TO_DEVICE = "Module.to"
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A duration event (``ph: "X"`` in Chrome-trace terms)."""
+
+    name: str
+    category: EventCategory
+    ts: int  # microseconds
+    dur: int  # microseconds
+    tid: int = 0
+    args: dict[str, Any] = field(default_factory=dict)
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+
+    @property
+    def end(self) -> int:
+        return self.ts + self.dur
+
+    def contains_time(self, ts: int) -> bool:
+        """True when ``ts`` falls inside this span (inclusive bounds).
+
+        Bounds are inclusive because allocator hooks fire *within* the
+        surrounding op's window and may share its boundary timestamps.
+        """
+        return self.ts <= ts <= self.end
+
+    def contains_span(self, other: "SpanEvent") -> bool:
+        return self.ts <= other.ts and other.end <= self.end
+
+    def contains_interval(self, start: int, end: int) -> bool:
+        return self.ts <= start and end <= self.end
+
+    @property
+    def sequence_number(self) -> Optional[int]:
+        """Links a forward op to its backward counterpart, when present."""
+        return self.args.get("Sequence number")
+
+    @property
+    def is_backward(self) -> bool:
+        return bool(self.args.get("Backward", False)) or "Backward" in self.name
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """A ``[memory]`` instant event: one allocation or deallocation.
+
+    ``nbytes`` is signed — positive for allocations, negative for frees —
+    matching the profiler's convention.  ``addr`` identifies the buffer;
+    addresses are reused over time, which lifecycle reconstruction must
+    handle (§3.2).
+    """
+
+    ts: int
+    addr: int
+    nbytes: int
+    total_allocated: int = 0
+    device: str = "cpu"
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+
+    @property
+    def is_alloc(self) -> bool:
+        return self.nbytes > 0
+
+    @property
+    def is_free(self) -> bool:
+        return self.nbytes < 0
+
+    @property
+    def size(self) -> int:
+        return abs(self.nbytes)
+
+
+def is_profiler_step(event: SpanEvent) -> bool:
+    return (
+        event.category is EventCategory.USER_ANNOTATION
+        and event.name.startswith(PROFILER_STEP_PREFIX)
+    )
+
+
+def is_zero_grad(event: SpanEvent) -> bool:
+    return (
+        event.category is EventCategory.USER_ANNOTATION
+        and event.name.startswith(ZERO_GRAD_PREFIX)
+    )
+
+
+def is_optimizer_step(event: SpanEvent) -> bool:
+    return (
+        event.category is EventCategory.USER_ANNOTATION
+        and event.name.startswith(OPTIMIZER_STEP_PREFIX)
+    )
+
+
+def is_dataloader_next(event: SpanEvent) -> bool:
+    return (
+        event.category is EventCategory.USER_ANNOTATION
+        and event.name == DATALOADER_NEXT
+    )

@@ -1,0 +1,125 @@
+"""Import real PyTorch-profiler (Kineto) traces.
+
+The deployed xMem consumes the JSON the PyTorch profiler writes
+(``torch.profiler.profile(..., profile_memory=True)`` exported via
+``prof.export_chrome_trace``).  This adapter maps that dialect onto the
+internal :class:`~repro.trace.reader.Trace` model so the Analyzer runs
+unchanged on real traces:
+
+* Kineto categories (``python_function``, ``user_annotation``, ``cpu_op``)
+  map one-to-one;
+* ``[memory]`` instant events carry ``Addr`` / ``Bytes`` /
+  ``Total Allocated`` in ``args`` — same fields, different device-type
+  encoding (Kineto uses integer device types: 0 = CPU);
+* unknown categories (``kernel``, ``gpu_memset``, ``Trace``, ...) are
+  skipped, counted in the import report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..errors import TraceSchemaError
+from .events import EventCategory, MemoryEvent, SpanEvent
+from .reader import Trace
+
+#: Kineto category strings accepted for span events.
+_SPAN_CATEGORIES = {
+    "python_function": EventCategory.PYTHON_FUNCTION,
+    "user_annotation": EventCategory.USER_ANNOTATION,
+    "cpu_op": EventCategory.CPU_OP,
+    # older PyTorch versions used "Operator" for cpu ops
+    "operator": EventCategory.CPU_OP,
+}
+
+_MEMORY_EVENT_NAME = "[memory]"
+
+
+@dataclass(frozen=True)
+class KinetoImportReport:
+    """What the importer kept and skipped."""
+
+    num_spans: int
+    num_memory_events: int
+    num_skipped: int
+    skipped_categories: tuple[str, ...]
+
+
+def import_kineto(document: dict[str, Any]) -> tuple[Trace, KinetoImportReport]:
+    """Convert a Kineto chrome-trace document into a :class:`Trace`."""
+    raw_events = document.get("traceEvents")
+    if raw_events is None:
+        raise TraceSchemaError("Kineto document has no traceEvents")
+    spans: list[SpanEvent] = []
+    memory_events: list[MemoryEvent] = []
+    skipped = 0
+    skipped_categories: set[str] = set()
+    for payload in raw_events:
+        phase = payload.get("ph")
+        category = str(payload.get("cat", "")).lower()
+        if phase == "X" and category in _SPAN_CATEGORIES:
+            spans.append(
+                SpanEvent(
+                    name=str(payload.get("name", "")),
+                    category=_SPAN_CATEGORIES[category],
+                    ts=int(payload.get("ts", 0)),
+                    dur=int(payload.get("dur", 0)),
+                    tid=int(payload.get("tid", 0) or 0),
+                    args=dict(payload.get("args", {})),
+                )
+            )
+            continue
+        if phase in ("i", "I") and payload.get("name") == _MEMORY_EVENT_NAME:
+            args = payload.get("args", {})
+            device = args.get("Device Type", 0)
+            if device not in (0, "0", "cpu"):
+                skipped += 1  # GPU-side records: not part of the CPU profile
+                skipped_categories.add("gpu_memory")
+                continue
+            try:
+                memory_events.append(
+                    MemoryEvent(
+                        ts=int(payload["ts"]),
+                        addr=int(args["Addr"]),
+                        nbytes=int(args["Bytes"]),
+                        total_allocated=int(args.get("Total Allocated", 0)),
+                        device="cpu",
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise TraceSchemaError(
+                    f"malformed Kineto [memory] event: {payload!r}"
+                ) from exc
+            continue
+        skipped += 1
+        skipped_categories.add(category or str(phase))
+    metadata = {
+        key: value
+        for key, value in document.items()
+        if key not in ("traceEvents",) and not isinstance(value, (list, dict))
+    }
+    metadata["source"] = "kineto"
+    trace = Trace(
+        spans=sorted(spans, key=lambda e: (e.ts, -e.dur)),
+        memory_events=sorted(memory_events, key=lambda e: e.ts),
+        metadata=metadata,
+    )
+    report = KinetoImportReport(
+        num_spans=len(spans),
+        num_memory_events=len(memory_events),
+        num_skipped=skipped,
+        skipped_categories=tuple(sorted(skipped_categories)),
+    )
+    return trace, report
+
+
+def load_kineto_file(path: str | Path) -> tuple[Trace, KinetoImportReport]:
+    """Load and convert a Kineto JSON file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceSchemaError(f"{path} is not valid JSON") from exc
+    return import_kineto(document)

@@ -1,0 +1,134 @@
+"""JSON (de)serialization of profiler traces.
+
+The on-disk format mirrors the Chrome-trace JSON the PyTorch profiler
+exports: a ``traceEvents`` array of ``ph: "X"`` duration events and
+``ph: "i"`` instant events, plus a ``metadata`` object describing the run
+(model, backend, iterations).  ``repro`` components never depend on the raw
+JSON — they consume :class:`~repro.trace.reader.Trace` objects — so this
+module is the single place that knows field names.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import TraceSchemaError
+from .events import EventCategory, MemoryEvent, SpanEvent
+
+SCHEMA_VERSION = 1
+
+
+def span_to_json(event: SpanEvent) -> dict[str, Any]:
+    return {
+        "ph": "X",
+        "name": event.name,
+        "cat": event.category.value,
+        "ts": event.ts,
+        "dur": event.dur,
+        "pid": 0,
+        "tid": event.tid,
+        "args": dict(event.args),
+    }
+
+
+def memory_to_json(event: MemoryEvent) -> dict[str, Any]:
+    return {
+        "ph": "i",
+        "name": "[memory]",
+        "cat": EventCategory.CPU_INSTANT_EVENT.value,
+        "ts": event.ts,
+        "pid": 0,
+        "tid": 0,
+        "args": {
+            "Addr": event.addr,
+            "Bytes": event.nbytes,
+            "Total Allocated": event.total_allocated,
+            "Device Type": event.device,
+        },
+    }
+
+
+def span_from_json(payload: dict[str, Any]) -> SpanEvent:
+    try:
+        return SpanEvent(
+            name=payload["name"],
+            category=EventCategory(payload["cat"]),
+            ts=int(payload["ts"]),
+            dur=int(payload.get("dur", 0)),
+            tid=int(payload.get("tid", 0)),
+            args=dict(payload.get("args", {})),
+        )
+    except (KeyError, ValueError) as exc:
+        raise TraceSchemaError(f"malformed span event: {payload!r}") from exc
+
+
+def memory_from_json(payload: dict[str, Any]) -> MemoryEvent:
+    try:
+        args = payload["args"]
+        return MemoryEvent(
+            ts=int(payload["ts"]),
+            addr=int(args["Addr"]),
+            nbytes=int(args["Bytes"]),
+            total_allocated=int(args.get("Total Allocated", 0)),
+            device=str(args.get("Device Type", "cpu")),
+        )
+    except (KeyError, ValueError) as exc:
+        raise TraceSchemaError(f"malformed memory event: {payload!r}") from exc
+
+
+def trace_to_json(
+    spans: list[SpanEvent],
+    memory_events: list[MemoryEvent],
+    metadata: dict[str, Any],
+) -> dict[str, Any]:
+    events: list[dict[str, Any]] = [span_to_json(e) for e in spans]
+    events.extend(memory_to_json(e) for e in memory_events)
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "schemaVersion": SCHEMA_VERSION,
+        "metadata": metadata,
+        "traceEvents": events,
+    }
+
+
+def trace_from_json(
+    document: dict[str, Any],
+) -> tuple[list[SpanEvent], list[MemoryEvent], dict[str, Any]]:
+    if "traceEvents" not in document:
+        raise TraceSchemaError("document has no traceEvents array")
+    version = document.get("schemaVersion", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise TraceSchemaError(f"unsupported schema version {version}")
+    spans: list[SpanEvent] = []
+    memory_events: list[MemoryEvent] = []
+    for payload in document["traceEvents"]:
+        phase = payload.get("ph")
+        if phase == "X":
+            spans.append(span_from_json(payload))
+        elif phase == "i":
+            memory_events.append(memory_from_json(payload))
+        else:
+            raise TraceSchemaError(f"unknown event phase {phase!r}")
+    return spans, memory_events, dict(document.get("metadata", {}))
+
+
+def dump_trace_file(
+    path: str | Path,
+    spans: list[SpanEvent],
+    memory_events: list[MemoryEvent],
+    metadata: dict[str, Any],
+) -> None:
+    document = trace_to_json(spans, memory_events, metadata)
+    Path(path).write_text(json.dumps(document))
+
+
+def load_trace_file(
+    path: str | Path,
+) -> tuple[list[SpanEvent], list[MemoryEvent], dict[str, Any]]:
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceSchemaError(f"{path} is not valid JSON") from exc
+    return trace_from_json(document)

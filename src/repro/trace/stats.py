@@ -1,0 +1,65 @@
+"""Summary statistics over traces — quick sanity views for users and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .events import EventCategory
+from .reader import Trace
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Headline numbers describing one profiling trace."""
+
+    num_spans: int
+    num_python_functions: int
+    num_user_annotations: int
+    num_cpu_ops: int
+    num_memory_events: int
+    num_allocs: int
+    num_frees: int
+    num_iterations: int
+    peak_traced_bytes: int
+    total_alloc_bytes: int
+    duration_us: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "num_spans": self.num_spans,
+            "num_python_functions": self.num_python_functions,
+            "num_user_annotations": self.num_user_annotations,
+            "num_cpu_ops": self.num_cpu_ops,
+            "num_memory_events": self.num_memory_events,
+            "num_allocs": self.num_allocs,
+            "num_frees": self.num_frees,
+            "num_iterations": self.num_iterations,
+            "peak_traced_bytes": self.peak_traced_bytes,
+            "total_alloc_bytes": self.total_alloc_bytes,
+            "duration_us": self.duration_us,
+        }
+
+
+def summarize_trace(trace: Trace) -> TraceSummary:
+    """Compute a :class:`TraceSummary` for ``trace``."""
+    allocs = [e for e in trace.memory_events if e.is_alloc]
+    frees = [e for e in trace.memory_events if e.is_free]
+    peak = max((e.total_allocated for e in trace.memory_events), default=0)
+    if trace.spans or trace.memory_events:
+        start, end = trace.span_bounds()
+        duration = end - start
+    else:
+        duration = 0
+    return TraceSummary(
+        num_spans=len(trace.spans),
+        num_python_functions=len(trace.by_category(EventCategory.PYTHON_FUNCTION)),
+        num_user_annotations=len(trace.by_category(EventCategory.USER_ANNOTATION)),
+        num_cpu_ops=len(trace.by_category(EventCategory.CPU_OP)),
+        num_memory_events=len(trace.memory_events),
+        num_allocs=len(allocs),
+        num_frees=len(frees),
+        num_iterations=trace.num_iterations(),
+        peak_traced_bytes=peak,
+        total_alloc_bytes=sum(e.nbytes for e in allocs),
+        duration_us=duration,
+    )

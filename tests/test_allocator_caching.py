@@ -1,0 +1,258 @@
+"""The caching allocator: BFC search, split/coalesce, caching, OOM chain."""
+
+import pytest
+
+from repro.allocator.caching import CachingAllocator
+from repro.allocator.constants import AllocatorConfig
+from repro.allocator.device import DeviceAllocator
+from repro.errors import InvalidFreeError, SimOutOfMemoryError
+from repro.units import GiB, KiB, MiB
+
+
+def make_allocator(capacity=1 * GiB, config=None):
+    device = DeviceAllocator(capacity=capacity)
+    if config is None:
+        return CachingAllocator(device), device
+    return CachingAllocator(device, config=config), device
+
+
+class TestBasicAllocation:
+    def test_small_alloc_reserves_2mib_segment(self):
+        alloc, _ = make_allocator()
+        block = alloc.malloc(1000)
+        assert block.size == 1024  # 512-rounded
+        assert alloc.reserved_bytes == 2 * MiB
+        assert alloc.allocated_bytes == 1024
+
+    def test_medium_alloc_reserves_20mib_buffer(self):
+        alloc, _ = make_allocator()
+        alloc.malloc(5 * MiB)
+        assert alloc.reserved_bytes == 20 * MiB
+
+    def test_huge_alloc_rounds_to_2mib(self):
+        alloc, _ = make_allocator()
+        alloc.malloc(21 * MiB)
+        assert alloc.reserved_bytes == 22 * MiB
+
+    def test_two_small_allocs_share_a_segment(self):
+        alloc, _ = make_allocator()
+        alloc.malloc(512 * KiB)
+        alloc.malloc(512 * KiB)
+        assert alloc.reserved_bytes == 2 * MiB
+        assert len(alloc.segments()) == 1
+
+    def test_requested_vs_allocated_tracks_rounding_waste(self):
+        alloc, _ = make_allocator()
+        alloc.malloc(1000)
+        assert alloc.stats.rounding_waste() == 24
+
+    def test_invariants_hold(self):
+        alloc, _ = make_allocator()
+        blocks = [alloc.malloc(s) for s in (700, 3 * MiB, 100, 15 * MiB)]
+        alloc.check_invariants()
+        for block in blocks:
+            alloc.free(block)
+        alloc.check_invariants()
+
+
+class TestCachingBehaviour:
+    def test_free_keeps_segment_reserved(self):
+        """§2.2.2: deallocated blocks are cached, not returned to the GPU."""
+        alloc, device = make_allocator()
+        block = alloc.malloc(5 * MiB)
+        alloc.free(block)
+        assert alloc.allocated_bytes == 0
+        assert alloc.reserved_bytes == 20 * MiB
+        assert device.used_bytes == 20 * MiB
+
+    def test_cache_hit_reuses_block(self):
+        alloc, device = make_allocator()
+        block = alloc.malloc(5 * MiB)
+        alloc.free(block)
+        allocs_before = device.stats.num_allocs
+        again = alloc.malloc(5 * MiB)
+        assert device.stats.num_allocs == allocs_before  # no new cudaMalloc
+        assert again.addr == block.addr
+        assert alloc.stats.num_cache_hits == 1
+
+    def test_empty_cache_releases_free_segments(self):
+        alloc, device = make_allocator()
+        block = alloc.malloc(5 * MiB)
+        alloc.free(block)
+        released = alloc.empty_cache()
+        assert released == 20 * MiB
+        assert device.used_bytes == 0
+        assert alloc.reserved_bytes == 0
+
+    def test_empty_cache_keeps_pinned_segments(self):
+        alloc, _ = make_allocator()
+        keep = alloc.malloc(512)
+        drop = alloc.malloc(512 * KiB)
+        alloc.free(drop)
+        alloc.empty_cache()
+        # the segment holding `keep` cannot be released
+        assert alloc.reserved_bytes == 2 * MiB
+        alloc.free(keep)
+
+    def test_non_caching_ablation_returns_segments(self):
+        config = AllocatorConfig(cache_segments=False)
+        alloc, device = make_allocator(config=config)
+        block = alloc.malloc(5 * MiB)
+        alloc.free(block)
+        assert device.used_bytes == 0
+
+
+class TestBestFitAndSplit:
+    def test_best_fit_prefers_smallest_sufficient(self):
+        alloc, _ = make_allocator()
+        small = alloc.malloc(2 * MiB)
+        large = alloc.malloc(18 * MiB)
+        alloc.free(small)
+        alloc.free(large)
+        block = alloc.malloc(2 * MiB)
+        assert block.size >= 2 * MiB
+        # served from the smaller cached block, not the 18 MiB one
+        assert block.addr == small.addr
+
+    def test_large_block_splits_with_remainder(self):
+        alloc, _ = make_allocator()
+        block = alloc.malloc(12 * MiB)  # exact-ish segment 12 MiB
+        alloc.free(block)
+        part = alloc.malloc(4 * MiB)
+        assert part.size == 4 * MiB
+        assert alloc.stats.num_splits >= 1
+        assert alloc.cached_bytes() == 8 * MiB
+
+    def test_large_pool_split_needs_remainder_over_1mib(self):
+        """Large-pool blocks split only when > kSmallSize remains."""
+        alloc, _ = make_allocator()
+        block = alloc.malloc(19 * MiB + 512 * KiB)  # 20 MiB segment
+        alloc.free(block)
+        again = alloc.malloc(19 * MiB + 256 * KiB)
+        # remainder would be < 1 MiB -> no split; whole block served
+        assert again.size == 20 * MiB
+
+    def test_small_pool_split_granularity(self):
+        alloc, _ = make_allocator()
+        first = alloc.malloc(512)
+        second = alloc.malloc(512)
+        assert second.addr == first.addr + 512
+
+    def test_coalesce_on_free(self):
+        alloc, _ = make_allocator()
+        a = alloc.malloc(512)
+        b = alloc.malloc(512)
+        c = alloc.malloc(512)
+        alloc.free(a)
+        alloc.free(c)
+        alloc.free(b)
+        alloc.check_invariants()
+        segment = alloc.segments()[0]
+        assert segment.is_fully_free()
+        assert alloc.stats.num_coalesces >= 2
+
+    def test_no_split_ablation(self):
+        config = AllocatorConfig(allow_split=False)
+        alloc, _ = make_allocator(config=config)
+        block = alloc.malloc(512)
+        assert block.size == 2 * MiB  # whole segment handed out
+
+
+class TestSequenceSensitivity:
+    def test_dealloc_order_changes_peak(self):
+        """Paper Fig. 3: freeing before vs after the next alloc changes the
+        peak segment memory for identical tensors."""
+        sizes = [40 * MiB, 30 * MiB]
+        # sequence 1: allocate both, then free
+        alloc1, _ = make_allocator()
+        a = alloc1.malloc(sizes[0])
+        b = alloc1.malloc(sizes[1])
+        alloc1.free(a)
+        alloc1.free(b)
+        peak1 = alloc1.stats.reserved_bytes.peak
+        # sequence 2: free the first before allocating the second
+        alloc2, _ = make_allocator()
+        a = alloc2.malloc(sizes[0])
+        alloc2.free(a)
+        alloc2.malloc(sizes[1])
+        peak2 = alloc2.stats.reserved_bytes.peak
+        assert peak1 > peak2
+
+
+class TestOomChain:
+    def test_reclaim_before_oom(self):
+        """§3.4 OOM: cached segments are reclaimed before failing."""
+        alloc, device = make_allocator(capacity=64 * MiB)
+        block = alloc.malloc(40 * MiB)
+        alloc.free(block)  # cached: device still holds 40 MiB
+        assert device.used_bytes == 40 * MiB
+        # 60 MiB does not fit beside the cache; reclaim must kick in
+        alloc.malloc(60 * MiB)
+        assert alloc.reserved_bytes == 60 * MiB
+
+    def test_oom_when_live_blocks_pin_segments(self):
+        alloc, _ = make_allocator(capacity=64 * MiB)
+        alloc.malloc(40 * MiB)  # live -> not reclaimable
+        with pytest.raises(SimOutOfMemoryError) as excinfo:
+            alloc.malloc(60 * MiB)
+        assert excinfo.value.allocated == 40 * MiB
+        assert alloc.stats.num_ooms == 1
+
+    def test_single_level_ablation_skips_reclaim(self):
+        config = AllocatorConfig(reclaim_on_oom=False)
+        alloc, _ = make_allocator(capacity=64 * MiB, config=config)
+        block = alloc.malloc(40 * MiB)
+        alloc.free(block)
+        with pytest.raises(SimOutOfMemoryError):
+            alloc.malloc(60 * MiB)
+
+    def test_retry_counter_increments(self):
+        alloc, _ = make_allocator(capacity=64 * MiB)
+        block = alloc.malloc(40 * MiB)
+        alloc.free(block)
+        alloc.malloc(60 * MiB)
+        assert alloc.stats.num_alloc_retries >= 1
+
+
+class TestOwnerApi:
+    def test_free_by_owner(self):
+        alloc, _ = make_allocator()
+        alloc.malloc(1 * MiB, owner=42)
+        alloc.free_owner(42)
+        assert alloc.allocated_bytes == 0
+
+    def test_double_alloc_same_owner_rejected(self):
+        alloc, _ = make_allocator()
+        alloc.malloc(512, owner=1)
+        with pytest.raises(InvalidFreeError):
+            alloc.malloc(512, owner=1)
+
+    def test_unknown_owner_rejected(self):
+        alloc, _ = make_allocator()
+        with pytest.raises(InvalidFreeError):
+            alloc.free_owner(99)
+
+    def test_double_free_rejected(self):
+        alloc, _ = make_allocator()
+        block = alloc.malloc(512)
+        alloc.free(block)
+        with pytest.raises(InvalidFreeError):
+            alloc.free(block)
+
+
+class TestTimeline:
+    def test_timeline_records_both_series(self):
+        alloc, _ = make_allocator()
+        block = alloc.malloc(5 * MiB, ts=10)
+        alloc.free(block, ts=20)
+        assert alloc.timeline is not None
+        ts, allocated, reserved = alloc.timeline.series()
+        assert ts == [10, 20]
+        assert allocated == [5 * MiB, 0]
+        assert reserved == [20 * MiB, 20 * MiB]
+
+    def test_timeline_disabled(self):
+        device = DeviceAllocator(capacity=GiB)
+        alloc = CachingAllocator(device, record_timeline=False)
+        alloc.malloc(512)
+        assert alloc.timeline is None

@@ -1,0 +1,135 @@
+"""Device-level allocator: capacity, fragmentation, coalescing."""
+
+import pytest
+
+from repro.allocator.device import DeviceAllocator
+from repro.errors import DeviceOutOfMemoryError, InvalidFreeError
+from repro.units import KiB, MiB
+
+
+class TestAllocFree:
+    def test_simple_alloc(self):
+        device = DeviceAllocator(capacity=10 * MiB)
+        addr = device.alloc(1 * MiB)
+        assert addr == 0
+        assert device.used_bytes == 1 * MiB
+
+    def test_sequential_addresses(self):
+        device = DeviceAllocator(capacity=10 * MiB)
+        a = device.alloc(1 * MiB)
+        b = device.alloc(1 * MiB)
+        assert b == a + 1 * MiB
+
+    def test_free_returns_size(self):
+        device = DeviceAllocator(capacity=10 * MiB)
+        addr = device.alloc(1 * MiB)
+        assert device.free(addr) == 1 * MiB
+        assert device.used_bytes == 0
+
+    def test_alignment(self):
+        device = DeviceAllocator(capacity=10 * MiB)
+        device.alloc(100)  # rounded to 512
+        assert device.used_bytes == 512
+
+    def test_double_free_raises(self):
+        device = DeviceAllocator(capacity=10 * MiB)
+        addr = device.alloc(1 * MiB)
+        device.free(addr)
+        with pytest.raises(InvalidFreeError):
+            device.free(addr)
+
+    def test_unknown_free_raises(self):
+        device = DeviceAllocator(capacity=10 * MiB)
+        with pytest.raises(InvalidFreeError):
+            device.free(12345)
+
+    def test_nonpositive_alloc_rejected(self):
+        device = DeviceAllocator(capacity=10 * MiB)
+        with pytest.raises(ValueError):
+            device.alloc(0)
+
+
+class TestCapacity:
+    def test_oom_when_full(self):
+        device = DeviceAllocator(capacity=2 * MiB)
+        device.alloc(2 * MiB)
+        with pytest.raises(DeviceOutOfMemoryError):
+            device.alloc(512)
+
+    def test_oom_carries_diagnostics(self):
+        device = DeviceAllocator(capacity=1 * MiB)
+        with pytest.raises(DeviceOutOfMemoryError) as excinfo:
+            device.alloc(2 * MiB)
+        assert excinfo.value.requested == 2 * MiB
+        assert excinfo.value.capacity == 1 * MiB
+
+    def test_reserved_carveout(self):
+        device = DeviceAllocator(capacity=4 * MiB, reserved=3 * MiB)
+        with pytest.raises(DeviceOutOfMemoryError):
+            device.alloc(2 * MiB)
+        device.alloc(1 * MiB)  # fits in the remaining 1 MiB
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DeviceAllocator(capacity=0)
+
+    def test_invalid_reservation(self):
+        with pytest.raises(ValueError):
+            DeviceAllocator(capacity=MiB, reserved=2 * MiB)
+
+    def test_peak_tracking(self):
+        device = DeviceAllocator(capacity=10 * MiB)
+        a = device.alloc(4 * MiB)
+        device.alloc(2 * MiB)
+        device.free(a)
+        assert device.stats.peak_used == 6 * MiB
+        assert device.used_bytes == 2 * MiB
+
+
+class TestFragmentation:
+    def test_fragmentation_blocks_large_alloc(self):
+        device = DeviceAllocator(capacity=3 * MiB)
+        a = device.alloc(1 * MiB)
+        b = device.alloc(1 * MiB)
+        device.alloc(1 * MiB)
+        device.free(a)
+        device.free(b)  # coalesces with a -> 2 MiB contiguous
+        addr = device.alloc(2 * MiB)
+        assert addr == 0
+
+    def test_non_adjacent_frees_stay_fragmented(self):
+        device = DeviceAllocator(capacity=3 * MiB)
+        a = device.alloc(1 * MiB)
+        device.alloc(1 * MiB)  # keeps the middle occupied
+        c = device.alloc(1 * MiB)
+        device.free(a)
+        device.free(c)
+        assert device.free_bytes == 2 * MiB
+        with pytest.raises(DeviceOutOfMemoryError):
+            device.alloc(2 * MiB)
+        assert device.fragmentation() == pytest.approx(0.5)
+
+    def test_can_alloc_probe(self):
+        device = DeviceAllocator(capacity=2 * MiB)
+        assert device.can_alloc(2 * MiB)
+        device.alloc(1 * MiB)
+        assert not device.can_alloc(2 * MiB)
+        assert device.can_alloc(1 * MiB)
+
+    def test_coalesce_three_way(self):
+        device = DeviceAllocator(capacity=3 * MiB)
+        a = device.alloc(1 * MiB)
+        b = device.alloc(1 * MiB)
+        c = device.alloc(1 * MiB)
+        device.free(a)
+        device.free(c)
+        device.free(b)  # merges left and right in one insert
+        assert device.largest_free_range == 3 * MiB
+
+    def test_reuse_freed_range_first_fit(self):
+        device = DeviceAllocator(capacity=4 * MiB)
+        a = device.alloc(1 * MiB)
+        device.alloc(1 * MiB)
+        device.free(a)
+        new_addr = device.alloc(512 * KiB)
+        assert new_addr == a  # first fit lands in the freed hole

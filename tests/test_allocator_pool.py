@@ -1,0 +1,107 @@
+"""BlockPool: sorted best-fit container semantics."""
+
+import pytest
+
+from repro.allocator.block import Block, Segment
+from repro.allocator.pool import BlockPool
+
+
+def make_block(addr: int, size: int) -> Block:
+    segment = Segment(addr=addr, size=size, is_small=False)
+    block = Block(addr=addr, size=size, segment=segment)
+    segment.first_block = block
+    return block
+
+
+class TestPoolBasics:
+    def test_add_and_len(self):
+        pool = BlockPool(is_small=False)
+        pool.add(make_block(0, 1024))
+        pool.add(make_block(4096, 2048))
+        assert len(pool) == 2
+
+    def test_contains(self):
+        pool = BlockPool(is_small=False)
+        block = make_block(0, 1024)
+        pool.add(block)
+        assert block in pool
+        assert make_block(0, 1024) not in pool  # identity, not equality
+
+    def test_duplicate_add_rejected(self):
+        pool = BlockPool(is_small=False)
+        block = make_block(0, 1024)
+        pool.add(block)
+        with pytest.raises(ValueError):
+            pool.add(block)
+
+    def test_remove(self):
+        pool = BlockPool(is_small=False)
+        block = make_block(0, 1024)
+        pool.add(block)
+        pool.remove(block)
+        assert len(pool) == 0
+
+    def test_remove_absent_raises(self):
+        pool = BlockPool(is_small=False)
+        with pytest.raises(KeyError):
+            pool.remove(make_block(0, 512))
+
+    def test_remove_with_equal_keys(self):
+        pool = BlockPool(is_small=False)
+        # same (size, addr) sort key is impossible for distinct blocks in
+        # practice, but equal sizes at different addresses are common
+        a = make_block(0, 1024)
+        b = make_block(8192, 1024)
+        pool.add(a)
+        pool.add(b)
+        pool.remove(b)
+        assert a in pool and len(pool) == 1
+
+
+class TestBestFit:
+    def test_smallest_sufficient_wins(self):
+        pool = BlockPool(is_small=False)
+        pool.add(make_block(0, 4096))
+        pool.add(make_block(8192, 1024))
+        pool.add(make_block(16384, 2048))
+        best = pool.find_best_fit(1500)
+        assert best is not None and best.size == 2048
+
+    def test_lowest_address_breaks_ties(self):
+        pool = BlockPool(is_small=False)
+        pool.add(make_block(8192, 1024))
+        pool.add(make_block(0, 1024))
+        best = pool.find_best_fit(1024)
+        assert best is not None and best.addr == 0
+
+    def test_none_when_too_small(self):
+        pool = BlockPool(is_small=False)
+        pool.add(make_block(0, 512))
+        assert pool.find_best_fit(1024) is None
+
+    def test_exact_match(self):
+        pool = BlockPool(is_small=False)
+        pool.add(make_block(0, 2048))
+        best = pool.find_best_fit(2048)
+        assert best is not None and best.size == 2048
+
+
+class TestQueries:
+    def test_blocks_larger_than(self):
+        pool = BlockPool(is_small=False)
+        pool.add(make_block(0, 1024))
+        pool.add(make_block(4096, 8192))
+        larger = pool.blocks_larger_than(1024)
+        assert [b.size for b in larger] == [8192]
+
+    def test_total_free_bytes(self):
+        pool = BlockPool(is_small=False)
+        pool.add(make_block(0, 1024))
+        pool.add(make_block(4096, 512))
+        assert pool.total_free_bytes() == 1536
+
+    def test_iteration_is_sorted(self):
+        pool = BlockPool(is_small=False)
+        pool.add(make_block(0, 4096))
+        pool.add(make_block(8192, 512))
+        assert [b.size for b in pool] == [512, 4096]

@@ -1,0 +1,136 @@
+"""Property-based tests: the caching allocator against a naive reference.
+
+Random alloc/free interleavings must preserve the structural invariants
+(contiguous chains, merged free neighbours, counter consistency) and agree
+with a trivial reference implementation on allocated bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocator.caching import CachingAllocator
+from repro.allocator.constants import AllocatorConfig
+from repro.allocator.device import DeviceAllocator
+from repro.allocator.rounding import round_size
+from repro.units import GiB, KiB, MiB
+
+# a step is (op, value): op 0 = alloc of `value` bytes, op 1 = free of the
+# live block at index `value % len(live)`
+steps = st.lists(
+    st.tuples(st.integers(0, 1), st.integers(1, 48 * MiB)),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=steps)
+def test_invariants_under_random_traffic(trace):
+    device = DeviceAllocator(capacity=16 * GiB)
+    alloc = CachingAllocator(device)
+    live = []
+    for op, value in trace:
+        if op == 0:
+            block = alloc.malloc(value)
+            live.append((block, value))
+        elif live:
+            index = value % len(live)
+            block, _ = live.pop(index)
+            alloc.free(block)
+    alloc.check_invariants()
+    # the counter equals the live blocks' actual sizes, which are at least
+    # the 512-rounded requests (blocks may be bigger when the remainder
+    # was not worth splitting)
+    assert alloc.allocated_bytes == sum(b.size for b, _ in live)
+    rounded_total = sum(round_size(req, alloc.config) for _, req in live)
+    assert alloc.allocated_bytes >= rounded_total
+    assert alloc.reserved_bytes >= alloc.allocated_bytes
+    assert device.used_bytes == alloc.reserved_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=steps)
+def test_empty_cache_after_full_release(trace):
+    """After freeing everything and emptying the cache, the device is clean."""
+    device = DeviceAllocator(capacity=16 * GiB)
+    alloc = CachingAllocator(device)
+    live = []
+    for op, value in trace:
+        if op == 0:
+            live.append(alloc.malloc(value))
+        elif live:
+            alloc.free(live.pop(value % len(live)))
+    for block in live:
+        alloc.free(block)
+    alloc.empty_cache()
+    assert alloc.reserved_bytes == 0
+    assert device.used_bytes == 0
+    alloc.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 8 * MiB), min_size=1, max_size=30),
+    config_choice=st.sampled_from(["default", "no_split", "no_cache"]),
+)
+def test_peak_reserved_dominates_peak_allocated(sizes, config_choice):
+    configs = {
+        "default": AllocatorConfig(),
+        "no_split": AllocatorConfig(allow_split=False),
+        "no_cache": AllocatorConfig(cache_segments=False),
+    }
+    alloc = CachingAllocator(
+        DeviceAllocator(capacity=16 * GiB), config=configs[config_choice]
+    )
+    blocks = [alloc.malloc(size) for size in sizes]
+    for block in blocks:
+        alloc.free(block)
+    assert alloc.stats.reserved_bytes.peak >= alloc.stats.allocated_bytes.peak
+    alloc.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=st.lists(st.integers(512, 2 * MiB), min_size=2, max_size=20))
+def test_alloc_free_alloc_is_cache_hit(sizes):
+    """Re-requesting a just-freed size must never touch the device again."""
+    device = DeviceAllocator(capacity=16 * GiB)
+    alloc = CachingAllocator(device)
+    for size in sizes:
+        block = alloc.malloc(size)
+        alloc.free(block)
+        device_allocs = device.stats.num_allocs
+        again = alloc.malloc(size)
+        assert device.stats.num_allocs == device_allocs
+        alloc.free(again)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed_sizes=st.lists(st.integers(1, 4 * MiB), min_size=1, max_size=12))
+def test_round_size_is_monotone_and_aligned(seed_sizes):
+    config = AllocatorConfig()
+    rounded = [round_size(s, config) for s in sorted(seed_sizes)]
+    assert all(r % config.min_block_size == 0 for r in rounded)
+    assert rounded == sorted(rounded)
+    for original, result in zip(sorted(seed_sizes), rounded):
+        assert result >= original
+        assert result - original < config.min_block_size
+
+
+@pytest.mark.parametrize("capacity", [8 * MiB, 64 * MiB])
+@settings(max_examples=25, deadline=None)
+@given(sizes=st.lists(st.integers(1, 6 * MiB), min_size=1, max_size=15))
+def test_capped_device_never_overcommits(capacity, sizes):
+    from repro.errors import SimOutOfMemoryError
+
+    device = DeviceAllocator(capacity=capacity)
+    alloc = CachingAllocator(device)
+    for size in sizes:
+        try:
+            alloc.malloc(size)
+        except SimOutOfMemoryError:
+            break
+    assert device.used_bytes <= capacity
+    alloc.check_invariants()

@@ -1,0 +1,85 @@
+"""Rounding and segment-sizing policies (paper §3.4 'Round up'/'Segment')."""
+
+import pytest
+
+from repro.allocator.constants import DEFAULT_CONFIG, AllocatorConfig
+from repro.allocator.rounding import is_small_request, round_size, segment_size
+from repro.units import KiB, MiB
+
+
+class TestRoundSize:
+    def test_minimum_is_512(self):
+        assert round_size(1, DEFAULT_CONFIG) == 512
+        assert round_size(511, DEFAULT_CONFIG) == 512
+
+    def test_exact_multiple_unchanged(self):
+        assert round_size(1024, DEFAULT_CONFIG) == 1024
+
+    def test_rounds_to_next_multiple(self):
+        assert round_size(513, DEFAULT_CONFIG) == 1024
+        assert round_size(1025, DEFAULT_CONFIG) == 1536
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            round_size(0, DEFAULT_CONFIG)
+        with pytest.raises(ValueError):
+            round_size(-5, DEFAULT_CONFIG)
+
+    def test_large_sizes_stay_aligned(self):
+        assert round_size(20 * MiB + 1, DEFAULT_CONFIG) % 512 == 0
+
+
+class TestPoolBoundary:
+    def test_small_request(self):
+        assert is_small_request(1 * MiB, DEFAULT_CONFIG)
+
+    def test_large_request(self):
+        assert not is_small_request(1 * MiB + 512, DEFAULT_CONFIG)
+
+
+class TestSegmentSize:
+    def test_small_requests_get_2mib_segments(self):
+        assert segment_size(512, DEFAULT_CONFIG) == 2 * MiB
+        assert segment_size(1 * MiB, DEFAULT_CONFIG) == 2 * MiB
+
+    def test_medium_requests_get_20mib_buffers(self):
+        assert segment_size(1 * MiB + 512, DEFAULT_CONFIG) == 20 * MiB
+        assert segment_size(9 * MiB, DEFAULT_CONFIG) == 20 * MiB
+
+    def test_boundary_at_min_large_alloc(self):
+        just_below = 10 * MiB - 512
+        assert segment_size(just_below, DEFAULT_CONFIG) == 20 * MiB
+        assert segment_size(10 * MiB, DEFAULT_CONFIG) == 10 * MiB
+
+    def test_big_requests_round_to_2mib(self):
+        assert segment_size(21 * MiB, DEFAULT_CONFIG) == 22 * MiB
+        assert segment_size(20 * MiB, DEFAULT_CONFIG) == 20 * MiB
+
+    def test_paper_example_20mb_for_10mb_tensor(self):
+        # §2.2.2 / §6.4: a caching allocator may request a 20MB block for
+        # a 10MB-ish tensor need
+        assert segment_size(round_size(6 * MiB, DEFAULT_CONFIG), DEFAULT_CONFIG) == 20 * MiB
+
+
+class TestConfigValidation:
+    def test_custom_config(self):
+        config = AllocatorConfig(min_block_size=256)
+        assert round_size(100, config) == 256
+
+    def test_invalid_small_boundary(self):
+        with pytest.raises(ValueError):
+            AllocatorConfig(small_size=4 * MiB, small_buffer=2 * MiB)
+
+    def test_invalid_min_block(self):
+        with pytest.raises(ValueError):
+            AllocatorConfig(min_block_size=0)
+
+    def test_invalid_large_boundary(self):
+        with pytest.raises(ValueError):
+            AllocatorConfig(min_large_alloc=30 * MiB, large_buffer=20 * MiB)
+
+    def test_tensorflow_flavoured_config(self):
+        # the BFC core is framework-agnostic (§6.4) — e.g. 256 B rounding
+        config = AllocatorConfig(min_block_size=256, small_size=512 * KiB)
+        assert round_size(300, config) == 512
+        assert is_small_request(512 * KiB, config)

@@ -1,0 +1,62 @@
+"""Snapshot export (the torch.cuda.memory_snapshot analogue)."""
+
+from repro.allocator.caching import CachingAllocator
+from repro.allocator.device import DeviceAllocator
+from repro.allocator.snapshot import memory_snapshot, summarize_snapshot
+from repro.units import GiB, MiB
+
+
+def make_allocator():
+    return CachingAllocator(DeviceAllocator(capacity=1 * GiB))
+
+
+class TestSnapshot:
+    def test_empty_allocator(self):
+        assert memory_snapshot(make_allocator()) == []
+
+    def test_segments_and_blocks(self):
+        alloc = make_allocator()
+        alloc.malloc(512)
+        alloc.malloc(5 * MiB)
+        snapshot = memory_snapshot(alloc)
+        assert len(snapshot) == 2
+        kinds = {s["segment_type"] for s in snapshot}
+        assert kinds == {"small", "large"}
+
+    def test_block_states(self):
+        alloc = make_allocator()
+        keep = alloc.malloc(512)
+        drop = alloc.malloc(512)
+        alloc.free(drop)
+        (segment,) = memory_snapshot(alloc)
+        states = [b["state"] for b in segment["blocks"]]
+        assert states.count("active_allocated") == 1
+        assert "inactive" in states
+        alloc.free(keep)
+
+    def test_requested_size_recorded(self):
+        alloc = make_allocator()
+        alloc.malloc(1000)
+        (segment,) = memory_snapshot(alloc)
+        allocated = [
+            b for b in segment["blocks"] if b["state"] == "active_allocated"
+        ]
+        assert allocated[0]["requested_size"] == 1000
+        assert allocated[0]["size"] == 1024
+
+    def test_snapshot_matches_counters(self):
+        alloc = make_allocator()
+        blocks = [alloc.malloc(s) for s in (512, 3 * MiB, 12 * MiB)]
+        alloc.free(blocks[1])
+        summary = summarize_snapshot(memory_snapshot(alloc))
+        assert summary["reserved_bytes"] == alloc.reserved_bytes
+        assert summary["allocated_bytes"] == alloc.allocated_bytes
+        assert summary["cached_bytes"] == alloc.cached_bytes()
+
+    def test_addresses_are_segment_ordered(self):
+        alloc = make_allocator()
+        alloc.malloc(5 * MiB)
+        alloc.malloc(25 * MiB)
+        snapshot = memory_snapshot(alloc)
+        addrs = [s["address"] for s in snapshot]
+        assert addrs == sorted(addrs)

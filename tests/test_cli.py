@@ -1,0 +1,78 @@
+"""CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEstimate:
+    def test_human_output(self, capsys):
+        code = main([
+            "estimate", "--model", "MobileNetV3Small",
+            "--batch-size", "32", "--optimizer", "sgd",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated peak" in out
+        assert "GB" in out
+
+    def test_json_output(self, capsys):
+        code = main([
+            "estimate", "--model", "MobileNetV3Small",
+            "--batch-size", "32", "--optimizer", "sgd", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "MobileNetV3Small"
+        assert payload["estimated_peak_bytes"] > 0
+
+    def test_custom_capacity(self, capsys):
+        code = main([
+            "estimate", "--model", "MobileNetV3Small",
+            "--batch-size", "32", "--optimizer", "sgd",
+            "--capacity", "2GiB", "--json",
+        ])
+        assert code == 0
+
+    def test_pos0_flag(self, capsys):
+        code = main([
+            "estimate", "--model", "MobileNetV3Small", "--batch-size", "16",
+            "--zero-grad-position", "pos0", "--json",
+        ])
+        assert code == 0
+
+
+class TestOtherCommands:
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt2" in out and "VGG16" in out and "Qwen3-4B" in out
+
+    def test_trace_summary(self, capsys, tmp_path):
+        path = tmp_path / "t.json"
+        code = main([
+            "trace", "--model", "MobileNetV3Small", "--batch-size", "8",
+            "--optimizer", "sgd", "--iterations", "2",
+            "--output", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "num_memory_events" in out
+
+    def test_curve_prints_series(self, capsys):
+        code = main([
+            "curve", "--model", "MobileNetV3Small", "--batch-size", "8",
+            "--optimizer", "sgd", "--points", "50",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) <= 51 + 10  # downsampled (peaks kept)
+        ts, tensor, segment = lines[0].split("\t")
+        assert int(segment) >= int(tensor)
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,101 @@
+"""Cluster scheduler: estimates drive packing, OOM kills, throughput."""
+
+import pytest
+
+from repro.cluster.job import Job, JobRecord
+from repro.cluster.scheduler import MemoryAwareScheduler
+from repro.units import GiB
+from repro.workload import DeviceSpec, WorkloadConfig
+
+DEVICE = DeviceSpec(name="gpu", capacity_bytes=13 * GiB, framework_bytes=GiB)
+
+
+def make_job(reserved_gib, actual_gib, duration=1, submitted_at=0):
+    return Job(
+        workload=WorkloadConfig("gpt2", "adam", 8),
+        reserved_bytes=int(reserved_gib * GiB),
+        actual_peak_bytes=int(actual_gib * GiB),
+        duration=duration,
+        submitted_at=submitted_at,
+    )
+
+
+class TestJob:
+    def test_oom_flag(self):
+        assert make_job(2, 3).ooms_under_reservation
+        assert not make_job(3, 2).ooms_under_reservation
+
+    def test_invalid_figures(self):
+        with pytest.raises(ValueError):
+            make_job(-1, 1)
+        with pytest.raises(ValueError):
+            make_job(1, 1, duration=0)
+
+    def test_record_waste(self):
+        record = JobRecord(
+            job_id=1, started_at=0, finished_at=1, device="g",
+            oomed=False, reserved_bytes=4 * GiB, actual_peak_bytes=3 * GiB,
+        )
+        assert record.wasted_bytes == GiB
+        assert record.completed
+
+
+class TestScheduler:
+    def test_accurate_reservations_pack_two_jobs(self):
+        scheduler = MemoryAwareScheduler([DEVICE])
+        jobs = [make_job(5, 4.8), make_job(5, 4.9)]
+        outcome = scheduler.simulate(jobs)
+        assert outcome.completed == 2
+        assert outcome.oom_kills == 0
+        # both fit simultaneously: makespan is one job's duration + drain
+        assert outcome.makespan <= 2
+
+    def test_overestimates_serialize_jobs(self):
+        scheduler = MemoryAwareScheduler([DEVICE])
+        jobs = [make_job(11, 4.8), make_job(11, 4.9)]
+        outcome = scheduler.simulate(jobs)
+        assert outcome.completed == 2
+        assert outcome.makespan >= 2  # could not share the GPU
+
+    def test_underestimates_cause_oom_kills(self):
+        scheduler = MemoryAwareScheduler([DEVICE])
+        outcome = scheduler.simulate([make_job(3, 6)])
+        assert outcome.oom_kills == 1
+        assert outcome.completed == 0
+
+    def test_oversized_job_rejected(self):
+        scheduler = MemoryAwareScheduler([DEVICE])
+        outcome = scheduler.simulate([make_job(20, 20)])
+        (record,) = outcome.records
+        assert record.started_at is None and not record.completed
+
+    def test_first_fit_across_gpus(self):
+        scheduler = MemoryAwareScheduler([DEVICE], gpus_per_device=2)
+        jobs = [make_job(8, 7), make_job(8, 7)]
+        outcome = scheduler.simulate(jobs)
+        assert outcome.completed == 2
+        devices = {r.device for r in outcome.records}
+        assert len(devices) == 2
+
+    def test_submission_times_respected(self):
+        scheduler = MemoryAwareScheduler([DEVICE])
+        jobs = [make_job(4, 3, submitted_at=3)]
+        outcome = scheduler.simulate(jobs)
+        (record,) = outcome.records
+        assert record.started_at >= 3
+
+    def test_throughput_favors_accuracy(self):
+        """The paper's pitch: accurate estimates -> better packing."""
+        workload = [(4.0, 3.9)] * 6  # six jobs that truly need ~3.9 GiB
+        accurate = MemoryAwareScheduler([DEVICE]).simulate(
+            [make_job(r, a, duration=2) for r, a in workload]
+        )
+        conservative = MemoryAwareScheduler([DEVICE]).simulate(
+            [make_job(12, a, duration=2) for _, a in workload]
+        )
+        assert accurate.makespan < conservative.makespan
+        assert accurate.completed == conservative.completed == 6
+
+    def test_no_devices_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAwareScheduler([])

@@ -1,0 +1,183 @@
+"""Lifecycle reconstruction (paper §3.2) + property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lifecycle import (
+    MemoryBlock,
+    peak_live_bytes,
+    reconstruct_lifecycles,
+)
+from repro.errors import LifecycleError
+from repro.trace.events import MemoryEvent
+
+
+def ev(ts, addr, nbytes):
+    return MemoryEvent(ts=ts, addr=addr, nbytes=nbytes)
+
+
+class TestReconstruction:
+    def test_simple_pairing(self):
+        report = reconstruct_lifecycles(
+            [ev(1, 0x10, 100), ev(5, 0x10, -100)]
+        )
+        (block,) = report.blocks
+        assert (block.alloc_ts, block.free_ts, block.size) == (1, 5, 100)
+
+    def test_persistent_block(self):
+        report = reconstruct_lifecycles([ev(1, 0x10, 100)])
+        assert report.blocks[0].persistent
+
+    def test_address_reuse(self):
+        """§3.2: address reuse must yield two distinct lifecycles."""
+        events = [
+            ev(1, 0x10, 100),
+            ev(2, 0x10, -100),
+            ev(3, 0x10, 400),  # same address, new block, new size
+            ev(4, 0x10, -400),
+        ]
+        report = reconstruct_lifecycles(events)
+        assert len(report.blocks) == 2
+        assert report.reused_addresses == 1
+        sizes = sorted(b.size for b in report.blocks)
+        assert sizes == [100, 400]
+
+    def test_unmatched_free_tolerated(self):
+        report = reconstruct_lifecycles([ev(1, 0x99, -64)])
+        assert report.unmatched_frees == 1
+        assert not report.blocks
+
+    def test_unmatched_free_strict(self):
+        with pytest.raises(LifecycleError):
+            reconstruct_lifecycles([ev(1, 0x99, -64)], strict=True)
+
+    def test_double_alloc_tolerated(self):
+        events = [ev(1, 0x10, 100), ev(2, 0x10, 200)]
+        report = reconstruct_lifecycles(events)
+        # the phantom first block is closed at the second alloc
+        assert len(report.blocks) == 2
+
+    def test_double_alloc_strict(self):
+        with pytest.raises(LifecycleError):
+            reconstruct_lifecycles(
+                [ev(1, 0x10, 100), ev(2, 0x10, 200)], strict=True
+            )
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(LifecycleError):
+            reconstruct_lifecycles([ev(5, 1, 10), ev(1, 2, 10)])
+
+    def test_blocks_sorted_by_alloc_ts(self):
+        events = [
+            ev(1, 0x20, 50),
+            ev(2, 0x30, 60),
+            ev(3, 0x20, -50),
+            ev(4, 0x30, -60),
+        ]
+        report = reconstruct_lifecycles(events)
+        assert [b.alloc_ts for b in report.blocks] == [1, 2]
+
+
+class TestBlockQueries:
+    def test_lifespan_within(self):
+        block = MemoryBlock(addr=1, size=10, alloc_ts=5, free_ts=10)
+        assert block.lifespan_within(0, 20)
+        assert not block.lifespan_within(6, 20)
+        assert not MemoryBlock(addr=1, size=10, alloc_ts=5).lifespan_within(0, 20)
+
+    def test_overlaps(self):
+        block = MemoryBlock(addr=1, size=10, alloc_ts=5, free_ts=10)
+        assert block.overlaps(0, 6)
+        assert block.overlaps(7, 8)
+        assert not block.overlaps(11, 20)
+
+    def test_with_free_ts_keeps_id(self):
+        block = MemoryBlock(addr=1, size=10, alloc_ts=5, free_ts=10)
+        adjusted = block.with_free_ts(None)
+        assert adjusted.block_id == block.block_id
+        assert adjusted.persistent
+
+
+class TestPeakLiveBytes:
+    def test_sequential(self):
+        blocks = [
+            MemoryBlock(addr=1, size=100, alloc_ts=0, free_ts=10),
+            MemoryBlock(addr=2, size=200, alloc_ts=20, free_ts=30),
+        ]
+        assert peak_live_bytes(blocks) == 200
+
+    def test_overlapping(self):
+        blocks = [
+            MemoryBlock(addr=1, size=100, alloc_ts=0, free_ts=10),
+            MemoryBlock(addr=2, size=200, alloc_ts=5, free_ts=30),
+        ]
+        assert peak_live_bytes(blocks) == 300
+
+    def test_free_before_alloc_at_same_ts(self):
+        """A free and an alloc at the same instant do not stack."""
+        blocks = [
+            MemoryBlock(addr=1, size=100, alloc_ts=0, free_ts=5),
+            MemoryBlock(addr=2, size=100, alloc_ts=5, free_ts=9),
+        ]
+        assert peak_live_bytes(blocks) == 100
+
+    def test_persistent_counts_forever(self):
+        blocks = [
+            MemoryBlock(addr=1, size=100, alloc_ts=0),
+            MemoryBlock(addr=2, size=50, alloc_ts=99, free_ts=100),
+        ]
+        assert peak_live_bytes(blocks) == 150
+
+    def test_empty(self):
+        assert peak_live_bytes([]) == 0
+
+
+# ---------------------------------------------------------------------
+# property: reconstruction inverts a random valid event generation
+# ---------------------------------------------------------------------
+@st.composite
+def block_plans(draw):
+    """Random (alloc_ts, free_ts|None, size) plans with disjoint addrs."""
+    count = draw(st.integers(1, 25))
+    plans = []
+    for index in range(count):
+        alloc_ts = draw(st.integers(0, 1000))
+        lives = draw(st.booleans())
+        free_ts = draw(st.integers(alloc_ts + 1, 1100)) if lives else None
+        size = draw(st.integers(1, 10**6))
+        plans.append((alloc_ts, free_ts, size, 0x1000 + index * 0x100))
+    return plans
+
+
+@settings(max_examples=60, deadline=None)
+@given(plans=block_plans())
+def test_reconstruction_inverts_generation(plans):
+    events = []
+    for alloc_ts, free_ts, size, addr in plans:
+        events.append(MemoryEvent(ts=alloc_ts, addr=addr, nbytes=size))
+        if free_ts is not None:
+            events.append(MemoryEvent(ts=free_ts, addr=addr, nbytes=-size))
+    events.sort(key=lambda e: e.ts)
+    report = reconstruct_lifecycles(events)
+    assert len(report.blocks) == len(plans)
+    recovered = {
+        (b.addr, b.alloc_ts, b.free_ts, b.size) for b in report.blocks
+    }
+    expected = {
+        (addr, alloc_ts, free_ts, size)
+        for alloc_ts, free_ts, size, addr in plans
+    }
+    assert recovered == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(plans=block_plans())
+def test_peak_never_below_any_single_block(plans):
+    blocks = [
+        MemoryBlock(addr=addr, size=size, alloc_ts=a, free_ts=f)
+        for a, f, size, addr in plans
+    ]
+    peak = peak_live_bytes(blocks)
+    assert peak >= max(b.size for b in blocks)
+    assert peak <= sum(b.size for b in blocks)

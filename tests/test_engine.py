@@ -1,0 +1,201 @@
+"""Training-engine semantics: lifetimes, loop shape, zero_grad placement."""
+
+import pytest
+
+from repro.allocator.caching import CachingAllocator
+from repro.allocator.device import DeviceAllocator
+from repro.runtime.backend import CpuBackend, GpuBackend
+from repro.runtime.loop import POS0, POS1, TrainLoopConfig
+from repro.runtime.sink import AllocatorSink, NullSink
+from repro.trace.builder import TraceBuilder
+from repro.units import GiB
+from tests.conftest import run_tiny_engine
+
+
+class TestLoopConfig:
+    def test_defaults(self):
+        loop = TrainLoopConfig()
+        assert loop.zero_grad_position == POS1
+        assert loop.set_to_none
+
+    def test_invalid_position(self):
+        with pytest.raises(ValueError):
+            TrainLoopConfig(zero_grad_position="pos2")
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            TrainLoopConfig(iterations=0)
+
+
+class TestEngineLifetimes:
+    def test_run_completes(self):
+        _, result = run_tiny_engine()
+        assert not result.oom
+        assert result.completed_iterations == 2
+
+    def test_everything_freed_except_persistents(self):
+        """At run end only params, grads, optimizer state, and library
+        workspaces survive — no leaked activations."""
+        allocator = CachingAllocator(DeviceAllocator(capacity=2 * GiB))
+        sink = AllocatorSink(allocator)
+        engine, result = run_tiny_engine(
+            sink=sink, backend=GpuBackend(seed=1), optimizer="adam"
+        )
+        persistent = (
+            result.param_bytes
+            + result.optimizer_state_bytes
+            + sum(h.size for h in engine._grad_handles.values())
+            + sum(h.size for h in engine._library_state.values())
+        )
+        assert sink.live_bytes == persistent
+
+    def test_optimizer_state_allocated_once(self):
+        allocator = CachingAllocator(DeviceAllocator(capacity=2 * GiB))
+        sink = AllocatorSink(allocator)
+        _, result = run_tiny_engine(
+            sink=sink,
+            backend=GpuBackend(seed=1),
+            optimizer="adam",
+            loop=TrainLoopConfig(iterations=3),
+        )
+        assert result.optimizer_state_bytes == 2 * result.param_bytes
+
+    def test_param_bytes_match_model(self):
+        engine, result = run_tiny_engine()
+        assert result.param_bytes == engine.model.parameter_bytes()
+
+
+class TestZeroGradPlacement:
+    def tiny_peak_for(self, position: str, set_to_none: bool = True) -> int:
+        allocator = CachingAllocator(DeviceAllocator(capacity=4 * GiB))
+        sink = AllocatorSink(allocator)
+        run_tiny_engine(
+            sink=sink,
+            backend=GpuBackend(seed=5),
+            optimizer="adam",
+            batch_size=16,
+            loop=TrainLoopConfig(
+                iterations=3,
+                zero_grad_position=position,
+                set_to_none=set_to_none,
+            ),
+        )
+        return allocator.peak_reserved_bytes
+
+    def test_pos0_keeps_gradients_through_forward(self):
+        """Fig. 1: POS0 (zero_grad before backward) holds last iteration's
+        gradients across the forward pass -> larger segment peak.  The
+        effect needs parameter-scale gradients, so a real model is used."""
+        from repro.runtime.ground_truth import run_gpu_ground_truth
+
+        peaks = {}
+        for position in (POS0, POS1):
+            result = run_gpu_ground_truth(
+                "distilgpt2",
+                batch_size=4,
+                optimizer="adam",
+                loop=TrainLoopConfig(
+                    iterations=3, zero_grad_position=position
+                ),
+                capacity_bytes=12 * GiB,
+                seed=2,
+                iterations=3,
+            )
+            peaks[position] = result.peak_reserved_bytes
+        assert peaks[POS0] > peaks[POS1]
+
+    def test_set_to_none_false_makes_placement_irrelevant(self):
+        peak0 = self.tiny_peak_for(POS0, set_to_none=False)
+        peak1 = self.tiny_peak_for(POS1, set_to_none=False)
+        assert peak0 == peak1
+
+
+class TestTraceEmission:
+    def test_trace_structure(self):
+        builder = TraceBuilder()
+        run_tiny_engine(tracer=builder, loop=TrainLoopConfig(iterations=2))
+        trace = builder.finish()
+        assert trace.num_iterations() == 2
+        assert len(trace.zero_grad_spans()) == 2
+        assert len(trace.optimizer_step_spans()) == 2
+        assert len(trace.dataloader_spans()) == 2
+
+    def test_memory_events_balanced_per_address(self):
+        builder = TraceBuilder()
+        run_tiny_engine(tracer=builder)
+        trace = builder.finish()
+        net = {}
+        for event in trace.memory_events:
+            net[event.addr] = net.get(event.addr, 0) + event.nbytes
+        # all remaining live bytes are positive leftovers (params etc.)
+        assert all(v >= 0 for v in net.values())
+
+    def test_cpu_trace_defers_grad_frees_past_zero_grad(self):
+        """The profiled CPU run must NOT free gradients inside the
+        zero_grad window (the quirk the Orchestrator repairs)."""
+        builder = TraceBuilder()
+        run_tiny_engine(tracer=builder, loop=TrainLoopConfig(iterations=3))
+        trace = builder.finish()
+        for window in trace.zero_grad_spans():
+            frees = [
+                e
+                for e in trace.memory_events_in(window.ts, window.end)
+                if e.is_free
+            ]
+            assert not frees
+
+    def test_gpu_run_frees_grads_at_zero_grad(self):
+        """Without a tracer (the GPU run) zero_grad frees immediately."""
+        allocator = CachingAllocator(DeviceAllocator(capacity=2 * GiB))
+        sink = AllocatorSink(allocator)
+        engine, _ = run_tiny_engine(
+            sink=sink, backend=GpuBackend(seed=1),
+            loop=TrainLoopConfig(iterations=2),
+        )
+        assert not engine._defer_grad_frees
+
+    def test_backward_ops_marked(self):
+        builder = TraceBuilder()
+        run_tiny_engine(tracer=builder)
+        trace = builder.finish()
+        backward_ops = [o for o in trace.cpu_ops if o.is_backward]
+        forward_ops = [o for o in trace.cpu_ops if not o.is_backward]
+        assert backward_ops and forward_ops
+
+    def test_sequence_numbers_link_fwd_bwd(self):
+        builder = TraceBuilder()
+        run_tiny_engine(tracer=builder)
+        trace = builder.finish()
+        forward_seqs = {
+            o.sequence_number for o in trace.cpu_ops if not o.is_backward
+        }
+        backward_seqs = {
+            o.sequence_number for o in trace.cpu_ops if o.is_backward
+        }
+        assert backward_seqs <= forward_seqs
+
+
+class TestEngineOom:
+    def test_oom_reported_not_raised(self):
+        from repro.units import MiB
+
+        allocator = CachingAllocator(DeviceAllocator(capacity=8 * MiB))
+        sink = AllocatorSink(allocator)
+        _, result = run_tiny_engine(sink=sink, backend=GpuBackend(seed=1))
+        assert result.oom
+        assert result.oom_error is not None
+
+    def test_oom_with_tracer_still_finishes_trace(self):
+        from repro.units import MiB
+
+        allocator = CachingAllocator(DeviceAllocator(capacity=8 * MiB))
+        sink = AllocatorSink(allocator)
+        builder = TraceBuilder()
+        _, result = run_tiny_engine(
+            sink=sink, backend=GpuBackend(seed=1), tracer=builder
+        )
+        assert result.oom
+        trace = builder.finish()  # spans were closed on abort
+        # memory instant events come from the CPU profiling sink, not the
+        # allocator sink, so only the span structure is expected here
+        assert trace.spans

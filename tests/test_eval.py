@@ -1,0 +1,319 @@
+"""Evaluation: metrics Eqs. (1)-(8), two-round validation, drivers."""
+
+import pytest
+
+from repro.eval.metrics import (
+    ValidationOutcome,
+    median_relative_error,
+    memory_conservation_potential,
+    probability_of_estimation_failure,
+    relative_error,
+    score_outcomes,
+)
+from repro.eval.reporting import BoxStats, quadrant_summary
+from repro.eval.validation import GroundTruthCache, validate
+from repro.eval.workloads import (
+    CNN_BATCH_SIZES,
+    SMALL_BATCH_SIZES,
+    anova_grid,
+    batch_sizes_for,
+    monte_carlo_samples,
+    rq5_grid,
+)
+from repro.units import GiB, MiB
+from repro.workload import RTX_3060, DeviceSpec, WorkloadConfig
+
+
+def make_outcome(
+    est_peak=4 * GiB,
+    oom_pred=False,
+    oom1=False,
+    m_peak1=4 * GiB,
+    c1=True,
+    ran_round2=True,
+    oom2=False,
+    m_peak2=None,
+    c2=True,
+    supported=True,
+    device=RTX_3060,
+):
+    return ValidationOutcome(
+        estimator="test",
+        workload=WorkloadConfig("gpt2", "adam", 8),
+        device=device,
+        run_index=0,
+        supported=supported,
+        est_peak=est_peak,
+        oom_pred=oom_pred,
+        oom1=oom1,
+        m_peak1=None if oom1 else m_peak1,
+        c1=c1,
+        ran_round2=ran_round2,
+        oom2=oom2,
+        m_peak2=m_peak2,
+        c2=c2,
+        runtime_seconds=1.0,
+    )
+
+
+class TestErrorEquation:
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.10)
+        assert relative_error(90, 100) == pytest.approx(0.10)
+
+    def test_invalid_truth(self):
+        with pytest.raises(ValueError):
+            relative_error(10, 0)
+
+    def test_round2_peak_preferred(self):
+        """Eq. (3): error uses M_peak2 when round 2 completed."""
+        outcome = make_outcome(
+            est_peak=100, m_peak1=200, m_peak2=110, oom2=False
+        )
+        assert outcome.error == pytest.approx(abs(100 - 110) / 110)
+
+    def test_round1_peak_on_round2_oom(self):
+        outcome = make_outcome(
+            est_peak=100, m_peak1=200, oom2=True, m_peak2=None, c2=False
+        )
+        assert outcome.error == pytest.approx(0.5)
+
+    def test_no_error_when_round1_oomed(self):
+        outcome = make_outcome(oom1=True, ran_round2=False, oom2=None)
+        assert outcome.error is None
+
+    def test_unsupported_has_no_error(self):
+        outcome = make_outcome(supported=False)
+        assert outcome.error is None
+
+
+class TestPef:
+    def test_all_pass(self):
+        outcomes = [make_outcome(c2=True)] * 4
+        assert probability_of_estimation_failure(outcomes) == 0.0
+
+    def test_half_fail(self):
+        outcomes = [make_outcome(c2=True), make_outcome(c2=False)]
+        assert probability_of_estimation_failure(outcomes) == 0.5
+
+    def test_unsupported_excluded(self):
+        outcomes = [make_outcome(c2=False, supported=False)]
+        assert probability_of_estimation_failure(outcomes) is None
+
+
+class TestMcp:
+    def test_successful_estimate_saves_headroom(self):
+        """Eq. (7) case 1: M_max - est."""
+        outcome = make_outcome(est_peak=4 * GiB, oom2=False)
+        assert outcome.m_save == RTX_3060.job_budget() - 4 * GiB
+
+    def test_correct_oom_prediction_saves_whole_budget(self):
+        """Eq. (7) case 2: the job never wastes the GPU."""
+        outcome = make_outcome(
+            oom_pred=True, oom1=True, c1=True, ran_round2=False, oom2=None
+        )
+        assert outcome.m_save == RTX_3060.job_budget()
+
+    def test_failed_estimate_costs_whole_budget(self):
+        """Eq. (7) case 3: -M_max penalty."""
+        outcome = make_outcome(c1=False, ran_round2=False, oom2=None, c2=False)
+        assert outcome.m_save == -RTX_3060.job_budget()
+
+    def test_round2_oom_penalized(self):
+        outcome = make_outcome(oom2=True, c2=False)
+        assert outcome.m_save == -RTX_3060.job_budget()
+
+    def test_mcp_averages(self):
+        outcomes = [
+            make_outcome(est_peak=4 * GiB, oom2=False),
+            make_outcome(c1=False, ran_round2=False, oom2=None, c2=False),
+        ]
+        expected = (
+            (RTX_3060.job_budget() - 4 * GiB) - RTX_3060.job_budget()
+        ) / 2
+        assert memory_conservation_potential(outcomes) == pytest.approx(expected)
+
+
+class TestMre:
+    def test_median_over_errors(self):
+        outcomes = [
+            make_outcome(est_peak=100, m_peak2=100, oom2=False),
+            make_outcome(est_peak=150, m_peak2=100, oom2=False),
+            make_outcome(est_peak=120, m_peak2=100, oom2=False),
+        ]
+        assert median_relative_error(outcomes) == pytest.approx(0.2)
+
+    def test_none_when_empty(self):
+        assert median_relative_error([]) is None
+
+    def test_scores_aggregate(self):
+        outcomes = [make_outcome(est_peak=110, m_peak2=100, oom2=False)]
+        scores = score_outcomes(outcomes)
+        assert scores["test"].num_runs == 1
+        assert scores["test"].mre == pytest.approx(0.1)
+
+
+class TestValidationProtocol:
+    class PerfectEstimator:
+        """Cheats: reads the ground truth and adds 2% headroom."""
+
+        name = "oracle"
+
+        def __init__(self, cache: GroundTruthCache):
+            self.cache = cache
+
+        def supports(self, workload):
+            return True
+
+        def estimate(self, workload, device):
+            from repro.core.result import EstimationResult
+            from repro.eval.validation import _seed_for
+
+            truth = self.cache.round1(
+                workload, device, _seed_for(workload, device, 0)
+            )
+            peak = (
+                device.capacity_bytes * 2
+                if truth.oom
+                else int(truth.measured_peak * 1.02)
+            )
+            return EstimationResult(
+                estimator=self.name,
+                workload=workload,
+                device=device,
+                peak_bytes=peak,
+                runtime_seconds=0.0,
+            )
+
+        def unsupported_result(self, workload, device):  # pragma: no cover
+            raise AssertionError
+
+    def test_oracle_passes_both_rounds(self, tiny_model_spec):
+        cache = GroundTruthCache()
+        workload = WorkloadConfig("MobileNetV3Small", "sgd", 32)
+        outcome = validate(
+            self.PerfectEstimator(cache), workload, RTX_3060, cache=cache
+        )
+        assert outcome.c1 and outcome.c2
+        assert outcome.ran_round2
+        assert outcome.error is not None and outcome.error < 0.05
+        assert outcome.m_save is not None and outcome.m_save > 0
+
+    def test_gross_underestimate_fails_round2(self):
+        class Lowballer:
+            name = "lowball"
+
+            def supports(self, workload):
+                return True
+
+            def estimate(self, workload, device):
+                from repro.core.result import EstimationResult
+
+                return EstimationResult(
+                    estimator=self.name,
+                    workload=workload,
+                    device=device,
+                    peak_bytes=32 * MiB,
+                    runtime_seconds=0.0,
+                )
+
+        workload = WorkloadConfig("MobileNetV3Small", "adam", 64)
+        outcome = validate(Lowballer(), workload, RTX_3060)
+        assert outcome.c1  # round 1 agrees: no OOM predicted, none happened
+        assert outcome.ran_round2
+        assert outcome.oom2  # but the estimate is unusable as a cap
+        assert not outcome.c2
+        assert outcome.m_save == -RTX_3060.job_budget()
+
+    def test_cache_shares_round1(self):
+        cache = GroundTruthCache()
+        workload = WorkloadConfig("MobileNetV3Small", "sgd", 16)
+        cache.round1(workload, RTX_3060, seed=5)
+        cache.round1(workload, RTX_3060, seed=5)
+        assert cache.misses == 1
+
+
+class TestWorkloadGrids:
+    def test_cnn_batches(self):
+        assert CNN_BATCH_SIZES == (200, 300, 400, 500, 600, 700)
+
+    def test_small_batch_models(self):
+        assert batch_sizes_for("Qwen3-0.6B", "transformer") == SMALL_BATCH_SIZES
+        assert batch_sizes_for("pythia-1b", "transformer") == SMALL_BATCH_SIZES
+        assert batch_sizes_for("gpt2", "transformer")[0] == 5
+
+    def test_full_anova_grid_size(self):
+        grid = anova_grid()
+        # 12 CNNs x 5 opts x 6 batches + 8 transformers x 4 x 11 + 2 x 4 x 8
+        assert len(grid) == 12 * 5 * 6 + 8 * 4 * 11 + 2 * 4 * 8
+
+    def test_thinned_grid(self):
+        grid = anova_grid(max_batches_per_model=2, max_optimizers=1)
+        models = {w.model for w in grid}
+        assert len(models) == 22
+        per_model = max(
+            sum(1 for w in grid if w.model == m) for m in models
+        )
+        assert per_model <= 2
+
+    def test_monte_carlo_randomizes_placement(self):
+        samples = list(monte_carlo_samples(60, seed=1))
+        positions = {w.zero_grad_position for w, _ in samples}
+        devices = {d.name for _, d in samples}
+        assert positions == {"pos0", "pos1"}
+        assert len(devices) == 2
+
+    def test_monte_carlo_deterministic_per_seed(self):
+        first = list(monte_carlo_samples(10, seed=7))
+        second = list(monte_carlo_samples(10, seed=7))
+        assert first == second
+
+    def test_rq5_grid(self):
+        grid = rq5_grid()
+        assert len(grid) == 6  # 3 models x {sgd, adafactor}
+        assert all(w.batch_size == 1 for w in grid)
+
+
+class TestReporting:
+    def test_box_stats(self):
+        stats = BoxStats.from_errors([1.0, 2.0, 3.0, 4.0])
+        assert stats.median == 2.5
+        assert stats.q1 == 1.75
+        assert stats.q3 == 3.25
+        assert stats.maximum == 4.0
+
+    def test_box_stats_empty(self):
+        assert BoxStats.from_errors([]) is None
+
+    def test_quadrant_classification(self):
+        from repro.eval.runner import ExperimentResult
+
+        result = ExperimentResult(
+            outcomes=[
+                make_outcome(est_peak=101 * MiB, m_peak2=100 * MiB, oom2=False)
+            ]
+        )
+        summary = quadrant_summary(result)
+        assert summary["test"]["optimal"] == 1
+
+
+class TestDeviceSpec:
+    def test_job_budget(self):
+        device = DeviceSpec(
+            name="d", capacity_bytes=8 * GiB, init_bytes=GiB,
+            framework_bytes=GiB,
+        )
+        assert device.job_budget() == 6 * GiB
+
+    def test_no_budget_rejected(self):
+        device = DeviceSpec(
+            name="d", capacity_bytes=GiB, framework_bytes=2 * GiB
+        )
+        with pytest.raises(ValueError):
+            device.job_budget()
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig("gpt2", "adam", 0)
+        with pytest.raises(ValueError):
+            WorkloadConfig("gpt2", "adam", 1, zero_grad_position="pos9")

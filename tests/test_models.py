@@ -1,0 +1,161 @@
+"""Model zoo: registry coverage, parameter counts, plan validity."""
+
+import pytest
+
+from repro.errors import ModelNotFoundError
+from repro.models.registry import (
+    ModelSpec,
+    get_model_spec,
+    list_models,
+    rq5_models,
+)
+
+# published parameter counts (millions) with a tolerance — the memory
+# experiments need realistic scale, not bit-exact counts
+EXPECTED_PARAMS_M = {
+    "VGG16": (138.4, 3.0),
+    "VGG19": (143.7, 3.0),
+    "ResNet101": (44.5, 2.0),
+    "ResNet152": (60.2, 2.0),
+    "MobileNetV2": (3.5, 0.5),
+    "MobileNetV3Small": (2.5, 0.6),
+    "MobileNetV3Large": (5.4, 0.8),
+    "MnasNet": (4.4, 1.0),
+    "RegNetX400MF": (5.2, 1.2),
+    "RegNetY400MF": (4.3, 1.5),
+    "ConvNeXtTiny": (28.6, 2.0),
+    "ConvNeXtBase": (88.6, 4.0),
+    "distilgpt2": (82, 4),
+    "gpt2": (124, 5),
+    "gpt-neo-125M": (125, 6),
+    "t5-small": (60, 4),
+    "t5-base": (223, 10),
+    "opt-125m": (125, 6),
+    "opt-350m": (331, 26),
+    "Cerebras-GPT-111M": (111, 5),
+    "pythia-1b": (1012, 60),
+    "Qwen3-0.6B": (596, 90),
+    "Llama-3.2-3B-Instruct": (3213, 200),
+    "DeepSeek-R1-Distill-Qwen-1.5B": (1544, 120),
+    "Qwen3-4B": (4022, 400),
+}
+
+
+class TestRegistry:
+    def test_22_eval_models(self):
+        assert len(list_models()) == 22
+
+    def test_12_cnns_10_transformers(self):
+        assert len(list_models(family="cnn")) == 12
+        assert len(list_models(family="transformer")) == 10
+
+    def test_3_rq5_models(self):
+        names = {s.name for s in rq5_models()}
+        assert names == {
+            "Llama-3.2-3B-Instruct",
+            "DeepSeek-R1-Distill-Qwen-1.5B",
+            "Qwen3-4B",
+        }
+
+    def test_lookup_case_insensitive(self):
+        assert get_model_spec("GPT2").name == "gpt2"
+        assert get_model_spec("vgg16").name == "VGG16"
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelNotFoundError):
+            get_model_spec("alexnet-9000")
+
+    def test_rq5_excluded_by_default(self):
+        names = {s.name for s in list_models()}
+        assert "Qwen3-4B" not in names
+        names_all = {s.name for s in list_models(include_rq5=True)}
+        assert "Qwen3-4B" in names_all
+
+    def test_causal_lm_flags(self):
+        assert get_model_spec("gpt2").causal_lm
+        assert not get_model_spec("t5-small").causal_lm
+        assert not get_model_spec("VGG16").causal_lm
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_PARAMS_M))
+def test_parameter_count_matches_published(name):
+    expected, tolerance = EXPECTED_PARAMS_M[name]
+    model = get_model_spec(name).build()
+    actual = model.num_parameters() / 1e6
+    assert actual == pytest.approx(expected, abs=tolerance), (
+        f"{name}: {actual:.1f}M params, expected ~{expected}M"
+    )
+
+
+@pytest.mark.parametrize(
+    "name", [s.name for s in list_models(include_rq5=True)]
+)
+def test_every_model_plans(name):
+    spec = get_model_spec(name)
+    batch = 2
+    model = spec.build()
+    plan = model.build_plan(spec.input_meta(batch))
+    assert plan.ops, f"{name} produced an empty plan"
+    # every non-view op with an output has a positive size
+    for op in plan.ops:
+        if op.output is not None:
+            assert op.output.nbytes > 0
+    # op DAG references only earlier ops
+    for op in plan.ops:
+        assert all(i < op.op_id for i in op.inputs)
+
+
+class TestInputSpecs:
+    def test_cnn_input_shape(self):
+        spec = get_model_spec("ResNet101")
+        assert spec.input_meta(16).shape == (16, 3, 64, 64)
+        assert spec.label_meta(16).shape == (16,)
+
+    def test_transformer_input_shape(self):
+        spec = get_model_spec("gpt2")
+        assert spec.input_meta(4).shape == (4, 128)
+        assert spec.label_meta(4).shape == (4, 128)
+
+    def test_activation_scales_with_batch(self):
+        spec = get_model_spec("MobileNetV2")
+        plan2 = spec.build().build_plan(spec.input_meta(2))
+        plan4 = spec.build().build_plan(spec.input_meta(4))
+        assert plan4.total_output_bytes() == 2 * plan2.total_output_bytes()
+
+    def test_attention_memory_quadratic_in_seq(self):
+        from repro.models.transformer.configs import DISTILGPT2
+        from repro.models.transformer.decoder import DecoderLM
+
+        model = DecoderLM(DISTILGPT2)
+        short = model.build_plan(model.input_meta(1, seq_len=64))
+        long = model.build_plan(model.input_meta(1, seq_len=128))
+        # output bytes grow superlinearly thanks to the (B,H,T,T) tensors
+        assert long.total_output_bytes() > 2.1 * short.total_output_bytes()
+
+
+class TestFamilies:
+    def test_gqa_models_have_smaller_attention(self):
+        qwen = get_model_spec("Qwen3-0.6B").build()
+        params = {p.name: p for p in qwen.parameters()}
+        qkv = next(v for k, v in params.items() if "qkv.weight" in k)
+        # dim + 2*kv_dim < 3*dim for grouped-query attention
+        assert qkv.meta.shape[0] < 3 * qkv.meta.shape[1]
+
+    def test_t5_has_encoder_and_decoder(self):
+        plan = get_model_spec("t5-small").build().build_plan(
+            get_model_spec("t5-small").input_meta(1)
+        )
+        paths = {op.module_path for op in plan.ops}
+        assert any("enc0" in p for p in paths)
+        assert any("dec0" in p for p in paths)
+        assert any("cross_attn" in p for p in paths)
+
+    def test_untied_head_costs_params(self):
+        pythia = get_model_spec("pythia-1b").build()
+        names = [p.name for p in pythia.parameters()]
+        assert any("lm_head" in n for n in names)
+
+    def test_tied_head_is_free(self):
+        gpt2 = get_model_spec("gpt2").build()
+        names = [p.name for p in gpt2.parameters()]
+        assert not any("lm_head" in n for n in names)

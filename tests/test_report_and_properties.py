@@ -1,0 +1,164 @@
+"""Estimation reports, schema round-trip properties, optimizer sweeps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.report import render_report
+from repro.core.result import EstimationResult
+from repro.framework.optim import optimizer_names
+from repro.trace.events import EventCategory, MemoryEvent, SpanEvent
+from repro.trace.schema import trace_from_json, trace_to_json
+from repro.units import GiB
+from repro.workload import RTX_3060, WorkloadConfig
+from tests.conftest import run_tiny_engine
+
+
+# ---------------------------------------------------------------------
+# render_report
+# ---------------------------------------------------------------------
+def make_result(**overrides):
+    defaults = dict(
+        estimator="xMem",
+        workload=WorkloadConfig("gpt2", "adam", 8),
+        device=RTX_3060,
+        peak_bytes=3 * GiB,
+        runtime_seconds=0.25,
+        detail={
+            "role_bytes": {
+                "parameter": 500_000_000,
+                "activation": 1_500_000_000,
+                "optimizer_state": 1_000_000_000,
+            },
+            "peak_allocated_bytes": int(2.8 * GiB),
+            "rule_adjustments": {"gradient_zero_grad_alignment": 12},
+            "num_blocks": 2000,
+            "dropped_blocks": 3,
+        },
+    )
+    defaults.update(overrides)
+    return EstimationResult(**defaults)
+
+
+class TestRenderReport:
+    def test_contains_headline_facts(self):
+        text = render_report(make_result())
+        assert "gpt2/adam/bs8" in text
+        assert "3.22 GB" in text  # 3 GiB in decimal GB
+        assert "fits" in text
+        assert "headroom" in text
+
+    def test_role_breakdown_rendered(self):
+        text = render_report(make_result())
+        assert "parameter" in text
+        assert "optimizer_state" in text
+        assert "%" in text
+
+    def test_adjustments_rendered(self):
+        text = render_report(make_result())
+        assert "gradient_zero_grad_alignment" in text
+        assert "12 block(s)" in text
+
+    def test_oom_verdict(self):
+        text = render_report(make_result(peak_bytes=20 * GiB))
+        assert "OOM predicted" in text
+
+    def test_unsupported(self):
+        text = render_report(make_result(supported=False, peak_bytes=0))
+        assert "not supported" in text
+
+    def test_minimal_detail(self):
+        text = render_report(make_result(detail={}))
+        assert "estimated peak" in text
+
+    def test_cli_explain_flag(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "estimate", "--model", "MobileNetV3Small", "--batch-size", "16",
+            "--optimizer", "adam", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "memory by role" in out
+        assert "optimizer_state" in out
+
+
+# ---------------------------------------------------------------------
+# schema round-trip property
+# ---------------------------------------------------------------------
+categories = st.sampled_from(list(EventCategory))
+
+
+@st.composite
+def random_spans(draw):
+    count = draw(st.integers(0, 20))
+    spans = []
+    for _ in range(count):
+        ts = draw(st.integers(0, 10**6))
+        spans.append(
+            SpanEvent(
+                name=draw(st.text(min_size=1, max_size=20)),
+                category=draw(categories),
+                ts=ts,
+                dur=draw(st.integers(0, 10**4)),
+                tid=draw(st.integers(0, 4)),
+                args={"Sequence number": draw(st.integers(0, 100))},
+            )
+        )
+    return spans
+
+
+@st.composite
+def random_memory_events(draw):
+    count = draw(st.integers(0, 30))
+    events = []
+    for _ in range(count):
+        nbytes = draw(st.integers(1, 10**9))
+        if draw(st.booleans()):
+            nbytes = -nbytes
+        events.append(
+            MemoryEvent(
+                ts=draw(st.integers(0, 10**6)),
+                addr=draw(st.integers(0, 2**48)),
+                nbytes=nbytes,
+                total_allocated=draw(st.integers(0, 2**40)),
+            )
+        )
+    return events
+
+
+@settings(max_examples=50, deadline=None)
+@given(spans=random_spans(), memory_events=random_memory_events())
+def test_schema_round_trip_property(spans, memory_events):
+    document = trace_to_json(spans, memory_events, {"k": "v"})
+    back_spans, back_events, metadata = trace_from_json(document)
+    assert metadata == {"k": "v"}
+    assert len(back_spans) == len(spans)
+    assert len(back_events) == len(memory_events)
+    original = sorted(
+        (s.name, s.category, s.ts, s.dur, s.tid) for s in spans
+    )
+    recovered = sorted(
+        (s.name, s.category, s.ts, s.dur, s.tid) for s in back_spans
+    )
+    assert original == recovered
+    assert sorted((e.ts, e.addr, e.nbytes) for e in memory_events) == sorted(
+        (e.ts, e.addr, e.nbytes) for e in back_events
+    )
+
+
+# ---------------------------------------------------------------------
+# every optimizer through the engine
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("optimizer", optimizer_names())
+def test_engine_supports_every_optimizer(optimizer):
+    _, result = run_tiny_engine(optimizer=optimizer)
+    assert not result.oom
+    from repro.framework.optim import make_optimizer
+
+    opt = make_optimizer(optimizer)
+    if opt.stateful:
+        assert result.optimizer_state_bytes > 0
+    else:
+        assert result.optimizer_state_bytes == 0

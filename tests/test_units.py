@@ -1,0 +1,90 @@
+"""Unit tests for byte-size helpers."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    GiB,
+    KiB,
+    MiB,
+    align_up,
+    format_bytes,
+    format_gb,
+    parse_size,
+)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(100) == "100 B"
+
+    def test_kib(self):
+        assert format_bytes(2 * KiB) == "2.00 KiB"
+
+    def test_mib(self):
+        assert format_bytes(3 * MiB + 512 * KiB) == "3.50 MiB"
+
+    def test_gib(self):
+        assert format_bytes(GiB) == "1.00 GiB"
+
+    def test_negative_keeps_sign(self):
+        assert format_bytes(-2 * MiB) == "-2.00 MiB"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+    def test_precision(self):
+        assert format_bytes(GiB + 512 * MiB, precision=1) == "1.5 GiB"
+
+
+class TestFormatGb:
+    def test_decimal_gigabytes(self):
+        assert format_gb(3 * GB) == "3.00 GB"
+
+    def test_rounding(self):
+        assert format_gb(1_234_567_890) == "1.23 GB"
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("512") == 512
+
+    def test_binary_suffixes(self):
+        assert parse_size("12GiB") == 12 * GiB
+        assert parse_size("8 MiB") == 8 * MiB
+        assert parse_size("1kib") == KiB
+
+    def test_decimal_suffixes(self):
+        assert parse_size("8GB") == 8 * GB
+
+    def test_fractional(self):
+        assert parse_size("1.5GiB") == int(1.5 * GiB)
+
+    def test_unknown_suffix_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("3 parsecs")
+
+    def test_missing_number_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("GiB")
+
+    def test_round_trip_with_format(self):
+        assert parse_size(format_bytes(7 * MiB)) == 7 * MiB
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(1024, 512) == 1024
+
+    def test_rounds_up(self):
+        assert align_up(1025, 512) == 1536
+
+    def test_small_value(self):
+        assert align_up(1, 512) == 512
+
+    def test_zero(self):
+        assert align_up(0, 512) == 0
+
+    def test_invalid_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(100, 0)

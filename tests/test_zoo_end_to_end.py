@@ -1,0 +1,52 @@
+"""Whole-zoo end-to-end sweep: every Table 2 model through the pipeline.
+
+For each evaluation model: profile on the CPU, estimate with xMem, run the
+simulated-GPU ground truth, and check the estimate is sane (positive,
+within a loose accuracy envelope, consistent with the persistent-memory
+floor).  Small batch sizes keep the sweep fast.
+"""
+
+import pytest
+
+from repro.core.estimator import XMemEstimator
+from repro.framework.optim import make_optimizer
+from repro.models.registry import get_model_spec, list_models
+from repro.runtime.ground_truth import run_gpu_ground_truth
+from repro.units import GiB
+from repro.workload import DeviceSpec, WorkloadConfig
+
+BIG_DEVICE = DeviceSpec(
+    name="sweep", capacity_bytes=64 * GiB, framework_bytes=512 * 1024 * 1024
+)
+
+# CNN batches large enough that peaks dwarf the 20 MiB segment
+# granularity (the paper's CNN grid starts at 200 for the same reason)
+SWEEP_BATCH = {"cnn": 64, "transformer": 2}
+
+
+@pytest.mark.parametrize(
+    "name", [spec.name for spec in list_models()]
+)
+def test_zoo_estimate_tracks_ground_truth(name):
+    spec = get_model_spec(name)
+    batch = SWEEP_BATCH[spec.family]
+    workload = WorkloadConfig(name, "adamw", batch)
+    estimate = XMemEstimator(iterations=2).estimate(workload, BIG_DEVICE)
+    truth = run_gpu_ground_truth(
+        name, batch, "adamw",
+        capacity_bytes=BIG_DEVICE.job_budget(), seed=31,
+    )
+    assert not truth.oom
+    assert estimate.peak_bytes > 0
+    error = abs(estimate.peak_bytes - truth.measured_peak) / truth.measured_peak
+    assert error < 0.20, (
+        f"{name}: estimate {estimate.peak_bytes} vs truth "
+        f"{truth.measured_peak} ({error * 100:.1f}% off)"
+    )
+    # the estimate can never undercut the persistent floor:
+    # weights + gradients + optimizer state
+    model = spec.build()
+    optimizer = make_optimizer("adamw")
+    params = model.parameter_bytes()
+    states = optimizer.total_state_bytes([p.meta for p in model.parameters()])
+    assert estimate.peak_bytes >= params * 2 + states
