@@ -1,0 +1,92 @@
+"""Service throughput: cold vs. warm fingerprint cache.
+
+The estimation service's pitch is that an a-priori memory oracle can be
+queried at scheduler rates: the first request for a workload pays the
+full profile-analyze-simulate pipeline, every repeat is a fingerprint
+lookup.  This benchmark replays a repeated-workload request trace (the
+shape cluster admission traffic has: many submissions, few distinct
+configurations) against one service, cold then warm, and reports
+requests/sec, cache hit rate, and latency percentiles as JSON.
+
+Acceptance: warm-cache throughput >= 10x cold-cache throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core.estimator import XMemEstimator
+from repro.service import EstimationService, estimate_many
+from repro.workload import RTX_3060, WorkloadConfig
+
+from _common import emit
+
+#: distinct workloads in the trace (cold phase estimates each once)
+UNIQUE_WORKLOADS = [
+    WorkloadConfig("MobileNetV3Small", "sgd", 16),
+    WorkloadConfig("MobileNetV3Small", "adam", 32),
+    WorkloadConfig("MobileNetV2", "sgd", 16),
+    WorkloadConfig("MnasNet", "sgd", 8),
+]
+#: repeats of the whole unique set in the warm phase
+WARM_REPEATS = 25
+
+
+def run_throughput_bench() -> dict:
+    device = RTX_3060
+    with EstimationService(
+        estimator=XMemEstimator(iterations=2), max_workers=4
+    ) as service:
+        # --- cold: every request misses and runs the full pipeline ----
+        cold_requests = [(w, device) for w in UNIQUE_WORKLOADS]
+        started = time.perf_counter()
+        cold_results = estimate_many(
+            service, cold_requests, share_profiles=False
+        )
+        cold_seconds = time.perf_counter() - started
+
+        # --- warm: the same trace repeated; all fingerprint hits ------
+        warm_requests = cold_requests * WARM_REPEATS
+        started = time.perf_counter()
+        warm_results = estimate_many(
+            service, warm_requests, share_profiles=False
+        )
+        warm_seconds = time.perf_counter() - started
+        stats = service.stats()
+
+    # warm answers are the cached cold objects — byte-identical replays
+    assert all(
+        warm.peak_bytes == cold.peak_bytes
+        for cold, warm in zip(cold_results, warm_results)
+    )
+    cold_rps = len(cold_requests) / cold_seconds
+    warm_rps = len(warm_requests) / warm_seconds
+    return {
+        "unique_workloads": len(UNIQUE_WORKLOADS),
+        "cold_requests": len(cold_requests),
+        "warm_requests": len(warm_requests),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_rps": cold_rps,
+        "warm_rps": warm_rps,
+        "warm_speedup": warm_rps / cold_rps,
+        "cache_hit_rate": stats["service"]["cache_hit_rate"],
+        "latency_seconds": stats["service"]["latency_seconds"],
+        "cache": stats["cache"],
+    }
+
+
+def test_service_throughput(capsys):
+    report = run_throughput_bench()
+    emit("service_throughput", json.dumps(report, indent=2), capsys)
+    # the serving layer's raison d'etre: repeats are catalog lookups
+    assert report["warm_speedup"] >= 10, (
+        f"warm cache only {report['warm_speedup']:.1f}x faster than cold"
+    )
+    assert report["cache_hit_rate"] > 0.9
+    assert report["latency_seconds"]["p50"] is not None
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_throughput_bench(), indent=2))

@@ -19,6 +19,8 @@ Package layout:
 * :mod:`repro.baselines` — DNNMem, SchedTune, LLMem
 * :mod:`repro.eval` — metrics (Eqs. 1-8), two-round validation, experiments
 * :mod:`repro.cluster` — a scheduler consuming estimates (downstream demo)
+* :mod:`repro.service` — the estimation service: middleware chain,
+  fingerprint cache, concurrent request engine
 """
 
 from .allocator import AllocatorConfig, CachingAllocator, DeviceAllocator
@@ -37,6 +39,7 @@ from .runtime import (
     profile_on_cpu,
     run_gpu_ground_truth,
 )
+from .service import EstimateCache, EstimationService, ServiceMetrics
 from .units import GB, GiB, KiB, MB, MiB, format_bytes, format_gb
 from .workload import (
     A100_40GB,
@@ -58,7 +61,9 @@ __all__ = [
     "DeviceAllocator",
     "DeviceSpec",
     "EVAL_DEVICES",
+    "EstimateCache",
     "EstimationResult",
+    "EstimationService",
     "GB",
     "GiB",
     "KiB",
@@ -71,6 +76,7 @@ __all__ = [
     "RTX_4060",
     "ReproError",
     "SchedTuneEstimator",
+    "ServiceMetrics",
     "SimOutOfMemoryError",
     "TrainLoopConfig",
     "WorkloadConfig",

@@ -1,4 +1,7 @@
-"""Command-line interface: ``xmem estimate | models | trace | curve``."""
+"""Command-line interface.
+
+``xmem estimate | models | devices | trace | curve | batch | serve-demo``
+"""
 
 from __future__ import annotations
 
@@ -60,13 +63,12 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         print(
             json.dumps(
                 {
-                    "model": workload.model,
-                    "optimizer": workload.optimizer,
-                    "batch_size": workload.batch_size,
+                    **workload.as_dict(),
                     "device": device.name,
                     "estimated_peak_bytes": result.peak_bytes,
                     "predicts_oom": result.predicts_oom(),
                     "runtime_seconds": result.runtime_seconds,
+                    "role_bytes": result.detail.get("role_bytes", {}),
                 }
             )
         )
@@ -81,6 +83,165 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         print(f"job budget      : {format_gb(device.job_budget())}")
         print(f"prediction      : {'OOM' if result.predicts_oom() else 'fits'}")
         print(f"estimator time  : {result.runtime_seconds:.2f}s")
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    alias: {
+                        **spec.as_dict(),
+                        "job_budget_bytes": spec.job_budget(),
+                    }
+                    for alias, spec in sorted(_DEVICES.items())
+                }
+            )
+        )
+        return 0
+    print(
+        f"{'alias':<10}{'device':<22}{'capacity':>10}"
+        f"{'framework':>11}{'job budget':>12}"
+    )
+    for alias, spec in sorted(_DEVICES.items()):
+        print(
+            f"{alias:<10}{spec.name:<22}{format_gb(spec.capacity_bytes):>10}"
+            f"{format_gb(spec.framework_bytes):>11}"
+            f"{format_gb(spec.job_budget()):>12}"
+        )
+    print('\n(--capacity "24GiB" builds a custom device instead)')
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .service import EstimationService, sweep
+
+    models = args.model
+    try:
+        batch_sizes = [int(b) for b in args.batch_sizes.split(",")]
+    except ValueError:
+        print(
+            f"error: --batch-sizes must be comma-separated integers, "
+            f"got {args.batch_sizes!r}",
+            file=sys.stderr,
+        )
+        return 2
+    unknown = [
+        name for name in args.devices.split(",") if name not in _DEVICES
+    ]
+    if unknown:
+        print(
+            f"error: unknown device alias(es) {unknown}; "
+            f"known: {sorted(_DEVICES)} (see `xmem devices`)",
+            file=sys.stderr,
+        )
+        return 2
+    devices = [_DEVICES[name] for name in args.devices.split(",")]
+    with EstimationService(
+        estimator=XMemEstimator(iterations=args.iterations),
+        max_workers=args.workers,
+    ) as service:
+        cells = sweep(
+            service,
+            models,
+            batch_sizes,
+            devices,
+            optimizer=args.optimizer,
+            zero_grad_position=args.zero_grad_position,
+        )
+        stats = service.stats()
+    if args.json:
+        print(
+            json.dumps(
+                {"cells": [c.as_dict() for c in cells], "stats": stats}
+            )
+        )
+        return 0
+    print(
+        f"{'model':<22}{'batch':>6}{'peak':>9}"
+        + "".join(f"{d.name.split()[-1]:>12}" for d in devices)
+    )
+    for index in range(0, len(cells), len(devices)):
+        row = cells[index : index + len(devices)]
+        workload = row[0].workload
+        peak = next(
+            (c.result.peak_bytes for c in row if c.result is not None), None
+        )
+        verdicts = "".join(
+            f"{('ERROR' if c.result is None else 'OOM' if c.result.predicts_oom() else 'fits'):>12}"
+            for c in row
+        )
+        print(
+            f"{workload.model:<22}{workload.batch_size:>6}"
+            f"{(format_gb(peak) if peak is not None else 'N/A'):>9}{verdicts}"
+        )
+    service_stats = stats["service"]
+    print(
+        f"\n{service_stats['requests']} requests, "
+        f"hit rate {service_stats['cache_hit_rate']:.0%}, "
+        f"p50 {(service_stats['latency_seconds']['p50'] or 0) * 1e3:.1f} ms"
+    )
+    return 0
+
+
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    """Replay a synthetic repeated-workload request trace at the service."""
+    import random
+
+    from .service import (
+        AuditLogMiddleware,
+        CacheMiddleware,
+        EstimateCache,
+        EstimationService,
+        TimingMiddleware,
+        ValidationMiddleware,
+        estimate_many,
+    )
+
+    rng = random.Random(args.seed)
+    models = [s.name for s in list_models()]
+    uniques = [
+        WorkloadConfig(
+            model=rng.choice(models[: args.unique * 2]),
+            optimizer=rng.choice(("sgd", "adam")),
+            batch_size=rng.choice((8, 16, 32)),
+        )
+        for _ in range(args.unique)
+    ]
+    device = _DEVICES[args.device]
+    requests = [(rng.choice(uniques), device) for _ in range(args.requests)]
+
+    cache = EstimateCache(max_entries=args.cache_entries)
+    audit = AuditLogMiddleware(max_records=args.requests * 2)
+    with EstimationService(
+        estimator=XMemEstimator(iterations=args.iterations),
+        middlewares=(
+            TimingMiddleware(),
+            ValidationMiddleware(),
+            audit,
+            CacheMiddleware(cache),
+        ),
+        cache=cache,
+        max_workers=args.workers,
+    ) as service:
+        # waves model request bursts arriving over time: the first wave
+        # exercises single-flight dedup, later waves hit the cache
+        wave_size = max(1, len(requests) // args.waves)
+        for start in range(0, len(requests), wave_size):
+            estimate_many(
+                service,
+                requests[start : start + wave_size],
+                share_profiles=False,
+            )
+        stats = service.stats()
+    print(
+        f"served {args.requests} requests "
+        f"({args.unique} unique workloads, {args.waves} waves) "
+        f"on {device.name}"
+    )
+    print(json.dumps(stats, indent=2))
+    print(f"audit trail: {len(audit.records)} records")
     return 0
 
 
@@ -149,6 +310,62 @@ def build_parser() -> argparse.ArgumentParser:
 
     models = sub.add_parser("models", help="list the model zoo")
     models.set_defaults(func=_cmd_models)
+
+    devices = sub.add_parser(
+        "devices", help="list the known devices (name, capacity, job budget)"
+    )
+    devices.add_argument("--json", action="store_true")
+    devices.set_defaults(func=_cmd_devices)
+
+    batch = sub.add_parser(
+        "batch",
+        help="sweep (model x batch size x device) through the service",
+    )
+    batch.add_argument(
+        "--model", action="append", required=True,
+        help="model name; repeat for several models",
+    )
+    batch.add_argument(
+        "--batch-sizes", required=True,
+        help='comma-separated batch sizes, e.g. "8,16,32"',
+    )
+    batch.add_argument(
+        "--devices", default="rtx3060",
+        help=f'comma-separated device aliases from {sorted(_DEVICES)}',
+    )
+    batch.add_argument("--optimizer", default="adam")
+    batch.add_argument(
+        "--zero-grad-position", choices=(POS0, POS1), default=None
+    )
+    batch.add_argument("--iterations", type=int, default=3)
+    batch.add_argument("--workers", type=int, default=4)
+    batch.add_argument("--json", action="store_true")
+    batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve-demo",
+        help="replay a synthetic request trace at the estimation service",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=40,
+        help="total requests in the synthetic trace",
+    )
+    serve.add_argument(
+        "--unique", type=int, default=4,
+        help="distinct workloads the trace draws from",
+    )
+    serve.add_argument(
+        "--device", choices=sorted(_DEVICES), default="rtx3060"
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--waves", type=int, default=4,
+        help="bursts the trace is split into (later waves hit the cache)",
+    )
+    serve.add_argument("--iterations", type=int, default=3)
+    serve.add_argument("--cache-entries", type=int, default=1024)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve_demo)
 
     trace = sub.add_parser("trace", help="profile a workload on the CPU")
     trace.add_argument("--model", required=True)

@@ -1,6 +1,18 @@
 """Cluster scheduling demo: estimates drive GPU-sharing decisions."""
 
 from .job import Job, JobRecord
-from .scheduler import MemoryAwareScheduler, ScheduleOutcome
+from .scheduler import (
+    AdmissionDecision,
+    MemoryAwareScheduler,
+    ScheduleOutcome,
+    ServiceAdmissionController,
+)
 
-__all__ = ["Job", "JobRecord", "MemoryAwareScheduler", "ScheduleOutcome"]
+__all__ = [
+    "AdmissionDecision",
+    "Job",
+    "JobRecord",
+    "MemoryAwareScheduler",
+    "ScheduleOutcome",
+    "ServiceAdmissionController",
+]

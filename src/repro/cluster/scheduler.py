@@ -10,8 +10,10 @@ MCP metric translates into cluster value.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
-from ..workload import DeviceSpec
+from ..errors import ServiceError
+from ..workload import DeviceSpec, WorkloadConfig
 from .job import Job, JobRecord
 
 
@@ -157,3 +159,117 @@ class MemoryAwareScheduler:
             if gpu.free() >= job.reserved_bytes:
                 return gpu
         return None
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The admission controller's verdict for one submitted workload."""
+
+    workload: WorkloadConfig
+    admitted: bool
+    reserved_bytes: int
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload.as_dict(),
+            "admitted": self.admitted,
+            "reserved_bytes": self.reserved_bytes,
+            "reason": self.reason,
+        }
+
+
+class ServiceAdmissionController:
+    """Service-backed admission: estimates become reservations.
+
+    Where the original demo called raw estimators inline, this path
+    consults an :class:`~repro.service.engine.EstimationService` — so
+    repeated submissions of the same workload hit the fingerprint cache,
+    concurrent duplicates single-flight, and the service's validation
+    middleware rejects malformed workloads before any profiling runs.
+
+    ``safety_margin`` is the multiplicative headroom schedulers add on top
+    of any estimate (the demo's 1.15).  Workloads whose reservation
+    exceeds every device's job budget are refused at admission time
+    instead of churning through the scheduler queue.
+    """
+
+    def __init__(
+        self,
+        service,
+        devices: Sequence[DeviceSpec],
+        safety_margin: float = 1.15,
+    ):
+        if not devices:
+            raise ValueError("admission controller needs at least one device")
+        if safety_margin < 1.0:
+            raise ValueError("safety margin cannot shrink the estimate")
+        self.service = service
+        self.devices = tuple(devices)
+        self.safety_margin = safety_margin
+
+    def decide(self, workload: WorkloadConfig) -> AdmissionDecision:
+        """Estimate (through the service) and admit or refuse."""
+        try:
+            result = self.service.estimate(workload, self.devices[0])
+        except ServiceError as error:
+            return AdmissionDecision(
+                workload=workload,
+                admitted=False,
+                reserved_bytes=0,
+                reason=f"rejected by service: {error}",
+            )
+        reserved = int(result.peak_bytes * self.safety_margin)
+        if all(reserved > d.job_budget() for d in self.devices):
+            return AdmissionDecision(
+                workload=workload,
+                admitted=False,
+                reserved_bytes=reserved,
+                reason="reservation exceeds every device's job budget",
+            )
+        return AdmissionDecision(
+            workload=workload,
+            admitted=True,
+            reserved_bytes=reserved,
+            reason="fits",
+        )
+
+    def build_jobs(
+        self,
+        submissions: Sequence[tuple[WorkloadConfig, int]],
+        duration: int = 1,
+    ) -> tuple[list[Job], list[AdmissionDecision]]:
+        """Turn (workload, actual peak) submissions into schedulable jobs.
+
+        Returns the admitted jobs plus the decision for every submission
+        (refusals included), in submission order.
+        """
+        jobs: list[Job] = []
+        decisions: list[AdmissionDecision] = []
+        for workload, actual_peak_bytes in submissions:
+            decision = self.decide(workload)
+            decisions.append(decision)
+            if decision.admitted:
+                jobs.append(
+                    Job(
+                        workload=workload,
+                        reserved_bytes=decision.reserved_bytes,
+                        actual_peak_bytes=actual_peak_bytes,
+                        duration=duration,
+                    )
+                )
+        return jobs, decisions
+
+    def simulate(
+        self,
+        submissions: Sequence[tuple[WorkloadConfig, int]],
+        duration: int = 1,
+        gpus_per_device: int = 1,
+        scheduler: Optional[MemoryAwareScheduler] = None,
+    ) -> tuple[ScheduleOutcome, list[AdmissionDecision]]:
+        """Admission + scheduling in one call (the full service-backed path)."""
+        jobs, decisions = self.build_jobs(submissions, duration=duration)
+        scheduler = scheduler or MemoryAwareScheduler(
+            list(self.devices), gpus_per_device=gpus_per_device
+        )
+        return scheduler.simulate(jobs), decisions

@@ -90,5 +90,31 @@ class EstimationError(ReproError):
     """An estimator could not produce an estimate for a configuration."""
 
 
+class ServiceError(ReproError):
+    """Base class for estimation-service failures."""
+
+
+class RequestRejectedError(ServiceError):
+    """A service middleware rejected the request before estimation.
+
+    Raised by :class:`~repro.service.middleware.ValidationMiddleware` for
+    unknown models/optimizers or devices with no job budget.
+    """
+
+
+class RateLimitExceededError(ServiceError):
+    """The service's token bucket is empty; retry after ``retry_after``."""
+
+    def __init__(self, retry_after_seconds: float):
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(
+            f"rate limit exceeded; retry in {retry_after_seconds:.3f}s"
+        )
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that has been shut down."""
+
+
 class ValidationError(ReproError):
     """The two-round validation protocol was driven with inconsistent inputs."""

@@ -167,6 +167,34 @@ def format_mcp_table(
     return "\n".join(lines)
 
 
+def outcome_rows(result: ExperimentResult) -> list[dict]:
+    """Flat JSON-ready rows, one per validation outcome.
+
+    Workload and device columns come from the canonical ``as_dict()``
+    representations (the same fields the service-layer fingerprint hashes),
+    so exported rows join exactly against cached estimates.
+    """
+    rows = []
+    for o in result.outcomes:
+        row = {
+            "estimator": o.estimator,
+            **o.workload.as_dict(),
+            "device": o.device.as_dict(),
+            "run_index": o.run_index,
+            "supported": o.supported,
+            "est_peak": o.est_peak,
+            "oom_pred": o.oom_pred,
+            "oom1": o.oom1,
+            "c1": o.c1,
+            "c2": o.c2,
+            "error": o.error,
+            "m_save": o.m_save,
+            "runtime_seconds": o.runtime_seconds,
+        }
+        rows.append(row)
+    return rows
+
+
 def runtime_table(result: ExperimentResult) -> dict[str, float]:
     """Average estimator runtime in seconds — Table 4."""
     scores = result.scores()

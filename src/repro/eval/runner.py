@@ -112,7 +112,7 @@ class ExperimentRunner:
         device: DeviceSpec,
     ) -> EstimationResult:
         """Estimates are deterministic per configuration — compute once."""
-        key = (estimator.name, workload, device.name)
+        key = (estimator.name, workload.to_key(), device.to_key())
         if key not in self._estimate_cache:
             if estimator.supports(workload):
                 self._estimate_cache[key] = estimator.estimate(workload, device)

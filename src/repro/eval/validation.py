@@ -37,7 +37,7 @@ class GroundTruthCache:
     def round1(
         self, workload: WorkloadConfig, device: DeviceSpec, seed: int
     ) -> GroundTruthResult:
-        key = (workload, device.name, seed)
+        key = (workload.to_key(), device.to_key(), seed)
         if key not in self._cache:
             self.misses += 1
             self._cache[key] = _run(workload, device.job_budget(), seed)

@@ -1,0 +1,66 @@
+"""The estimation service: xMem as queryable middleware (paper §1, §6).
+
+Wraps any estimator behind a request pipeline — fingerprint-keyed
+caching, validation, rate limiting, audit logging — with a concurrent
+worker pool and single-flight deduplication, so schedulers and admission
+controllers can query estimates at cluster rates instead of once per
+blocking call.
+
+Quickstart::
+
+    from repro import RTX_3060, WorkloadConfig
+    from repro.service import EstimationService
+
+    with EstimationService() as service:
+        result = service.estimate(
+            WorkloadConfig("gpt2", "adamw", 8), RTX_3060
+        )
+        print(result.summary())
+        print(service.stats()["service"]["cache_hit_rate"])
+"""
+
+from .batch import SweepCell, estimate_many, profile_workload, sweep
+from .cache import CacheStats, EstimateCache
+from .engine import EstimationService, default_middlewares
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    fingerprint_request,
+    request_payload,
+)
+from .metrics import ServiceMetrics, percentile
+from .middleware import (
+    AuditLogMiddleware,
+    CacheMiddleware,
+    MiddlewareChain,
+    RateLimitMiddleware,
+    RequestContext,
+    ServiceMiddleware,
+    ServiceRequest,
+    TimingMiddleware,
+    ValidationMiddleware,
+)
+
+__all__ = [
+    "AuditLogMiddleware",
+    "CacheMiddleware",
+    "CacheStats",
+    "EstimateCache",
+    "EstimationService",
+    "FINGERPRINT_VERSION",
+    "MiddlewareChain",
+    "RateLimitMiddleware",
+    "RequestContext",
+    "ServiceMetrics",
+    "ServiceMiddleware",
+    "ServiceRequest",
+    "SweepCell",
+    "TimingMiddleware",
+    "ValidationMiddleware",
+    "default_middlewares",
+    "estimate_many",
+    "fingerprint_request",
+    "percentile",
+    "profile_workload",
+    "request_payload",
+    "sweep",
+]

@@ -1,0 +1,134 @@
+"""A thread-safe LRU + TTL cache for estimation results.
+
+Keys are request fingerprints (:mod:`repro.service.fingerprint`); values
+are whatever the service produced for them — normally an
+:class:`~repro.core.result.EstimationResult`.  Estimates are deterministic
+per fingerprint, so the TTL exists only to bound staleness across code
+deployments, not correctness; ``ttl_seconds=None`` disables expiry.
+
+The clock is injectable (any ``() -> float`` in seconds) so tests can
+drive expiry without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters accumulated over the cache's lifetime."""
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    size: int
+    max_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "size": self.size,
+            "max_entries": self.max_entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class EstimateCache:
+    """LRU + TTL mapping of fingerprint -> cached estimate."""
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_entries < 1:
+            raise ValueError("cache needs at least one entry")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: fingerprint -> (value, expires_at | None), in LRU order
+        self._entries: "OrderedDict[str, tuple[Any, Optional[float]]]" = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or None; refreshes LRU order on hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, expires_at = entry
+            if expires_at is not None and self._clock() >= expires_at:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert/refresh ``key``; evicts least-recently-used on overflow."""
+        expires_at = (
+            None
+            if self.ttl_seconds is None
+            else self._clock() + self.ttl_seconds
+        )
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (value, expires_at)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        # peek without disturbing LRU order or counters
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            _, expires_at = entry
+            return expires_at is None or self._clock() < expires_at
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                size=len(self._entries),
+                max_entries=self.max_entries,
+            )

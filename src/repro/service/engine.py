@@ -1,0 +1,253 @@
+"""The estimation service: middleware chain + concurrent request engine.
+
+:class:`EstimationService` wraps any :class:`~repro.core.base.Estimator`
+behind a request pipeline:
+
+1. the request is fingerprinted (:mod:`repro.service.fingerprint`);
+2. if an identical request is already in flight, the caller piggybacks on
+   its future (**single-flight deduplication** — concurrent duplicates
+   cost one estimation, not N);
+3. otherwise the middleware chain's ``on_request`` hooks run in order
+   (cache lookup, validation, rate limiting, ...); a short-circuit
+   answers immediately;
+4. misses dispatch to a ``ThreadPoolExecutor`` worker, which runs the
+   estimator and then the ``on_result`` hooks (populating the cache).
+
+``estimate()`` is the blocking convenience wrapper; ``submit()`` returns
+a ``concurrent.futures.Future`` so schedulers can fan out.  Results are
+the estimator's own objects, untouched — byte-identical to calling the
+estimator directly.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Optional, Sequence
+
+from ..core.base import Estimator
+from ..core.estimator import XMemEstimator
+from ..errors import (
+    RateLimitExceededError,
+    RequestRejectedError,
+    ServiceClosedError,
+)
+from ..trace.reader import Trace
+from ..workload import DeviceSpec, WorkloadConfig
+from .cache import EstimateCache
+from .fingerprint import fingerprint_request
+from .metrics import ServiceMetrics
+from .middleware import (
+    CacheMiddleware,
+    MiddlewareChain,
+    RequestContext,
+    ServiceMiddleware,
+    ServiceRequest,
+    TimingMiddleware,
+    ValidationMiddleware,
+)
+
+DEFAULT_MAX_WORKERS = 4
+
+
+def default_middlewares(cache: EstimateCache) -> tuple[ServiceMiddleware, ...]:
+    """The standard stack: timing outermost, then validation, then cache."""
+    return (TimingMiddleware(), ValidationMiddleware(), CacheMiddleware(cache))
+
+
+class EstimationService:
+    """Serves estimation requests through a middleware chain and a pool."""
+
+    def __init__(
+        self,
+        estimator: Optional[Estimator] = None,
+        middlewares: Optional[Sequence[ServiceMiddleware]] = None,
+        cache: Optional[EstimateCache] = None,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        if max_workers < 1:
+            raise ValueError("service needs at least one worker")
+        self.estimator = estimator if estimator is not None else XMemEstimator()
+        self.cache = cache if cache is not None else EstimateCache()
+        if middlewares is None:
+            middlewares = default_middlewares(self.cache)
+        else:
+            # stats() and the batch fast path must see the cache that
+            # actually serves hits: adopt the chain's, if it has one
+            for middleware in middlewares:
+                if isinstance(middleware, CacheMiddleware):
+                    self.cache = middleware.cache
+                    break
+        self.chain = MiddlewareChain(middlewares)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="xmem-service"
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._request_ids = itertools.count(1)
+        self._closed = False
+        self._accepts_trace = "trace" in inspect.signature(
+            self.estimator.estimate
+        ).parameters
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def accepts_trace(self) -> bool:
+        """Whether the wrapped estimator can reuse a pre-computed trace."""
+        return self._accepts_trace
+
+    def fingerprint(
+        self, workload: WorkloadConfig, device: DeviceSpec
+    ) -> str:
+        """The cache/single-flight key this service uses for a request."""
+        return fingerprint_request(
+            workload,
+            device,
+            estimator_name=self.estimator.name,
+            estimator_version=str(getattr(self.estimator, "version", "")),
+            allocator_config=getattr(self.estimator, "allocator_config", None),
+        )
+
+    def submit(
+        self,
+        workload: WorkloadConfig,
+        device: DeviceSpec,
+        trace: Optional[Trace] = None,
+    ) -> Future:
+        """Enqueue one request; returns a future of the EstimationResult.
+
+        Raises synchronously when an ``on_request`` hook rejects the
+        request (validation failure, rate limit); estimator failures
+        surface through the future.  Identical concurrent requests share
+        one future (their middlewares run once, for the first caller).
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        self.metrics.record_request()
+        fp = self.fingerprint(workload, device)
+        request = ServiceRequest(
+            workload=workload, device=device, fingerprint=fp, trace=trace
+        )
+        ctx = RequestContext(
+            request_id=next(self._request_ids),
+            submitted_at=time.perf_counter(),
+        )
+        with self._lock:
+            inflight = self._inflight.get(fp)
+        if inflight is not None:
+            ctx.deduplicated = True
+            self.metrics.record_deduplicated()
+            return inflight
+        # hooks run outside the lock: cache/rate-limit state is internally
+        # locked, and a hook may call back into stats() without deadlock
+        try:
+            short, depth = self.chain.run_request(request, ctx)
+        except RateLimitExceededError:
+            self.metrics.record_throttled()
+            raise
+        except RequestRejectedError:
+            self.metrics.record_rejected()
+            raise
+        except BaseException:
+            self.metrics.record_error()
+            raise
+        if short is not None:
+            short = self.chain.run_result(request, short, ctx, depth)
+            latency = time.perf_counter() - ctx.submitted_at
+            if ctx.cache_hit:
+                self.metrics.record_cache_hit(latency)
+            else:
+                self.metrics.record_computed(latency)
+            future: Future = Future()
+            future.set_result(short)
+            return future
+        with self._lock:
+            # re-check: another thread may have registered this
+            # fingerprint while our hooks ran (it already paid its own
+            # trip through the chain, so piggybacking now is safe)
+            inflight = self._inflight.get(fp)
+            if inflight is not None:
+                ctx.deduplicated = True
+                self.metrics.record_deduplicated()
+                return inflight
+            future = Future()
+            self._inflight[fp] = future
+        try:
+            self._executor.submit(self._run, request, ctx, future, depth)
+        except BaseException as error:
+            # e.g. the pool shut down between the _closed check and here:
+            # release the single-flight slot so nothing piggybacks on a
+            # future no worker will ever resolve
+            with self._lock:
+                self._inflight.pop(fp, None)
+            self.metrics.record_error()
+            future.set_exception(error)
+        return future
+
+    def estimate(
+        self,
+        workload: WorkloadConfig,
+        device: DeviceSpec,
+        trace: Optional[Trace] = None,
+    ):
+        """Blocking request — the drop-in for ``estimator.estimate()``."""
+        return self.submit(workload, device, trace=trace).result()
+
+    def stats(self) -> dict:
+        """Service metrics + cache counters in one JSON-ready snapshot."""
+        with self._lock:
+            inflight = len(self._inflight)
+        return {
+            "service": self.metrics.as_dict(),
+            "cache": self.cache.stats().as_dict(),
+            "inflight": inflight,
+        }
+
+    def close(self, wait: bool = True) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "EstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        request: ServiceRequest,
+        ctx: RequestContext,
+        future: Future,
+        depth: int,
+    ) -> None:
+        try:
+            result = self._invoke_estimator(request)
+            result = self.chain.run_result(request, result, ctx, depth)
+        except BaseException as error:
+            self.chain.run_error(request, error, ctx, depth)
+            self.metrics.record_error()
+            with self._lock:
+                self._inflight.pop(request.fingerprint, None)
+            future.set_exception(error)
+            return
+        self.metrics.record_computed(time.perf_counter() - ctx.submitted_at)
+        with self._lock:
+            self._inflight.pop(request.fingerprint, None)
+        future.set_result(result)
+
+    def _invoke_estimator(self, request: ServiceRequest):
+        if request.trace is not None and self._accepts_trace:
+            return self.estimator.estimate(
+                request.workload, request.device, trace=request.trace
+            )
+        return self.estimator.estimate(request.workload, request.device)

@@ -1,0 +1,74 @@
+"""Canonical request fingerprints for the estimation service.
+
+Two estimation requests are *the same request* iff they agree on the
+workload, the device, the allocator configuration, and the estimator
+(name + version).  The fingerprint is a stable SHA-256 over the canonical
+JSON encoding of exactly those inputs, so it can key the estimate cache,
+the single-flight table, and any future persistent store — across
+processes and across runs.
+
+Stability contract: the payload layout (field names and order) is
+versioned via :data:`FINGERPRINT_VERSION`; bump it whenever the canonical
+encoding changes so stale persisted entries can never alias fresh ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Optional
+
+from ..allocator.constants import AllocatorConfig
+from ..workload import DeviceSpec, WorkloadConfig
+
+#: Bump when the canonical payload layout changes.
+FINGERPRINT_VERSION = 1
+
+#: Hex digits kept from the SHA-256 digest (128 bits: collision-safe for
+#: any conceivable request population, half the log noise).
+DIGEST_LENGTH = 32
+
+
+def request_payload(
+    workload: WorkloadConfig,
+    device: DeviceSpec,
+    *,
+    estimator_name: str,
+    estimator_version: str = "",
+    allocator_config: Optional[AllocatorConfig] = None,
+) -> dict[str, Any]:
+    """The canonical, JSON-ready identity of one estimation request."""
+    return {
+        "v": FINGERPRINT_VERSION,
+        "estimator": {"name": estimator_name, "version": estimator_version},
+        "workload": workload.as_dict(),
+        "device": device.as_dict(),
+        "allocator": (
+            None
+            if allocator_config is None
+            else dataclasses.asdict(allocator_config)
+        ),
+    }
+
+
+def fingerprint_request(
+    workload: WorkloadConfig,
+    device: DeviceSpec,
+    *,
+    estimator_name: str,
+    estimator_version: str = "",
+    allocator_config: Optional[AllocatorConfig] = None,
+) -> str:
+    """Stable hex fingerprint of one estimation request."""
+    payload = request_payload(
+        workload,
+        device,
+        estimator_name=estimator_name,
+        estimator_version=estimator_version,
+        allocator_config=allocator_config,
+    )
+    encoded = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:DIGEST_LENGTH]

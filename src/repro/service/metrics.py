@@ -1,0 +1,127 @@
+"""Service-level metrics: counters, latency percentiles, throughput.
+
+One :class:`ServiceMetrics` instance is owned by each
+:class:`~repro.service.engine.EstimationService`; every counter mutation
+is lock-protected so worker threads can report concurrently.  The
+snapshot is plain JSON (``as_dict`` / ``to_json``) so it can feed
+dashboards or the CLI directly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional, Sequence
+
+#: Latency samples kept for percentile computation (ring buffer).
+DEFAULT_LATENCY_WINDOW = 4096
+
+
+def percentile(samples: Sequence[float], q: float) -> Optional[float]:
+    """Linear-interpolated percentile; q in [0, 100]; None when empty."""
+    if not samples:
+        return None
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    position = (q / 100) * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency reservoir for one service."""
+
+    def __init__(
+        self,
+        latency_window: int = DEFAULT_LATENCY_WINDOW,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self.requests = 0
+        self.cache_hits = 0
+        self.computed = 0
+        self.deduplicated = 0
+        self.rejected = 0
+        self.throttled = 0
+        self.errors = 0
+        self._first_at: Optional[float] = None
+        self._last_at: Optional[float] = None
+
+    def record_request(self) -> None:
+        with self._lock:
+            now = self._clock()
+            if self._first_at is None:
+                self._first_at = now
+            self._last_at = now
+            self.requests += 1
+
+    def record_cache_hit(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.cache_hits += 1
+            self._latencies.append(latency_seconds)
+            self._last_at = self._clock()
+
+    def record_computed(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.computed += 1
+            self._latencies.append(latency_seconds)
+            self._last_at = self._clock()
+
+    def record_deduplicated(self) -> None:
+        with self._lock:
+            self.deduplicated += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_throttled(self) -> None:
+        with self._lock:
+            self.throttled += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def as_dict(self) -> dict:
+        """One JSON-ready snapshot of everything the service counted."""
+        with self._lock:
+            samples = list(self._latencies)
+            answered = self.cache_hits + self.computed
+            elapsed = (
+                (self._last_at - self._first_at)
+                if self._first_at is not None and self._last_at is not None
+                else 0.0
+            )
+            return {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "computed": self.computed,
+                "deduplicated": self.deduplicated,
+                "rejected": self.rejected,
+                "throttled": self.throttled,
+                "errors": self.errors,
+                "cache_hit_rate": (
+                    self.cache_hits / answered if answered else 0.0
+                ),
+                "throughput_rps": (
+                    answered / elapsed if elapsed > 0 else None
+                ),
+                "latency_seconds": {
+                    "count": len(samples),
+                    "p50": percentile(samples, 50),
+                    "p95": percentile(samples, 95),
+                    "p99": percentile(samples, 99),
+                    "max": max(samples) if samples else None,
+                },
+            }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)

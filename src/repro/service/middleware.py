@@ -1,0 +1,328 @@
+"""The service middleware chain: request/response interception.
+
+Every estimation request flows through an ordered chain of
+:class:`ServiceMiddleware` objects with three hooks:
+
+* ``on_request(request, ctx)`` — before estimation, in chain order.
+  Returning a non-None result **short-circuits**: later middlewares never
+  see the request, the estimator is not invoked, and ``on_result`` runs
+  only for the middlewares *before* the producer (in reverse order).
+  Raising rejects the request; ``on_error`` then runs for the middlewares
+  already entered, in reverse order.
+* ``on_result(request, result, ctx)`` — after estimation, in reverse
+  chain order.  Returning a non-None value replaces the result (used for
+  enrichment; the built-ins never mutate the estimate itself).
+* ``on_error(request, error, ctx)`` — when estimation or a hook raised.
+  Observability only; the error propagates afterwards.
+
+This mirrors the onion model of HTTP/MCP middleware stacks: the first
+middleware in the list is the outermost layer — first to see the request,
+last to see the result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..core.result import EstimationResult
+from ..errors import (
+    ModelNotFoundError,
+    RateLimitExceededError,
+    RequestRejectedError,
+)
+from ..framework.optim import optimizer_names
+from ..models.registry import get_model_spec
+from ..trace.reader import Trace
+from ..workload import DeviceSpec, WorkloadConfig
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One estimation request as seen by the middleware chain."""
+
+    workload: WorkloadConfig
+    device: DeviceSpec
+    fingerprint: str
+    #: pre-computed CPU profile shared across requests (see service.batch)
+    trace: Optional[Trace] = None
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class RequestContext:
+    """Mutable per-request state threaded through the hooks."""
+
+    request_id: int
+    submitted_at: float
+    cache_hit: bool = False
+    deduplicated: bool = False
+    short_circuited_by: Optional[str] = None
+    tags: dict = field(default_factory=dict)
+
+
+class ServiceMiddleware:
+    """Base middleware: override any subset of the three hooks."""
+
+    name = "middleware"
+
+    def on_request(
+        self, request: ServiceRequest, ctx: RequestContext
+    ) -> Optional[EstimationResult]:
+        return None
+
+    def on_result(
+        self,
+        request: ServiceRequest,
+        result: EstimationResult,
+        ctx: RequestContext,
+    ) -> Optional[EstimationResult]:
+        return None
+
+    def on_error(
+        self, request: ServiceRequest, error: BaseException, ctx: RequestContext
+    ) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class MiddlewareChain:
+    """Runs hooks in onion order and tracks how deep a request got."""
+
+    def __init__(self, middlewares: Sequence[ServiceMiddleware]):
+        self.middlewares = tuple(middlewares)
+
+    def run_request(
+        self, request: ServiceRequest, ctx: RequestContext
+    ) -> tuple[Optional[EstimationResult], int]:
+        """Run ``on_request`` hooks in order.
+
+        Returns ``(result, depth)`` where ``depth`` is the number of
+        middlewares whose ``on_request`` completed *without* producing the
+        result — i.e. the layers that must later see ``on_result``.  On a
+        hook exception, runs ``on_error`` for the layers already entered
+        and re-raises.
+        """
+        for index, middleware in enumerate(self.middlewares):
+            try:
+                result = middleware.on_request(request, ctx)
+            except BaseException as error:
+                self.run_error(request, error, ctx, depth=index)
+                raise
+            if result is not None:
+                ctx.short_circuited_by = middleware.name
+                return result, index
+        return None, len(self.middlewares)
+
+    def run_result(
+        self,
+        request: ServiceRequest,
+        result: EstimationResult,
+        ctx: RequestContext,
+        depth: Optional[int] = None,
+    ) -> EstimationResult:
+        """Run ``on_result`` for the first ``depth`` layers, innermost first."""
+        layers = self.middlewares[: len(self.middlewares) if depth is None else depth]
+        for middleware in reversed(layers):
+            replacement = middleware.on_result(request, result, ctx)
+            if replacement is not None:
+                result = replacement
+        return result
+
+    def run_error(
+        self,
+        request: ServiceRequest,
+        error: BaseException,
+        ctx: RequestContext,
+        depth: Optional[int] = None,
+    ) -> None:
+        layers = self.middlewares[: len(self.middlewares) if depth is None else depth]
+        for middleware in reversed(layers):
+            middleware.on_error(request, error, ctx)
+
+
+# ----------------------------------------------------------------------
+# built-ins
+# ----------------------------------------------------------------------
+
+
+class CacheMiddleware(ServiceMiddleware):
+    """Serves repeated fingerprints from an :class:`EstimateCache`."""
+
+    name = "cache"
+
+    def __init__(self, cache):
+        self.cache = cache
+
+    def on_request(self, request, ctx):
+        result = self.cache.get(request.fingerprint)
+        if result is not None:
+            ctx.cache_hit = True
+        return result
+
+    def on_result(self, request, result, ctx):
+        self.cache.put(request.fingerprint, result)
+        return None
+
+
+class ValidationMiddleware(ServiceMiddleware):
+    """Rejects malformed requests before they cost a profiling run."""
+
+    name = "validation"
+
+    def __init__(self, max_batch_size: int = 65536):
+        self.max_batch_size = max_batch_size
+
+    def on_request(self, request, ctx):
+        workload, device = request.workload, request.device
+        try:
+            get_model_spec(workload.model)
+        except ModelNotFoundError as error:
+            raise RequestRejectedError(str(error)) from None
+        if workload.optimizer.lower() not in optimizer_names():
+            raise RequestRejectedError(
+                f"unknown optimizer {workload.optimizer!r}; "
+                f"known: {optimizer_names()}"
+            )
+        if workload.batch_size > self.max_batch_size:
+            raise RequestRejectedError(
+                f"batch size {workload.batch_size} exceeds service limit "
+                f"{self.max_batch_size}"
+            )
+        try:
+            device.job_budget()
+        except ValueError as error:
+            raise RequestRejectedError(str(error)) from None
+        return None
+
+
+class RateLimitMiddleware(ServiceMiddleware):
+    """A token bucket: at most ``burst`` requests instantly, refilled at
+    ``rate_per_second``.  Placed before :class:`CacheMiddleware` it
+    meters every request that reaches the chain (cache hits included);
+    placed after, only computation.  Note the engine's single-flight
+    deduplication answers identical *in-flight* requests before any
+    middleware runs, so piggybacked duplicates consume no tokens.
+    """
+
+    name = "rate_limit"
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate_per_second <= 0 or burst < 1:
+            raise ValueError("rate must be positive and burst >= 1")
+        self.rate = rate_per_second
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def on_request(self, request, ctx):
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + (now - self._refilled_at) * self.rate,
+            )
+            self._refilled_at = now
+            if self._tokens < 1.0:
+                raise RateLimitExceededError((1.0 - self._tokens) / self.rate)
+            self._tokens -= 1.0
+        return None
+
+
+class AuditLogMiddleware(ServiceMiddleware):
+    """Keeps a bounded in-memory audit trail of requests and outcomes."""
+
+    name = "audit_log"
+
+    def __init__(self, max_records: int = 1000, logger=None):
+        self.max_records = max_records
+        self.logger = logger
+        self._lock = threading.Lock()
+        self._records: "deque[dict[str, Any]]" = deque(maxlen=max_records)
+
+    def _append(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+        if self.logger is not None:
+            self.logger.info("xmem.service %s", record)
+
+    def on_request(self, request, ctx):
+        self._append(
+            {
+                "event": "request",
+                "request_id": ctx.request_id,
+                "fingerprint": request.fingerprint,
+                "workload": request.workload.as_dict(),
+                "device": request.device.name,
+            }
+        )
+        return None
+
+    def on_result(self, request, result, ctx):
+        self._append(
+            {
+                "event": "result",
+                "request_id": ctx.request_id,
+                "fingerprint": request.fingerprint,
+                "peak_bytes": result.peak_bytes,
+                "predicts_oom": result.predicts_oom(),
+                "cache_hit": ctx.cache_hit,
+            }
+        )
+        return None
+
+    def on_error(self, request, error, ctx):
+        self._append(
+            {
+                "event": "error",
+                "request_id": ctx.request_id,
+                "fingerprint": request.fingerprint,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
+        )
+
+    @property
+    def records(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._records)
+
+
+class TimingMiddleware(ServiceMiddleware):
+    """Measures wall-clock time each request spends inside the service
+    (queueing + estimation; ~0 for cache hits when placed outermost)."""
+
+    name = "timing"
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._samples: list[float] = []
+
+    def on_request(self, request, ctx):
+        ctx.tags["timing_start"] = self._clock()
+        return None
+
+    def on_result(self, request, result, ctx):
+        started = ctx.tags.get("timing_start")
+        if started is not None:
+            with self._lock:
+                self._samples.append(self._clock() - started)
+        return None
+
+    @property
+    def samples(self) -> list[float]:
+        with self._lock:
+            return list(self._samples)

@@ -43,6 +43,42 @@ class WorkloadConfig:
             f"/{self.zero_grad_position}"
         )
 
+    def to_key(self) -> tuple:
+        """Canonical hashable identity, stable across releases.
+
+        Field order is part of the contract: the service-layer fingerprint
+        and the eval caches both key on this tuple, so changing it
+        invalidates every persisted fingerprint.
+        """
+        return (
+            self.model,
+            self.optimizer,
+            self.batch_size,
+            self.zero_grad_position,
+            self.set_to_none,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (same fields as :meth:`to_key`)."""
+        return {
+            "model": self.model,
+            "optimizer": self.optimizer,
+            "batch_size": self.batch_size,
+            "zero_grad_position": self.zero_grad_position,
+            "set_to_none": self.set_to_none,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadConfig":
+        """Inverse of :meth:`as_dict` (round-trips exactly)."""
+        return cls(
+            model=payload["model"],
+            optimizer=payload["optimizer"],
+            batch_size=payload["batch_size"],
+            zero_grad_position=payload.get("zero_grad_position", POS1),
+            set_to_none=payload.get("set_to_none", True),
+        )
+
 
 @dataclass(frozen=True)
 class DeviceSpec:
@@ -62,6 +98,34 @@ class DeviceSpec:
 
     def with_init(self, init_bytes: int) -> "DeviceSpec":
         return replace(self, init_bytes=init_bytes)
+
+    def to_key(self) -> tuple:
+        """Canonical hashable identity (see :meth:`WorkloadConfig.to_key`)."""
+        return (
+            self.name,
+            self.capacity_bytes,
+            self.init_bytes,
+            self.framework_bytes,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (same fields as :meth:`to_key`)."""
+        return {
+            "name": self.name,
+            "capacity_bytes": self.capacity_bytes,
+            "init_bytes": self.init_bytes,
+            "framework_bytes": self.framework_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DeviceSpec":
+        """Inverse of :meth:`as_dict` (round-trips exactly)."""
+        return cls(
+            name=payload["name"],
+            capacity_bytes=payload["capacity_bytes"],
+            init_bytes=payload.get("init_bytes", 0),
+            framework_bytes=payload.get("framework_bytes", 600 * MiB),
+        )
 
 
 #: The paper's evaluation devices (§4.1.3).

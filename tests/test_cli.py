@@ -28,6 +28,18 @@ class TestEstimate:
         assert payload["model"] == "MobileNetV3Small"
         assert payload["estimated_peak_bytes"] > 0
 
+    def test_json_includes_role_breakdown(self, capsys):
+        code = main([
+            "estimate", "--model", "MobileNetV3Small",
+            "--batch-size", "16", "--optimizer", "sgd", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        roles = payload["role_bytes"]
+        assert roles["parameter"] > 0
+        assert roles["gradient"] > 0
+        assert payload["zero_grad_position"] == "pos1"
+
     def test_custom_capacity(self, capsys):
         code = main([
             "estimate", "--model", "MobileNetV3Small",
@@ -76,3 +88,62 @@ class TestOtherCommands:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_devices_table(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "rtx3060" in out and "GeForce RTX 3060" in out
+        assert "job budget" in out
+
+    def test_devices_json(self, capsys):
+        assert main(["devices", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rtx3060"]["capacity_bytes"] == 12 * 2**30
+        assert payload["a100"]["job_budget_bytes"] > 0
+
+
+class TestServiceCommands:
+    def test_batch_table(self, capsys):
+        code = main([
+            "batch", "--model", "MobileNetV3Small",
+            "--batch-sizes", "8,16", "--devices", "rtx3060,rtx4060",
+            "--optimizer", "sgd", "--iterations", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MobileNetV3Small" in out
+        assert "fits" in out or "OOM" in out
+        assert "requests" in out
+
+    def test_batch_json(self, capsys):
+        code = main([
+            "batch", "--model", "MobileNetV3Small",
+            "--batch-sizes", "8", "--devices", "rtx3060",
+            "--optimizer", "sgd", "--iterations", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        (cell,) = payload["cells"]
+        assert cell["workload"]["model"] == "MobileNetV3Small"
+        assert cell["estimated_peak_bytes"] > 0
+        assert payload["stats"]["service"]["requests"] == 1
+
+    def test_serve_demo(self, capsys):
+        code = main([
+            "serve-demo", "--requests", "8", "--unique", "2",
+            "--iterations", "2", "--waves", "2", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 8 requests" in out
+        stats = json.loads(out[out.index("{") : out.rindex("}") + 1])
+        service = stats["service"]
+        assert service["requests"] == 8
+        # every request resolves exactly once across the three paths
+        assert (
+            service["computed"]
+            + service["cache_hits"]
+            + service["deduplicated"]
+            == 8
+        )
+        assert stats["cache"]["size"] == service["computed"]

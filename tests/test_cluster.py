@@ -3,7 +3,10 @@
 import pytest
 
 from repro.cluster.job import Job, JobRecord
-from repro.cluster.scheduler import MemoryAwareScheduler
+from repro.cluster.scheduler import (
+    MemoryAwareScheduler,
+    ServiceAdmissionController,
+)
 from repro.units import GiB
 from repro.workload import DeviceSpec, WorkloadConfig
 
@@ -99,3 +102,85 @@ class TestScheduler:
     def test_no_devices_rejected(self):
         with pytest.raises(ValueError):
             MemoryAwareScheduler([])
+
+
+class TestServiceAdmission:
+    """The service-backed admission path: estimates become reservations."""
+
+    @pytest.fixture()
+    def service(self):
+        from tests.test_service_engine import StubEstimator
+        from repro.service import (
+            CacheMiddleware,
+            EstimateCache,
+            EstimationService,
+            ValidationMiddleware,
+        )
+
+        cache = EstimateCache()
+        svc = EstimationService(
+            estimator=StubEstimator(peak_bytes=4 * GiB),
+            middlewares=(ValidationMiddleware(), CacheMiddleware(cache)),
+            cache=cache,
+            max_workers=1,
+        )
+        yield svc
+        svc.close()
+
+    def test_admits_with_safety_margin(self, service):
+        controller = ServiceAdmissionController(
+            service, devices=[DEVICE], safety_margin=1.25
+        )
+        decision = controller.decide(WorkloadConfig("gpt2", "adam", 8))
+        assert decision.admitted
+        assert decision.reserved_bytes == int(4 * GiB * 1.25)
+        assert decision.as_dict()["admitted"]
+
+    def test_refuses_oversized_reservation(self):
+        from tests.test_service_engine import StubEstimator
+        from repro.service import EstimationService
+
+        with EstimationService(
+            estimator=StubEstimator(peak_bytes=20 * GiB), max_workers=1
+        ) as service:
+            controller = ServiceAdmissionController(service, devices=[DEVICE])
+            decision = controller.decide(WorkloadConfig("gpt2", "adam", 8))
+        assert not decision.admitted
+        assert "exceeds every device" in decision.reason
+
+    def test_refuses_service_rejections(self, service):
+        controller = ServiceAdmissionController(service, devices=[DEVICE])
+        decision = controller.decide(WorkloadConfig("no-such-model", "adam", 8))
+        assert not decision.admitted
+        assert "rejected by service" in decision.reason
+
+    def test_repeat_submissions_hit_the_cache(self, service):
+        controller = ServiceAdmissionController(service, devices=[DEVICE])
+        workload = WorkloadConfig("gpt2", "adam", 8)
+        controller.decide(workload)
+        controller.decide(workload)
+        stats = service.stats()["service"]
+        assert stats["computed"] == 1
+        assert stats["cache_hits"] == 1
+
+    def test_build_jobs_and_simulate(self, service):
+        controller = ServiceAdmissionController(
+            service, devices=[DEVICE], safety_margin=1.1
+        )
+        submissions = [
+            (WorkloadConfig("gpt2", "adam", 8), 4 * GiB),  # fits
+            (WorkloadConfig("bogus", "adam", 8), 4 * GiB),  # refused
+            (WorkloadConfig("gpt2", "adam", 16), 4 * GiB),  # fits
+        ]
+        outcome, decisions = controller.simulate(submissions, duration=2)
+        assert [d.admitted for d in decisions] == [True, False, True]
+        assert outcome.completed == 2
+        assert outcome.oom_kills == 0
+
+    def test_invalid_parameters(self, service):
+        with pytest.raises(ValueError):
+            ServiceAdmissionController(service, devices=[])
+        with pytest.raises(ValueError):
+            ServiceAdmissionController(
+                service, devices=[DEVICE], safety_margin=0.9
+            )

