@@ -1,0 +1,164 @@
+"""Gateway scaling: routed shards under deterministic traffic scenarios.
+
+Replays every named traffic scenario (uniform, zipf hot-key, bursty,
+duplicate storm, adversarial mix) against a 4-shard
+:class:`~repro.service.gateway.ServiceGateway` and reports per-scenario
+throughput, aggregate cache hit rate, and shed/reject rates.  The
+estimator is :class:`~repro.service.traffic.SyntheticEstimator` with a
+small simulated cost, so the numbers measure the serving layer (routing,
+per-shard caches, queues) rather than CPU profiling time.
+
+Acceptance (asserted):
+
+* under the zipf hot-key scenario, 4-shard **consistent-hash** routing
+  achieves a *strictly higher* aggregate cache hit rate than random
+  routing — cache locality is the reason the gateway routes on the
+  request fingerprint;
+* results served through the gateway are **byte-identical** to direct
+  estimator calls (real ``XMemEstimator``, peak bytes + role breakdown).
+
+``python bench_gateway.py [--smoke]`` runs standalone (``--smoke``
+shrinks the replay for CI); under pytest the smoke size is used.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.core.estimator import XMemEstimator
+from repro.service import (
+    SCENARIO_NAMES,
+    ServiceGateway,
+    SyntheticEstimator,
+    generate_traffic,
+    make_policy,
+    replay,
+)
+from repro.workload import RTX_3060, WorkloadConfig
+
+from _common import emit
+
+NUM_SHARDS = 4
+#: simulated per-estimate cost; large vs. a cache lookup, small vs. CI time
+WORK_SECONDS = 0.002
+
+
+def run_scenario(
+    scenario: str,
+    num_requests: int,
+    policy_name: str = "hash",
+    seed: int = 0,
+    max_queue_depth: int = 64,
+) -> dict:
+    """Replay one scenario; returns the replay report as a dict."""
+    trace = generate_traffic(scenario, num_requests, seed=seed)
+    policy = make_policy(policy_name, NUM_SHARDS, seed=seed)
+    with ServiceGateway(
+        num_shards=NUM_SHARDS,
+        estimator_factory=lambda: SyntheticEstimator(
+            work_seconds=WORK_SECONDS
+        ),
+        policy=policy,
+        max_queue_depth=max_queue_depth,
+    ) as gateway:
+        report = replay(trace, gateway)
+    payload = report.as_dict()
+    aggregate = payload.pop("stats")["aggregate"]
+    payload["cache_hit_rate"] = aggregate["cache_hit_rate"]
+    payload["latency_p95_ms"] = (
+        aggregate["latency_seconds"]["p95"] * 1e3
+        if aggregate["latency_seconds"]["p95"] is not None
+        else None
+    )
+    payload["policy"] = policy_name
+    return payload
+
+
+def check_byte_identity() -> dict:
+    """Gateway answers must equal direct estimator calls exactly."""
+    workloads = [
+        WorkloadConfig("MobileNetV3Small", "sgd", 8),
+        WorkloadConfig("MobileNetV3Small", "adam", 16),
+    ]
+    with ServiceGateway(
+        num_shards=2,
+        estimator_factory=lambda: XMemEstimator(iterations=1),
+    ) as gateway:
+        served = [gateway.estimate(w, RTX_3060) for w in workloads]
+    direct = [
+        XMemEstimator(iterations=1).estimate(w, RTX_3060) for w in workloads
+    ]
+    for via_gateway, reference in zip(served, direct):
+        assert via_gateway.peak_bytes == reference.peak_bytes
+        assert via_gateway.detail == reference.detail
+        assert via_gateway.predicts_oom() == reference.predicts_oom()
+    return {
+        "workloads": [w.label() for w in workloads],
+        "peak_bytes": [r.peak_bytes for r in direct],
+        "byte_identical": True,
+    }
+
+
+def run_gateway_bench(num_requests: int = 200) -> dict:
+    """All scenarios + the routing comparison + the identity check."""
+    scenarios = {
+        name: run_scenario(name, num_requests) for name in SCENARIO_NAMES
+    }
+
+    # --- routing comparison: locality is the point of hash routing ----
+    hashed = run_scenario("zipf", num_requests, policy_name="hash")
+    randomized = run_scenario("zipf", num_requests, policy_name="random")
+    assert hashed["cache_hit_rate"] > randomized["cache_hit_rate"], (
+        f"consistent-hash hit rate {hashed['cache_hit_rate']:.3f} not "
+        f"above random routing's {randomized['cache_hit_rate']:.3f}"
+    )
+
+    return {
+        "num_shards": NUM_SHARDS,
+        "num_requests": num_requests,
+        "scenarios": scenarios,
+        "routing_comparison": {
+            "scenario": "zipf",
+            "hash_hit_rate": hashed["cache_hit_rate"],
+            "random_hit_rate": randomized["cache_hit_rate"],
+            "locality_gain": (
+                hashed["cache_hit_rate"] - randomized["cache_hit_rate"]
+            ),
+        },
+        "byte_identity": check_byte_identity(),
+    }
+
+
+def _check(report: dict) -> None:
+    comparison = report["routing_comparison"]
+    assert comparison["hash_hit_rate"] > comparison["random_hit_rate"]
+    assert report["byte_identity"]["byte_identical"]
+    for name, scenario in report["scenarios"].items():
+        # every generated request is accounted for, none silently dropped
+        total = (
+            scenario["answered"]
+            + scenario["shed"]
+            + scenario["rejected"]
+            + scenario["errors"]
+        )
+        assert total == scenario["num_requests"], (name, scenario)
+    # the adversarial third of invalid requests must be rejected, cheaply
+    assert report["scenarios"]["adversarial"]["rejected"] > 0
+    # well-formed scenarios are fully answered at the default queue depth
+    for name in ("uniform", "zipf", "bursty", "duplicate-storm"):
+        assert report["scenarios"][name]["errors"] == 0
+        assert report["scenarios"][name]["rejected"] == 0
+
+
+def test_gateway_scenarios(capsys):
+    report = run_gateway_bench(num_requests=200)
+    emit("gateway_scenarios", json.dumps(report, indent=2), capsys)
+    _check(report)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    bench_report = run_gateway_bench(num_requests=200 if smoke else 800)
+    _check(bench_report)
+    emit("gateway_scenarios", json.dumps(bench_report, indent=2))

@@ -1,6 +1,7 @@
 """Command-line interface.
 
-``xmem estimate | models | devices | trace | curve | batch | serve-demo``
+``xmem estimate | models | devices | trace | curve | batch | serve-demo |
+loadtest``
 """
 
 from __future__ import annotations
@@ -245,6 +246,65 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Replay a named traffic scenario against a sharded gateway."""
+    from .service import (
+        ServiceGateway,
+        SyntheticEstimator,
+        generate_traffic,
+        make_policy,
+        replay,
+    )
+
+    trace = generate_traffic(
+        args.scenario,
+        args.requests,
+        seed=args.seed,
+        unique_workloads=args.unique,
+        waves=args.waves,
+    )
+    if args.estimator == "synthetic":
+        factory = lambda: SyntheticEstimator(  # noqa: E731
+            work_seconds=args.work_ms / 1000.0
+        )
+    else:
+        factory = lambda: XMemEstimator(iterations=args.iterations)  # noqa: E731
+    with ServiceGateway(
+        num_shards=args.shards,
+        estimator_factory=factory,
+        policy=make_policy(args.policy, args.shards, seed=args.seed),
+        max_queue_depth=args.max_queue_depth,
+        max_workers_per_shard=args.workers_per_shard,
+    ) as gateway:
+        report = replay(trace, gateway)
+    if args.json:
+        print(json.dumps(report.as_dict()))
+        return 0
+    aggregate = report.stats["aggregate"]
+    gateway_stats = report.stats["gateway"]
+    print(
+        f"scenario {trace.scenario!r}: {report.num_requests} requests "
+        f"({trace.unique_fingerprint_keys()} unique keys, "
+        f"{args.waves} waves) over {args.shards} shards "
+        f"[{gateway_stats['policy']} routing]"
+    )
+    print(
+        f"answered {report.answered}  shed {report.shed}  "
+        f"rejected {report.rejected}  errors {report.errors}"
+    )
+    print(
+        f"throughput      : {report.throughput_rps:,.0f} req/s "
+        f"({report.elapsed_seconds * 1e3:.0f} ms total)"
+    )
+    print(f"cache hit rate  : {aggregate['cache_hit_rate']:.1%}")
+    print(f"shed rate       : {report.shed_rate:.1%}")
+    print(f"routed per shard: {gateway_stats['routed_per_shard']}")
+    p95 = aggregate["latency_seconds"]["p95"]
+    if p95 is not None:
+        print(f"latency p95     : {p95 * 1e3:.2f} ms")
+    return 0
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     for spec in list_models(include_rq5=True):
         model = spec.build()
@@ -366,6 +426,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-entries", type=int, default=1024)
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=_cmd_serve_demo)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="replay a deterministic traffic scenario at a sharded gateway",
+    )
+    from .service import POLICY_NAMES, SCENARIO_NAMES
+
+    loadtest.add_argument(
+        "--scenario", choices=SCENARIO_NAMES, default="zipf",
+        help="traffic shape (see docs/service.md, Scaling out)",
+    )
+    loadtest.add_argument("--requests", type=int, default=200)
+    loadtest.add_argument(
+        "--unique", type=int, default=8,
+        help="distinct workloads the scenario draws from",
+    )
+    loadtest.add_argument("--waves", type=int, default=4)
+    loadtest.add_argument("--shards", type=int, default=4)
+    loadtest.add_argument(
+        "--policy", choices=POLICY_NAMES, default="hash",
+        help="routing policy (hash preserves per-shard cache locality)",
+    )
+    loadtest.add_argument("--max-queue-depth", type=int, default=64)
+    loadtest.add_argument("--workers-per-shard", type=int, default=2)
+    loadtest.add_argument(
+        "--estimator", choices=("synthetic", "xmem"), default="synthetic",
+        help="synthetic = measure the serving layer; xmem = real pipeline",
+    )
+    loadtest.add_argument(
+        "--work-ms", type=float, default=0.0,
+        help="simulated per-estimate cost for the synthetic estimator",
+    )
+    loadtest.add_argument(
+        "--iterations", type=int, default=2,
+        help="profiling iterations for --estimator xmem",
+    )
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--json", action="store_true")
+    loadtest.set_defaults(func=_cmd_loadtest)
 
     trace = sub.add_parser("trace", help="profile a workload on the CPU")
     trace.add_argument("--model", required=True)

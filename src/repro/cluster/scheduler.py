@@ -187,6 +187,10 @@ class ServiceAdmissionController:
     repeated submissions of the same workload hit the fingerprint cache,
     concurrent duplicates single-flight, and the service's validation
     middleware rejects malformed workloads before any profiling runs.
+    Any object with the service's ``estimate(workload, device)`` surface
+    works, including a sharded
+    :class:`~repro.service.gateway.ServiceGateway` — admission then
+    scales with the fleet instead of one worker pool.
 
     ``safety_margin`` is the multiplicative headroom schedulers add on top
     of any estimate (the demo's 1.15).  Workloads whose reservation

@@ -4,7 +4,10 @@ Wraps any estimator behind a request pipeline — fingerprint-keyed
 caching, validation, rate limiting, audit logging — with a concurrent
 worker pool and single-flight deduplication, so schedulers and admission
 controllers can query estimates at cluster rates instead of once per
-blocking call.
+blocking call.  For traffic beyond one worker pool,
+:class:`~repro.service.gateway.ServiceGateway` shards the service behind
+pluggable fingerprint routing, and :mod:`repro.service.traffic` supplies
+deterministic load scenarios to measure it with.
 
 Quickstart::
 
@@ -27,7 +30,28 @@ from .fingerprint import (
     fingerprint_request,
     request_payload,
 )
+from .gateway import (
+    POLICY_NAMES,
+    BroadcastWarmupRouting,
+    ConsistentHashRouting,
+    LeastLoadedRouting,
+    RandomRouting,
+    RoutingPolicy,
+    ServiceGateway,
+    aggregate_shard_stats,
+    make_policy,
+)
 from .metrics import ServiceMetrics, percentile
+from .traffic import (
+    SCENARIO_NAMES,
+    ReplayReport,
+    SyntheticEstimator,
+    TrafficRequest,
+    TrafficTrace,
+    generate_traffic,
+    replay,
+    workload_catalog,
+)
 from .middleware import (
     AuditLogMiddleware,
     CacheMiddleware,
@@ -42,25 +66,42 @@ from .middleware import (
 
 __all__ = [
     "AuditLogMiddleware",
+    "BroadcastWarmupRouting",
     "CacheMiddleware",
     "CacheStats",
+    "ConsistentHashRouting",
     "EstimateCache",
     "EstimationService",
     "FINGERPRINT_VERSION",
+    "LeastLoadedRouting",
     "MiddlewareChain",
+    "POLICY_NAMES",
+    "RandomRouting",
     "RateLimitMiddleware",
+    "ReplayReport",
     "RequestContext",
+    "RoutingPolicy",
+    "SCENARIO_NAMES",
+    "ServiceGateway",
     "ServiceMetrics",
     "ServiceMiddleware",
     "ServiceRequest",
     "SweepCell",
+    "SyntheticEstimator",
     "TimingMiddleware",
+    "TrafficRequest",
+    "TrafficTrace",
     "ValidationMiddleware",
+    "aggregate_shard_stats",
     "default_middlewares",
     "estimate_many",
     "fingerprint_request",
+    "generate_traffic",
+    "make_policy",
     "percentile",
     "profile_workload",
+    "replay",
     "request_payload",
     "sweep",
+    "workload_catalog",
 ]

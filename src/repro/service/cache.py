@@ -56,8 +56,8 @@ class EstimateCache:
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
     ):
-        if max_entries < 1:
-            raise ValueError("cache needs at least one entry")
+        if max_entries < 0:
+            raise ValueError("max_entries cannot be negative")
         if ttl_seconds is not None and ttl_seconds <= 0:
             raise ValueError("ttl_seconds must be positive (or None)")
         self.max_entries = max_entries
@@ -91,7 +91,13 @@ class EstimateCache:
             return value
 
     def put(self, key: str, value: Any) -> None:
-        """Insert/refresh ``key``; evicts least-recently-used on overflow."""
+        """Insert/refresh ``key``; evicts least-recently-used on overflow.
+
+        With ``max_entries=0`` the cache is disabled: nothing is stored
+        (and no eviction is counted), every ``get`` misses.
+        """
+        if self.max_entries == 0:
+            return
         expires_at = (
             None
             if self.ttl_seconds is None

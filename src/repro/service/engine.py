@@ -120,6 +120,7 @@ class EstimationService:
         workload: WorkloadConfig,
         device: DeviceSpec,
         trace: Optional[Trace] = None,
+        fingerprint: Optional[str] = None,
     ) -> Future:
         """Enqueue one request; returns a future of the EstimationResult.
 
@@ -127,11 +128,18 @@ class EstimationService:
         request (validation failure, rate limit); estimator failures
         surface through the future.  Identical concurrent requests share
         one future (their middlewares run once, for the first caller).
+        ``fingerprint``, when given, must equal ``self.fingerprint(...)``
+        for the pair — the gateway passes the one it already routed on so
+        the canonical payload is hashed once per request, not twice.
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
         self.metrics.record_request()
-        fp = self.fingerprint(workload, device)
+        fp = (
+            fingerprint
+            if fingerprint is not None
+            else self.fingerprint(workload, device)
+        )
         request = ServiceRequest(
             workload=workload, device=device, fingerprint=fp, trace=trace
         )

@@ -90,6 +90,15 @@ class ServiceMetrics:
         with self._lock:
             self.errors += 1
 
+    def latency_samples(self) -> list[float]:
+        """A copy of the latency reservoir (newest-last), for aggregation.
+
+        The gateway merges every shard's reservoir before computing fleet
+        percentiles — exact, unlike averaging per-shard percentiles.
+        """
+        with self._lock:
+            return list(self._latencies)
+
     def as_dict(self) -> dict:
         """One JSON-ready snapshot of everything the service counted."""
         with self._lock:

@@ -1,0 +1,420 @@
+"""Deterministic traffic scenarios for exercising the serving layer.
+
+Load testing a cache-heavy gateway is only meaningful when the request
+stream's *shape* is controlled: a uniform stream measures raw dispatch,
+a zipf stream measures cache locality, a duplicate storm measures
+single-flight dedup, and an adversarial mix measures shed/reject paths.
+This module synthesizes those streams **deterministically** — the same
+``(scenario, seed, num_requests)`` triple always produces the byte-same
+sequence of ``(workload, device)`` pairs — so benchmark numbers and CI
+assertions are reproducible.
+
+Workloads are drawn from the real model registry (CNN family: cheap to
+profile) and the paper's evaluation devices, so every generated request
+is valid against :class:`~repro.service.middleware.ValidationMiddleware`
+except where a scenario *wants* rejects (``adversarial``).
+
+:class:`SyntheticEstimator` is the matching load-test estimator: instant
+and deterministic (peak bytes derived from the request fingerprint), so
+replays measure the serving layer — routing, caches, queues — rather
+than CPU profiling time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..core.base import Estimator
+from ..core.result import EstimationResult
+from ..errors import RateLimitExceededError, RequestRejectedError
+from ..models.registry import list_models
+from ..units import GiB, MiB
+from ..workload import EVAL_DEVICES, DeviceSpec, WorkloadConfig
+
+SCENARIO_NAMES = (
+    "uniform",
+    "zipf",
+    "bursty",
+    "duplicate-storm",
+    "adversarial",
+)
+
+#: optimizer pool for generated workloads (all registry-valid)
+_OPTIMIZERS = ("sgd", "adam", "adamw")
+_BATCH_SIZES = (4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class TrafficRequest:
+    """One generated request: what to submit and when (which wave)."""
+
+    workload: WorkloadConfig
+    device: DeviceSpec
+    #: burst index — replayers submit a wave, join it, then continue
+    wave: int = 0
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """A replayable, fully materialized request stream."""
+
+    scenario: str
+    seed: int
+    requests: tuple[TrafficRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def waves(self) -> list[list[TrafficRequest]]:
+        """Requests grouped by wave, in wave order."""
+        grouped: dict[int, list[TrafficRequest]] = {}
+        for request in self.requests:
+            grouped.setdefault(request.wave, []).append(request)
+        return [grouped[wave] for wave in sorted(grouped)]
+
+    def unique_fingerprint_keys(self) -> int:
+        """Distinct (workload, device) identities in the trace."""
+        return len(
+            {
+                (r.workload.to_key(), r.device.to_key())
+                for r in self.requests
+            }
+        )
+
+
+def workload_catalog(
+    size: int,
+    seed: int = 0,
+    models: Optional[Sequence[str]] = None,
+) -> list[WorkloadConfig]:
+    """``size`` distinct valid workloads, deterministic in ``seed``.
+
+    Defaults to the CNN zoo — the cheapest family to profile — crossed
+    with optimizers and batch sizes; the cross product is shuffled so a
+    prefix is already diverse.
+    """
+    if size < 1:
+        raise ValueError("catalog needs at least one workload")
+    if models is None:
+        models = [
+            spec.name for spec in list_models() if spec.family == "cnn"
+        ]
+    combos = [
+        WorkloadConfig(model=model, optimizer=optimizer, batch_size=batch)
+        for model in models
+        for optimizer in _OPTIMIZERS
+        for batch in _BATCH_SIZES
+    ]
+    if size > len(combos):
+        raise ValueError(
+            f"catalog size {size} exceeds {len(combos)} distinct combos"
+        )
+    rng = random.Random(seed)
+    rng.shuffle(combos)
+    return combos[:size]
+
+
+def _zipf_weights(count: int, exponent: float = 1.2) -> list[float]:
+    return [1.0 / (rank + 1) ** exponent for rank in range(count)]
+
+
+def _generate_uniform(rng, catalog, devices, num_requests, waves):
+    return [
+        TrafficRequest(
+            workload=rng.choice(catalog),
+            device=rng.choice(devices),
+            wave=index * waves // num_requests,
+        )
+        for index in range(num_requests)
+    ]
+
+
+def _generate_zipf(rng, catalog, devices, num_requests, waves):
+    """Hot-key traffic: rank-1 workload dominates (web-cache shape)."""
+    weights = _zipf_weights(len(catalog))
+    picks = rng.choices(range(len(catalog)), weights=weights, k=num_requests)
+    device_for = {  # hot keys keep a fixed device: repeats share a fingerprint
+        index: devices[index % len(devices)] for index in range(len(catalog))
+    }
+    return [
+        TrafficRequest(
+            workload=catalog[pick],
+            device=device_for[pick],
+            wave=index * waves // num_requests,
+        )
+        for index, pick in enumerate(picks)
+    ]
+
+
+def _generate_bursty(rng, catalog, devices, num_requests, waves):
+    """Each wave hammers a small working set, then moves on.
+
+    Models diurnal / deploy-driven traffic: within a wave requests repeat
+    heavily (cache + dedup exercise); across waves the working set drifts
+    (eviction exercise).
+    """
+    requests: list[TrafficRequest] = []
+    effective_waves = min(waves, num_requests)  # never exceed the budget
+    per_wave = num_requests // effective_waves
+    for wave in range(effective_waves):
+        working_set = rng.sample(catalog, k=min(3, len(catalog)))
+        device = rng.choice(devices)
+        count = (
+            per_wave
+            if wave < effective_waves - 1
+            else num_requests - len(requests)
+        )
+        requests.extend(
+            TrafficRequest(
+                workload=rng.choice(working_set), device=device, wave=wave
+            )
+            for _ in range(count)
+        )
+    return requests
+
+
+def _generate_duplicate_storm(rng, catalog, devices, num_requests, waves):
+    """~80% of the stream is one identical request (thundering herd)."""
+    hot = rng.choice(catalog)
+    device = rng.choice(devices)
+    return [
+        TrafficRequest(
+            workload=(
+                hot if rng.random() < 0.8 else rng.choice(catalog)
+            ),
+            device=device,
+            wave=index * waves // num_requests,
+        )
+        for index in range(num_requests)
+    ]
+
+
+def _generate_adversarial(rng, catalog, devices, num_requests, waves):
+    """The shard-killing mix: cache-busting keys + invalid requests.
+
+    One third cycles through *never-repeating* batch sizes (every request
+    a cold miss — defeats any cache), one third is a hot-key storm on a
+    single shard's key space, and one third is malformed traffic
+    (unknown models, budget-less devices) that must be rejected by
+    validation without occupying workers.
+    """
+    hot = rng.choice(catalog)
+    hot_device = rng.choice(devices)
+    dead_device = DeviceSpec(
+        name="dead-gpu", capacity_bytes=256 * MiB, init_bytes=0
+    )  # framework_bytes default exceeds capacity: no job budget
+    requests = []
+    for index in range(num_requests):
+        wave = index * waves // num_requests
+        kind = index % 3
+        if kind == 0:  # cache buster: unique batch size every time
+            base = rng.choice(catalog)
+            requests.append(
+                TrafficRequest(
+                    workload=base.with_batch_size(64 + index),
+                    device=rng.choice(devices),
+                    wave=wave,
+                )
+            )
+        elif kind == 1:  # hot-key storm
+            requests.append(
+                TrafficRequest(workload=hot, device=hot_device, wave=wave)
+            )
+        else:  # invalid: unknown model or budget-less device
+            if rng.random() < 0.5:
+                workload = WorkloadConfig(
+                    model=f"no-such-model-{index}",
+                    optimizer="sgd",
+                    batch_size=8,
+                )
+                requests.append(
+                    TrafficRequest(
+                        workload=workload,
+                        device=rng.choice(devices),
+                        wave=wave,
+                    )
+                )
+            else:
+                requests.append(
+                    TrafficRequest(
+                        workload=rng.choice(catalog),
+                        device=dead_device,
+                        wave=wave,
+                    )
+                )
+    return requests
+
+
+_GENERATORS: dict[str, Callable] = {
+    "uniform": _generate_uniform,
+    "zipf": _generate_zipf,
+    "bursty": _generate_bursty,
+    "duplicate-storm": _generate_duplicate_storm,
+    "adversarial": _generate_adversarial,
+}
+
+
+def generate_traffic(
+    scenario: str,
+    num_requests: int,
+    seed: int = 0,
+    unique_workloads: int = 8,
+    waves: int = 4,
+    devices: Optional[Sequence[DeviceSpec]] = None,
+    models: Optional[Sequence[str]] = None,
+) -> TrafficTrace:
+    """Materialize one named scenario into a replayable trace.
+
+    Deterministic: the same arguments always produce the same trace.
+    ``unique_workloads`` bounds the catalog the scenario draws from
+    (scenarios may still synthesize extra keys — ``adversarial`` does).
+    """
+    if scenario not in _GENERATORS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from {SCENARIO_NAMES}"
+        )
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if waves < 1:
+        raise ValueError("waves must be >= 1")
+    rng = random.Random(seed)
+    catalog = workload_catalog(unique_workloads, seed=seed, models=models)
+    devices = tuple(devices) if devices else EVAL_DEVICES
+    requests = _GENERATORS[scenario](
+        rng, catalog, devices, num_requests, waves
+    )
+    return TrafficTrace(
+        scenario=scenario, seed=seed, requests=tuple(requests)
+    )
+
+
+# ----------------------------------------------------------------------
+# load-test estimator + replay driver
+# ----------------------------------------------------------------------
+
+
+class SyntheticEstimator(Estimator):
+    """Instant, deterministic estimator for serving-layer load tests.
+
+    The estimate is a pure function of (workload, device): peak bytes are
+    derived from a stable hash of the identity tuples, so two replicas —
+    or a gateway and a direct call — always agree byte-for-byte.
+    ``work_seconds`` simulates estimation cost (sleep), which is what
+    makes cache hits and dedup visible in throughput numbers.
+    """
+
+    name = "synthetic"
+    version = "1"
+
+    def __init__(self, work_seconds: float = 0.0):
+        self.work_seconds = work_seconds
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def supports(self, workload: WorkloadConfig) -> bool:
+        return True
+
+    def estimate(
+        self, workload: WorkloadConfig, device: DeviceSpec
+    ) -> EstimationResult:
+        with self._lock:
+            self.calls += 1
+        if self.work_seconds > 0:
+            time.sleep(self.work_seconds)
+        token = repr((workload.to_key(), device.to_key())).encode("utf-8")
+        digest = hashlib.sha256(token).digest()
+        fraction = int.from_bytes(digest[:4], "big") / 2**32
+        peak = int(fraction * 8 * GiB) + 64 * MiB
+        return EstimationResult(
+            estimator=self.name,
+            workload=workload,
+            device=device,
+            peak_bytes=peak,
+            runtime_seconds=self.work_seconds,
+            detail={"synthetic": True},
+        )
+
+
+@dataclass
+class ReplayReport:
+    """Outcome counts and timings of one trace replay."""
+
+    scenario: str
+    num_requests: int
+    answered: int = 0
+    shed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    elapsed_seconds: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.answered / self.elapsed_seconds
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def reject_rate(self) -> float:
+        return (
+            self.rejected / self.num_requests if self.num_requests else 0.0
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "num_requests": self.num_requests,
+            "answered": self.answered,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_rps": self.throughput_rps,
+            "shed_rate": self.shed_rate,
+            "reject_rate": self.reject_rate,
+            "stats": self.stats,
+        }
+
+
+def replay(trace: TrafficTrace, target) -> ReplayReport:
+    """Replay a trace against a service or gateway, wave by wave.
+
+    Each wave is submitted concurrently (``submit``) and joined before
+    the next begins — bursts stress single-flight and queues, wave
+    boundaries let caches matter.  Sheds (``RateLimitExceededError``)
+    and validation rejections are *expected* outcomes under adversarial
+    scenarios; they are counted, not raised.
+    """
+    report = ReplayReport(scenario=trace.scenario, num_requests=len(trace))
+    started = time.perf_counter()
+    for wave in trace.waves():
+        futures = []
+        for request in wave:
+            try:
+                futures.append(
+                    target.submit(request.workload, request.device)
+                )
+            except RateLimitExceededError:
+                report.shed += 1
+            except RequestRejectedError:
+                report.rejected += 1
+        for future in futures:
+            try:
+                future.result()
+                report.answered += 1
+            except RequestRejectedError:
+                report.rejected += 1
+            except Exception:
+                report.errors += 1
+    report.elapsed_seconds = time.perf_counter() - started
+    report.stats = target.stats()
+    return report

@@ -147,3 +147,49 @@ class TestServiceCommands:
             == 8
         )
         assert stats["cache"]["size"] == service["computed"]
+
+
+class TestLoadtest:
+    def test_human_output(self, capsys):
+        code = main([
+            "loadtest", "--scenario", "zipf", "--requests", "40",
+            "--shards", "2", "--seed", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario 'zipf': 40 requests" in out
+        assert "cache hit rate" in out
+        assert "routed per shard" in out
+
+    def test_json_output_accounts_for_every_request(self, capsys):
+        code = main([
+            "loadtest", "--scenario", "adversarial", "--requests", "30",
+            "--shards", "2", "--max-queue-depth", "4", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "adversarial"
+        assert (
+            payload["answered"]
+            + payload["shed"]
+            + payload["rejected"]
+            + payload["errors"]
+            == 30
+        )
+        assert payload["rejected"] > 0
+        assert payload["stats"]["gateway"]["num_shards"] == 2
+
+    def test_policy_and_scenario_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            main(["loadtest", "--scenario", "nope"])
+        with pytest.raises(SystemExit):
+            main(["loadtest", "--policy", "nope"])
+
+    def test_least_loaded_policy_runs(self, capsys):
+        code = main([
+            "loadtest", "--scenario", "uniform", "--requests", "20",
+            "--policy", "least_loaded", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["answered"] == 20

@@ -184,3 +184,64 @@ class TestServiceAdmission:
             ServiceAdmissionController(
                 service, devices=[DEVICE], safety_margin=0.9
             )
+
+
+class TestGatewayAdmission:
+    """Admission can target a sharded gateway instead of one service."""
+
+    def test_decisions_match_a_single_service(self):
+        from repro.service import (
+            EstimationService,
+            ServiceGateway,
+            SyntheticEstimator,
+        )
+
+        workloads = [
+            WorkloadConfig("MobileNetV2", "sgd", 8),
+            WorkloadConfig("MobileNetV2", "adam", 16),
+            WorkloadConfig("MobileNetV3Small", "sgd", 32),
+        ]
+        with EstimationService(
+            estimator=SyntheticEstimator(), max_workers=1
+        ) as service:
+            single = ServiceAdmissionController(service, devices=[DEVICE])
+            expected = [single.decide(w) for w in workloads]
+        with ServiceGateway(
+            num_shards=3, estimator_factory=SyntheticEstimator
+        ) as gateway:
+            sharded = ServiceAdmissionController(gateway, devices=[DEVICE])
+            decisions = [sharded.decide(w) for w in workloads]
+        assert [d.as_dict() for d in decisions] == [
+            d.as_dict() for d in expected
+        ]
+
+    def test_gateway_rejections_become_refusals(self):
+        from repro.service import ServiceGateway, SyntheticEstimator
+
+        with ServiceGateway(
+            num_shards=2, estimator_factory=SyntheticEstimator
+        ) as gateway:
+            controller = ServiceAdmissionController(
+                gateway, devices=[DEVICE]
+            )
+            decision = controller.decide(
+                WorkloadConfig("no-such-model", "sgd", 8)
+            )
+        assert not decision.admitted
+        assert "rejected by service" in decision.reason
+
+    def test_repeat_submissions_hit_the_shard_cache(self):
+        from repro.service import ServiceGateway, SyntheticEstimator
+
+        with ServiceGateway(
+            num_shards=2, estimator_factory=SyntheticEstimator
+        ) as gateway:
+            controller = ServiceAdmissionController(
+                gateway, devices=[DEVICE]
+            )
+            workload = WorkloadConfig("MobileNetV2", "sgd", 8)
+            for _ in range(5):
+                controller.decide(workload)
+            aggregate = gateway.stats()["aggregate"]
+        assert aggregate["computed"] == 1
+        assert aggregate["cache_hits"] == 4

@@ -56,9 +56,94 @@ class TestLru:
 
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
-            EstimateCache(max_entries=0)
+            EstimateCache(max_entries=-1)
         with pytest.raises(ValueError):
             EstimateCache(ttl_seconds=0)
+        with pytest.raises(ValueError):
+            EstimateCache(ttl_seconds=-1)
+
+
+class TestEdgeCapacities:
+    def test_capacity_zero_disables_caching(self):
+        cache = EstimateCache(max_entries=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert "a" not in cache
+        assert len(cache) == 0
+        stats = cache.stats()
+        # a disabled cache records misses but never hits or evictions
+        # (a no-op put is not an insert-then-evict)
+        assert stats.hits == 0
+        assert stats.misses == 1
+        assert stats.evictions == 0
+        assert stats.hit_rate == 0.0
+
+    def test_capacity_one_keeps_only_the_newest(self):
+        cache = EstimateCache(max_entries=1)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        cache.put("b", 2)  # evicts a
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert len(cache) == 1
+        assert cache.stats().evictions == 1
+
+    def test_capacity_one_refresh_does_not_evict(self):
+        cache = EstimateCache(max_entries=1)
+        cache.put("a", 1)
+        cache.put("a", 2)  # refresh, not overflow
+        assert cache.get("a") == 2
+        assert cache.stats().evictions == 0
+
+
+class TestTtlBoundary:
+    def test_entry_expires_exactly_at_the_boundary(self):
+        """The contract is `now >= expires_at`: the boundary tick is dead."""
+        clock = FakeClock()
+        cache = EstimateCache(max_entries=4, ttl_seconds=10, clock=clock)
+        cache.put("a", 1)
+        clock.advance(10.0)  # exactly ttl later
+        assert "a" not in cache
+        assert cache.get("a") is None
+        assert cache.stats().expirations == 1
+
+    def test_entry_lives_an_instant_before_the_boundary(self):
+        clock = FakeClock()
+        cache = EstimateCache(max_entries=4, ttl_seconds=10, clock=clock)
+        cache.put("a", 1)
+        clock.advance(10.0 - 1e-9)
+        assert cache.get("a") == 1
+        assert cache.stats().expirations == 0
+
+
+class TestEvictionOrder:
+    def test_mixed_get_put_interleaving_orders_eviction(self):
+        """Recency is what get/put *touch*, not insertion order."""
+        cache = EstimateCache(max_entries=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") == 1  # a is now most recent
+        cache.put("b", 22)  # refresh b above c
+        cache.put("d", 4)  # overflow: c is LRU -> evicted
+        assert cache.get("c") is None
+        assert cache.get("a") == 1
+        assert cache.get("b") == 22
+        assert cache.get("d") == 4
+        cache.put("e", 5)  # overflow again: a was touched last... order is
+        # now (a, b, d) by the gets above -> a is oldest touch: evicted
+        assert cache.get("a") is None
+        assert cache.get("e") == 5
+        assert cache.stats().evictions == 2
+
+    def test_failed_get_does_not_refresh(self):
+        cache = EstimateCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("missing")  # miss: must not disturb LRU order
+        cache.put("c", 3)
+        assert cache.get("a") is None  # a was still the LRU entry
+        assert cache.get("b") == 2
 
 
 class TestTtl:

@@ -233,3 +233,100 @@ class TestTimingMiddleware:
         now[0] += 0.25
         timing.on_result(request, make_result(), ctx)
         assert timing.samples == [0.25]
+
+
+class TestEngineOnionSemantics:
+    """Pin the documented onion ordering end-to-end through the service.
+
+    The chain-level tests above exercise MiddlewareChain in isolation;
+    these drive a real EstimationService so the ordering guarantees are
+    pinned where callers actually see them (satellite of the gateway PR).
+    """
+
+    class FailingEstimator:
+        name = "failing"
+        version = "1"
+
+        def supports(self, workload):
+            return True
+
+        def estimate(self, workload, device):
+            raise RuntimeError("estimator exploded")
+
+    class ConstantEstimator:
+        name = "constant"
+        version = "1"
+
+        def supports(self, workload):
+            return True
+
+        def estimate(self, workload, device):
+            return make_result(workload=workload, device=device)
+
+    def test_estimator_failure_unwinds_entered_layers_in_reverse(self):
+        from repro.service import EstimationService
+
+        journal = []
+        middlewares = (
+            Recorder("outer", journal),
+            Recorder("middle", journal),
+            Recorder("inner", journal),
+        )
+        with EstimationService(
+            estimator=self.FailingEstimator(), middlewares=middlewares
+        ) as service:
+            with pytest.raises(RuntimeError):
+                service.estimate(WORKLOAD, RTX_3060)
+        assert journal == [
+            "outer.request",
+            "middle.request",
+            "inner.request",
+            # every layer was entered, so every layer unwinds — innermost
+            # first, and no on_result anywhere
+            "inner.error",
+            "middle.error",
+            "outer.error",
+        ]
+
+    def test_short_circuit_skips_on_result_for_later_layers(self):
+        from repro.service import EstimationService
+
+        journal = []
+        middlewares = (
+            Recorder("outer", journal),
+            Recorder("producer", journal, short_circuit=make_result()),
+            Recorder("inner", journal),
+        )
+        with EstimationService(
+            estimator=self.ConstantEstimator(), middlewares=middlewares
+        ) as service:
+            service.estimate(WORKLOAD, RTX_3060)
+        assert journal == [
+            "outer.request",
+            "producer.request",
+            # inner never saw the request; on_result runs only for the
+            # layers outside the producer (the producer itself included
+            # would re-handle its own answer)
+            "outer.result",
+        ]
+
+    def test_request_hook_failure_unwinds_only_entered_layers(self):
+        from repro.service import EstimationService
+
+        journal = []
+        middlewares = (
+            Recorder("outer", journal),
+            Recorder("thrower", journal, raises=RequestRejectedError("no")),
+            Recorder("inner", journal),
+        )
+        with EstimationService(
+            estimator=self.ConstantEstimator(), middlewares=middlewares
+        ) as service:
+            with pytest.raises(RequestRejectedError):
+                service.estimate(WORKLOAD, RTX_3060)
+        assert journal == [
+            "outer.request",
+            "thrower.request",
+            # the thrower itself is not "entered": only outer unwinds
+            "outer.error",
+        ]

@@ -1,0 +1,172 @@
+"""Concurrency stress: single-flight dedup and gateway load (slow lane).
+
+The dedup guarantee is all-or-nothing — N concurrent identical requests
+must cost exactly one estimation and observe literally the same result
+object (or, on failure, the same exception instance).  These tests drive
+that window deliberately: the estimator blocks on a gate until every
+thread has submitted, so the in-flight table is maximally contended.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.base import Estimator
+from repro.core.result import EstimationResult
+from repro.errors import EstimationError
+from repro.service import (
+    EstimationService,
+    ServiceGateway,
+    SyntheticEstimator,
+    generate_traffic,
+    replay,
+)
+from repro.units import GiB
+from repro.workload import RTX_3060, WorkloadConfig
+
+WORKLOAD = WorkloadConfig("MobileNetV2", "sgd", 8)
+
+
+class GatedEstimator(Estimator):
+    """Blocks every estimate on an event; counts invocations."""
+
+    name = "gated"
+    version = "1"
+
+    def __init__(self, fail: bool = False):
+        self.gate = threading.Event()
+        self.fail = fail
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def supports(self, workload):
+        return True
+
+    def estimate(self, workload, device):
+        with self._lock:
+            self.calls += 1
+        assert self.gate.wait(timeout=30), "gate never opened"
+        if self.fail:
+            raise EstimationError("gated failure")
+        return EstimationResult(
+            estimator=self.name,
+            workload=workload,
+            device=device,
+            peak_bytes=GiB,
+            runtime_seconds=0.0,
+        )
+
+
+def _submit_from_threads(service, num_threads):
+    """num_threads concurrent submits of the identical request."""
+    barrier = threading.Barrier(num_threads)
+    futures = [None] * num_threads
+    errors = [None] * num_threads
+
+    def worker(index):
+        barrier.wait(timeout=30)
+        try:
+            futures[index] = service.submit(WORKLOAD, RTX_3060)
+        except BaseException as error:  # pragma: no cover - fails the test
+            errors[index] = error
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(num_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert all(error is None for error in errors), errors
+    return futures
+
+
+@pytest.mark.slow
+class TestSingleFlightStress:
+    NUM_THREADS = 32
+
+    def test_n_threads_one_invocation_identical_results(self):
+        estimator = GatedEstimator()
+        with EstimationService(estimator=estimator, max_workers=4) as service:
+            futures = _submit_from_threads(service, self.NUM_THREADS)
+            estimator.gate.set()
+            results = [future.result(timeout=30) for future in futures]
+        assert estimator.calls == 1
+        first = results[0]
+        assert all(result is first for result in results)
+        stats = service.metrics.as_dict()
+        assert stats["requests"] == self.NUM_THREADS
+        assert stats["computed"] == 1
+        assert stats["deduplicated"] == self.NUM_THREADS - 1
+
+    def test_failure_propagates_the_same_exception_to_all_waiters(self):
+        estimator = GatedEstimator(fail=True)
+        with EstimationService(estimator=estimator, max_workers=4) as service:
+            futures = _submit_from_threads(service, self.NUM_THREADS)
+            estimator.gate.set()
+            exceptions = [future.exception(timeout=30) for future in futures]
+        assert estimator.calls == 1
+        first = exceptions[0]
+        assert isinstance(first, EstimationError)
+        assert all(exception is first for exception in exceptions)
+        for future in futures:
+            with pytest.raises(EstimationError):
+                future.result()
+
+    def test_failure_releases_the_slot_for_a_retry(self):
+        estimator = GatedEstimator(fail=True)
+        estimator.gate.set()  # fail immediately
+        with EstimationService(estimator=estimator, max_workers=2) as service:
+            with pytest.raises(EstimationError):
+                service.estimate(WORKLOAD, RTX_3060)
+            estimator.fail = False
+            result = service.estimate(WORKLOAD, RTX_3060)
+        assert result.peak_bytes == GiB
+        assert estimator.calls == 2  # the retry really re-estimated
+
+
+@pytest.mark.slow
+class TestGatewayStress:
+    def test_duplicate_storm_costs_one_estimation_per_unique_key(self):
+        trace = generate_traffic("duplicate-storm", 400, seed=3)
+        estimators = []
+
+        def factory():
+            estimator = SyntheticEstimator()
+            estimators.append(estimator)
+            return estimator
+
+        with ServiceGateway(
+            num_shards=4, estimator_factory=factory
+        ) as gateway:
+            report = replay(trace, gateway)
+        assert report.answered == 400
+        assert report.errors == 0
+        total_calls = sum(estimator.calls for estimator in estimators)
+        # hash routing pins each key to one shard: one estimation per key
+        assert total_calls == trace.unique_fingerprint_keys()
+
+    def test_accounting_is_exact_under_tight_queues(self):
+        trace = generate_traffic("bursty", 300, seed=4, waves=6)
+        with ServiceGateway(
+            num_shards=2,
+            estimator_factory=lambda: SyntheticEstimator(
+                work_seconds=0.001
+            ),
+            max_queue_depth=16,
+        ) as gateway:
+            report = replay(trace, gateway)
+            # done-callbacks may lag the last result(): drain settles them
+            assert gateway.drain(timeout=10)
+            stats = gateway.stats()
+        assert (
+            report.answered + report.shed + report.rejected + report.errors
+            == 300
+        )
+        assert stats["gateway"]["shed"] == report.shed
+        assert stats["gateway"]["pending"] == 0  # everything settled
+        routed = stats["gateway"]["routed_per_shard"]
+        assert sum(routed) == 300 - report.shed
