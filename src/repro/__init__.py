@@ -27,9 +27,11 @@ from .allocator import AllocatorConfig, CachingAllocator, DeviceAllocator
 from .baselines import DNNMemEstimator, LLMemEstimator, SchedTuneEstimator
 from .core import (
     Analyzer,
+    EstimationPipeline,
     EstimationResult,
     MemoryOrchestrator,
     MemorySimulator,
+    PipelineCache,
     XMemEstimator,
 )
 from .errors import ReproError, SimOutOfMemoryError
@@ -62,6 +64,7 @@ __all__ = [
     "DeviceSpec",
     "EVAL_DEVICES",
     "EstimateCache",
+    "EstimationPipeline",
     "EstimationResult",
     "EstimationService",
     "GB",
@@ -72,6 +75,7 @@ __all__ = [
     "MemoryOrchestrator",
     "MemorySimulator",
     "MiB",
+    "PipelineCache",
     "RTX_3060",
     "RTX_4060",
     "ReproError",

@@ -43,8 +43,9 @@ class BlockPool:
 
     def remove(self, block: Block) -> None:
         """Remove a block from the pool; raises KeyError if absent."""
-        index = bisect.bisect_left(self._keys, block.sort_key())
-        while index < len(self._blocks) and self._keys[index] == block.sort_key():
+        key = block.sort_key()
+        index = bisect.bisect_left(self._keys, key)
+        while index < len(self._blocks) and self._keys[index] == key:
             if self._blocks[index] is block:
                 del self._keys[index]
                 del self._blocks[index]

@@ -61,18 +61,18 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     device = _device_from_args(args)
     result = XMemEstimator(iterations=args.iterations).estimate(workload, device)
     if args.json:
-        print(
-            json.dumps(
-                {
-                    **workload.as_dict(),
-                    "device": device.name,
-                    "estimated_peak_bytes": result.peak_bytes,
-                    "predicts_oom": result.predicts_oom(),
-                    "runtime_seconds": result.runtime_seconds,
-                    "role_bytes": result.detail.get("role_bytes", {}),
-                }
-            )
-        )
+        payload = {
+            **workload.as_dict(),
+            "device": device.name,
+            "estimated_peak_bytes": result.peak_bytes,
+            "predicts_oom": result.predicts_oom(),
+            "runtime_seconds": result.runtime_seconds,
+            "role_bytes": result.detail.get("role_bytes", {}),
+        }
+        if args.timings:
+            payload["stage_seconds"] = result.stage_seconds
+            payload["stage_cached"] = result.stage_cached
+        print(json.dumps(payload))
     elif args.explain:
         from .core.report import render_report
 
@@ -84,6 +84,15 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         print(f"job budget      : {format_gb(device.job_budget())}")
         print(f"prediction      : {'OOM' if result.predicts_oom() else 'fits'}")
         print(f"estimator time  : {result.runtime_seconds:.2f}s")
+    if args.timings and not args.json:
+        total = sum(result.stage_seconds.values()) or 1.0
+        print("stage breakdown :")
+        for stage, seconds in result.stage_seconds.items():
+            cached = " (cached)" if result.stage_cached.get(stage) else ""
+            print(
+                f"  {stage:<12} {seconds * 1e3:9.2f} ms "
+                f"{seconds / total:6.1%}{cached}"
+            )
     return 0
 
 
@@ -140,7 +149,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
     devices = [_DEVICES[name] for name in args.devices.split(",")]
     with EstimationService(
-        estimator=XMemEstimator(iterations=args.iterations),
+        # the sweep only reads peaks: skip materializing usage curves
+        estimator=XMemEstimator(iterations=args.iterations, curve=False),
         max_workers=args.workers,
     ) as service:
         cells = sweep(
@@ -216,7 +226,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     cache = EstimateCache(max_entries=args.cache_entries)
     audit = AuditLogMiddleware(max_records=args.requests * 2)
     with EstimationService(
-        estimator=XMemEstimator(iterations=args.iterations),
+        estimator=XMemEstimator(iterations=args.iterations, curve=False),
         middlewares=(
             TimingMiddleware(),
             ValidationMiddleware(),
@@ -268,7 +278,9 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             work_seconds=args.work_ms / 1000.0
         )
     else:
-        factory = lambda: XMemEstimator(iterations=args.iterations)  # noqa: E731
+        factory = lambda: XMemEstimator(  # noqa: E731
+            iterations=args.iterations, curve=False
+        )
     with ServiceGateway(
         num_shards=args.shards,
         estimator_factory=factory,
@@ -365,6 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument(
         "--explain", action="store_true",
         help="print the role breakdown and orchestration adjustments",
+    )
+    estimate.add_argument(
+        "--timings", action="store_true",
+        help="print the per-stage latency breakdown "
+        "(profile/analyze/orchestrate/simulate)",
     )
     estimate.set_defaults(func=_cmd_estimate)
 

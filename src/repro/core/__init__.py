@@ -26,6 +26,13 @@ from .orchestrator import (
     ParameterRule,
     raw_sequence,
 )
+from .pipeline import (
+    STAGES,
+    EstimationPipeline,
+    PipelineCache,
+    PipelineRun,
+    trace_fingerprint,
+)
 from .result import EstimationResult
 from .simulator import MemorySimulator, SimulationResult
 
@@ -43,9 +50,14 @@ __all__ = [
     "AttributedBlock",
     "BatchDataRule",
     "DEFAULT_RULES",
+    "EstimationPipeline",
     "EstimationResult",
     "Estimator",
     "EventKind",
+    "PipelineCache",
+    "PipelineRun",
+    "STAGES",
+    "trace_fingerprint",
     "GradientRule",
     "LifecycleReport",
     "MemoryBlock",

@@ -1,31 +1,43 @@
 """The xMem estimator: the paper's contribution, end to end (Fig. 4).
 
-``estimate`` profiles the first iterations of the workload on the CPU,
-analyses the trace, orchestrates the memory sequence, and replays it
-through the two-level allocator simulation.  The result is the estimated
-peak GPU memory plus the optional usage curve — produced a priori, with
-zero target-GPU involvement.
+``estimate`` runs the staged pipeline (:mod:`repro.core.pipeline`):
+profile the first iterations of the workload on the CPU, analyse the
+trace, orchestrate the memory sequence, and replay it through the
+two-level allocator simulation.  The result is the estimated peak GPU
+memory plus the optional usage curve — produced a priori, with zero
+target-GPU involvement.
+
+By default each estimator owns a :class:`~repro.core.pipeline.PipelineCache`
+of intermediate artifacts, so repeat requests that share upstream work —
+an allocator ablation over one trace, a device sweep of one workload —
+only re-run the stages whose inputs actually changed.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Optional, Union
 
 from ..allocator.constants import DEFAULT_CONFIG, AllocatorConfig
 from .base import Estimator
-from ..runtime.loop import TrainLoopConfig
-from ..runtime.profiler import DEFAULT_PROFILE_ITERATIONS, profile_on_cpu
+from ..runtime.profiler import DEFAULT_PROFILE_ITERATIONS
 from ..trace.reader import Trace
 from ..workload import DeviceSpec, WorkloadConfig
 from .analyzer import Analyzer
 from .orchestrator import DEFAULT_RULES, MemoryOrchestrator
+from .pipeline import EstimationPipeline, PipelineCache
 from .result import EstimationResult
-from .simulator import MemorySimulator
 
 
 class XMemEstimator(Estimator):
-    """CPU-only dynamic-analysis estimator (the paper's xMem)."""
+    """CPU-only dynamic-analysis estimator (the paper's xMem).
+
+    ``curve=False`` skips materializing the memory-usage curve (peaks are
+    tracked in the same replay pass) — the serving stack's fast path.
+    ``stage_cache`` is ``True`` (private cache), ``False`` (stage caching
+    off; every call recomputes the full chain), or a shared
+    :class:`PipelineCache` instance.
+    """
 
     name = "xMem"
 
@@ -36,6 +48,8 @@ class XMemEstimator(Estimator):
         account: str = "segment",
         two_level: bool = True,
         allocator_config: AllocatorConfig = DEFAULT_CONFIG,
+        curve: bool = True,
+        stage_cache: Union[PipelineCache, bool] = True,
     ):
         if iterations < 1:
             raise ValueError("profiling needs at least one iteration")
@@ -44,9 +58,21 @@ class XMemEstimator(Estimator):
         self.account = account
         self.two_level = two_level
         self.allocator_config = allocator_config
+        self.curve = curve
         self.analyzer = Analyzer()
         self.orchestrator = MemoryOrchestrator(
             rules=DEFAULT_RULES if orchestrate else ()
+        )
+        if stage_cache is True:
+            stage_cache = PipelineCache()
+        elif stage_cache is False:
+            stage_cache = None
+        self.stage_cache: Optional[PipelineCache] = stage_cache
+        self.pipeline = EstimationPipeline(
+            iterations=iterations,
+            analyzer=self.analyzer,
+            orchestrator=self.orchestrator,
+            cache=stage_cache,
         )
 
     def supports(self, workload: WorkloadConfig) -> bool:
@@ -65,25 +91,15 @@ class XMemEstimator(Estimator):
         hand xMem their existing profiling artifacts).
         """
         start = time.perf_counter()
-        if trace is None:
-            trace = profile_on_cpu(
-                workload.model,
-                batch_size=workload.batch_size,
-                optimizer=workload.optimizer,
-                loop=TrainLoopConfig(
-                    iterations=self.iterations,
-                    zero_grad_position=workload.zero_grad_position,
-                    set_to_none=workload.set_to_none,
-                ),
-                iterations=self.iterations,
-            )
-        analyzed = self.analyzer.analyze(trace)
-        sequence = self.orchestrator.orchestrate(analyzed)
-        simulator = MemorySimulator(
+        run = self.pipeline.run(
+            workload,
+            trace=trace,
             allocator_config=self.allocator_config,
             two_level=self.two_level,
+            curve=self.curve,
         )
-        simulation = simulator.replay(sequence)
+        simulation = run.simulation
+        sequence = run.sequence
         runtime = time.perf_counter() - start
         return EstimationResult(
             estimator=self.name,
@@ -91,17 +107,19 @@ class XMemEstimator(Estimator):
             device=device,
             peak_bytes=simulation.peak(self.account),
             runtime_seconds=runtime,
-            curve=simulation.timeline,
+            curve=simulation.timeline if self.curve else None,
+            stage_seconds=dict(run.stage_seconds),
+            stage_cached=dict(run.stage_cached),
             detail={
                 "num_blocks": sequence.num_blocks,
                 "num_events": simulation.num_events,
                 "persistent_bytes": sequence.persistent_bytes,
-                "rule_adjustments": sequence.adjustments,
+                "rule_adjustments": dict(sequence.adjustments),
                 "peak_allocated_bytes": simulation.peak_allocated_bytes,
                 "role_bytes": {
                     role.value: size
-                    for role, size in analyzed.role_bytes().items()
+                    for role, size in run.analyzed.role_bytes().items()
                 },
-                "dropped_blocks": analyzed.dropped_blocks,
+                "dropped_blocks": run.analyzed.dropped_blocks,
             },
         )

@@ -32,7 +32,7 @@ class EventKind(str, Enum):
     FREE = "free"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryOp:
     """One replayable allocator operation."""
 
@@ -59,8 +59,29 @@ class OrchestratedSequence:
     persistent_bytes: int
     adjustments: dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._stream: Optional[tuple[tuple[int, bool, int, int], ...]] = None
+
     def total_alloc_bytes(self) -> int:
         return sum(e.size for e in self.events if e.kind is EventKind.ALLOC)
+
+    def event_stream(self) -> tuple[tuple[int, bool, int, int], ...]:
+        """Flat ``(ts, is_alloc, block_id, size)`` tuples in replay order.
+
+        Computed once per sequence and cached, so a stage-cached sequence
+        replayed under many allocator configurations pays the per-event
+        attribute walk a single time.  Callers must not mutate ``events``
+        after the stream has been materialized.
+        """
+        stream = self._stream
+        if stream is None:
+            alloc = EventKind.ALLOC
+            stream = tuple(
+                (e.ts, e.kind is alloc, e.block_id, e.size)
+                for e in self.events
+            )
+            self._stream = stream
+        return stream
 
 
 class OrchestrationRule:

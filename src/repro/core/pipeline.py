@@ -1,0 +1,384 @@
+"""The xMem pipeline as explicit stages with intermediate-artifact caches.
+
+:class:`EstimationPipeline` splits ``XMemEstimator.estimate`` into its four
+stages — ``profile -> analyze -> orchestrate -> simulate`` — and gives the
+first three content-addressed caches (:class:`PipelineCache`):
+
+* **profile** — traces keyed by (model, optimizer, batch size, zero-grad
+  placement, set_to_none, iterations): the full workload/loop identity the
+  CPU profiler consumes;
+* **analyze** — analyzed traces keyed by the trace's content fingerprint
+  plus the analyzer's strictness;
+* **orchestrate** — replayable sequences keyed by the trace fingerprint
+  plus the orchestration rule set.
+
+Only the simulator — the stage that actually depends on the allocator
+configuration, the two-level ablation knob, and the accounting mode —
+re-runs when requests differ in those knobs alone, so a batch-size sweep
+profiles once per size and an allocator ablation profiles once in total.
+Caching at each stage instead of only at the service edge is the
+middleware-style composition the paper argues for: the final-result cache
+stays exact, and the stage caches recover the shared upstream work that
+exact fingerprints cannot.
+
+Each store dedups concurrent misses per key (stage-level single-flight),
+so a cold fleet warming up does not profile the same workload N times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..allocator.constants import DEFAULT_CONFIG, AllocatorConfig
+from ..runtime.loop import TrainLoopConfig
+from ..runtime.profiler import DEFAULT_PROFILE_ITERATIONS, profile_on_cpu
+from ..trace.reader import Trace
+from ..workload import WorkloadConfig
+from .analyzer import AnalyzedTrace, Analyzer
+from .orchestrator import MemoryOrchestrator, OrchestratedSequence
+from .simulator import MemorySimulator, SimulationResult
+
+#: Stage names, in execution order (also the keys of ``stage_seconds``).
+PROFILE = "profile"
+ANALYZE = "analyze"
+ORCHESTRATE = "orchestrate"
+SIMULATE = "simulate"
+STAGES = (PROFILE, ANALYZE, ORCHESTRATE, SIMULATE)
+
+#: Attribute memoizing a trace's content fingerprint on the instance.
+_TRACE_KEY_ATTR = "_xmem_trace_key"
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """Stable content address of a trace (memoized on the instance).
+
+    Traces produced by the pipeline's own profile stage carry a key derived
+    from the profile-cache key, so they are never re-hashed; caller-supplied
+    traces are hashed over their spans, memory events, and metadata once.
+    """
+    cached = trace.__dict__.get(_TRACE_KEY_ATTR)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for span in trace.spans:
+        digest.update(
+            f"s|{span.name}|{span.category.value}|{span.ts}|{span.dur}"
+            f"|{span.tid}\n".encode("utf-8")
+        )
+    for event in trace.memory_events:
+        digest.update(
+            f"m|{event.ts}|{event.addr}|{event.nbytes}\n".encode("utf-8")
+        )
+    for key in sorted(trace.metadata):
+        digest.update(f"d|{key}|{trace.metadata[key]}\n".encode("utf-8"))
+    fingerprint = "content:" + digest.hexdigest()[:32]
+    # Trace is a frozen dataclass; memoize past the frozen guard — the
+    # fingerprint is derived state, not a field
+    object.__setattr__(trace, _TRACE_KEY_ATTR, fingerprint)
+    return fingerprint
+
+
+class _StageStore:
+    """Thread-safe bounded LRU with per-key single-flight on misses."""
+
+    def __init__(self, max_entries: int):
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._inflight: dict[Any, threading.Event] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_compute(
+        self, key: Any, build: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Return ``(value, was_cached)``; concurrent misses build once."""
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return self._entries[key], True
+                gate = self._inflight.get(key)
+                if gate is None:
+                    gate = self._inflight[key] = threading.Event()
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                # another thread is building this key: wait, then re-check
+                # (its success is our hit; its failure makes us the owner)
+                gate.wait()
+                continue
+            try:
+                value = build()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                gate.set()
+                raise
+            with self._lock:
+                self.misses += 1
+                if self.max_entries > 0:
+                    self._entries[key] = value
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.max_entries:
+                        self._entries.popitem(last=False)
+                        self.evictions += 1
+                self._inflight.pop(key, None)
+            gate.set()
+            return value, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "max_entries": self.max_entries,
+            }
+
+
+class PipelineCache:
+    """The three intermediate-artifact stores of one staged pipeline.
+
+    Safe to share between estimators (e.g. every shard-local worker of one
+    service): all stores are internally locked, and the cached artifacts —
+    traces, analyzed traces, orchestrated sequences — are treated as
+    immutable by every pipeline stage.
+    """
+
+    def __init__(
+        self,
+        max_traces: int = 16,
+        max_analyses: int = 16,
+        max_sequences: int = 64,
+    ):
+        self.traces = _StageStore(max_traces)
+        self.analyses = _StageStore(max_analyses)
+        self.sequences = _StageStore(max_sequences)
+
+    def clear(self) -> None:
+        self.traces.clear()
+        self.analyses.clear()
+        self.sequences.clear()
+
+    def stats(self) -> dict:
+        """JSON-ready hit/miss/eviction counters per stage store."""
+        return {
+            "traces": self.traces.stats(),
+            "analyses": self.analyses.stats(),
+            "sequences": self.sequences.stats(),
+        }
+
+
+@dataclass
+class PipelineRun:
+    """One staged estimation: every intermediate artifact plus timings."""
+
+    trace: Trace
+    analyzed: AnalyzedTrace
+    sequence: OrchestratedSequence
+    simulation: SimulationResult
+    #: wall-clock seconds spent in each stage (cache hits cost ~0)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: True where the stage was answered from the cache (or, for profile,
+    #: from a caller-supplied trace)
+    stage_cached: dict[str, bool] = field(default_factory=dict)
+
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+
+class EstimationPipeline:
+    """Runs the four xMem stages with optional per-stage caching.
+
+    ``cache=None`` disables stage caching entirely — every call recomputes
+    the full chain, byte-identical to the pre-staged estimator.
+    """
+
+    def __init__(
+        self,
+        iterations: int = DEFAULT_PROFILE_ITERATIONS,
+        analyzer: Optional[Analyzer] = None,
+        orchestrator: Optional[MemoryOrchestrator] = None,
+        cache: Optional[PipelineCache] = None,
+    ):
+        if iterations < 1:
+            raise ValueError("profiling needs at least one iteration")
+        self.iterations = iterations
+        self.analyzer = analyzer if analyzer is not None else Analyzer()
+        self.orchestrator = (
+            orchestrator if orchestrator is not None else MemoryOrchestrator()
+        )
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    # cache keys
+    # ------------------------------------------------------------------
+    def profile_key(self, workload: WorkloadConfig) -> tuple:
+        """Everything the CPU profiler's output depends on."""
+        return ("profile", *workload.to_key(), self.iterations)
+
+    def rules_key(self) -> tuple:
+        """Identity of the orchestration rule set (and analyzer mode).
+
+        Rules are identified by class + name; a custom rule with tunable
+        state should encode that state in its ``name`` to stay cacheable.
+        """
+        return (
+            bool(self.analyzer.strict),
+            tuple(
+                f"{type(rule).__name__}:{rule.name}"
+                for rule in self.orchestrator.rules
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+    def profile(self, workload: WorkloadConfig) -> Trace:
+        """Stage 1: CPU-profile the workload (cached by workload identity)."""
+        return self._profile_stage(workload)[0]
+
+    def analyze(self, trace: Trace) -> AnalyzedTrace:
+        """Stage 2: lifecycle + attribution analysis (cached by content)."""
+        return self._analyze_stage(trace)[0]
+
+    def orchestrate(self, analyzed: AnalyzedTrace) -> OrchestratedSequence:
+        """Stage 3: rule-refined replayable sequence (cached by trace+rules)."""
+        return self._orchestrate_stage(analyzed)[0]
+
+    def simulate(
+        self,
+        sequence: OrchestratedSequence,
+        allocator_config: AllocatorConfig = DEFAULT_CONFIG,
+        two_level: bool = True,
+        capacity_bytes: Optional[int] = None,
+        curve: bool = True,
+    ) -> SimulationResult:
+        """Stage 4: allocator replay — never cached; this is the stage that
+        depends on the simulation knobs, and with a warm upstream it is the
+        only work an estimate costs."""
+        simulator = MemorySimulator(
+            capacity_bytes=capacity_bytes,
+            allocator_config=allocator_config,
+            two_level=two_level,
+        )
+        return simulator.replay(sequence, record_timeline=curve)
+
+    # ------------------------------------------------------------------
+    # the full chain
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: WorkloadConfig,
+        trace: Optional[Trace] = None,
+        allocator_config: AllocatorConfig = DEFAULT_CONFIG,
+        two_level: bool = True,
+        capacity_bytes: Optional[int] = None,
+        curve: bool = True,
+    ) -> PipelineRun:
+        """Run all four stages; ``trace`` short-circuits profiling."""
+        stage_seconds: dict[str, float] = {}
+        stage_cached: dict[str, bool] = {}
+
+        started = time.perf_counter()
+        if trace is None:
+            trace, hit = self._profile_stage(workload)
+        else:
+            hit = True  # supplied by the caller: cost nothing here
+        stage_seconds[PROFILE] = time.perf_counter() - started
+        stage_cached[PROFILE] = hit
+
+        started = time.perf_counter()
+        analyzed, hit = self._analyze_stage(trace)
+        stage_seconds[ANALYZE] = time.perf_counter() - started
+        stage_cached[ANALYZE] = hit
+
+        started = time.perf_counter()
+        sequence, hit = self._orchestrate_stage(analyzed)
+        stage_seconds[ORCHESTRATE] = time.perf_counter() - started
+        stage_cached[ORCHESTRATE] = hit
+
+        started = time.perf_counter()
+        simulation = self.simulate(
+            sequence,
+            allocator_config=allocator_config,
+            two_level=two_level,
+            capacity_bytes=capacity_bytes,
+            curve=curve,
+        )
+        stage_seconds[SIMULATE] = time.perf_counter() - started
+        stage_cached[SIMULATE] = False
+
+        return PipelineRun(
+            trace=trace,
+            analyzed=analyzed,
+            sequence=sequence,
+            simulation=simulation,
+            stage_seconds=stage_seconds,
+            stage_cached=stage_cached,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _profile_stage(self, workload: WorkloadConfig) -> tuple[Trace, bool]:
+        if self.cache is None:
+            return self._run_profiler(workload), False
+        return self.cache.traces.get_or_compute(
+            self.profile_key(workload), lambda: self._run_profiler(workload)
+        )
+
+    def _run_profiler(self, workload: WorkloadConfig) -> Trace:
+        trace = profile_on_cpu(
+            workload.model,
+            batch_size=workload.batch_size,
+            optimizer=workload.optimizer,
+            loop=TrainLoopConfig(
+                iterations=self.iterations,
+                zero_grad_position=workload.zero_grad_position,
+                set_to_none=workload.set_to_none,
+            ),
+            iterations=self.iterations,
+        )
+        # the profile key fully determines this trace: skip content hashing
+        key = "|".join(str(part) for part in self.profile_key(workload))
+        object.__setattr__(trace, _TRACE_KEY_ATTR, key)
+        return trace
+
+    def _analyze_stage(self, trace: Trace) -> tuple[AnalyzedTrace, bool]:
+        if self.cache is None:
+            return self.analyzer.analyze(trace), False
+        key = (trace_fingerprint(trace), bool(self.analyzer.strict))
+        return self.cache.analyses.get_or_compute(
+            key, lambda: self.analyzer.analyze(trace)
+        )
+
+    def _orchestrate_stage(
+        self, analyzed: AnalyzedTrace
+    ) -> tuple[OrchestratedSequence, bool]:
+        if self.cache is None or analyzed.trace is None:
+            return self.orchestrator.orchestrate(analyzed), False
+        key = (trace_fingerprint(analyzed.trace), self.rules_key())
+        return self.cache.sequences.get_or_compute(
+            key, lambda: self.orchestrator.orchestrate(analyzed)
+        )

@@ -28,6 +28,12 @@ class EstimationResult:
     curve: Optional[TimelineRecorder] = None
     #: free-form diagnostics (role byte breakdown, rule hit counts, ...)
     detail: dict[str, Any] = field(default_factory=dict)
+    #: wall-clock seconds per pipeline stage (profile/analyze/orchestrate/
+    #: simulate) for estimators that expose staged execution; excluded
+    #: from equality so cached replays stay byte-identical to cold runs
+    stage_seconds: dict[str, float] = field(default_factory=dict, compare=False)
+    #: which stages were served from an intermediate-artifact cache
+    stage_cached: dict[str, bool] = field(default_factory=dict, compare=False)
 
     def predicts_oom(self) -> bool:
         r"""Eq. (1): \hat{OOM} = [\hat{M}^{peak} > job budget]."""

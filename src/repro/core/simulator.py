@@ -21,7 +21,7 @@ from ..allocator.constants import DEFAULT_CONFIG, AllocatorConfig
 from ..allocator.device import DeviceAllocator
 from ..allocator.stats import AllocatorStats, TimelineRecorder
 from ..errors import SimOutOfMemoryError
-from .orchestrator import EventKind, OrchestratedSequence
+from .orchestrator import OrchestratedSequence
 
 #: Effectively-unbounded device used when measuring an unconstrained peak.
 UNBOUNDED_CAPACITY = 1 << 50
@@ -55,37 +55,62 @@ class MemorySimulator:
         capacity_bytes: Optional[int] = None,
         allocator_config: AllocatorConfig = DEFAULT_CONFIG,
         two_level: bool = True,
+        timeline_max_points: Optional[int] = None,
     ):
         self.capacity_bytes = capacity_bytes or UNBOUNDED_CAPACITY
         if not two_level:
             allocator_config = replace(allocator_config, reclaim_on_oom=False)
         self.allocator_config = allocator_config
         self.two_level = two_level
+        self.timeline_max_points = timeline_max_points
 
-    def replay(self, sequence: OrchestratedSequence) -> SimulationResult:
-        """Replay the sequence chronologically; stops at the first OOM."""
+    def replay(
+        self,
+        sequence: OrchestratedSequence,
+        record_timeline: bool = True,
+    ) -> SimulationResult:
+        """Replay the sequence chronologically; stops at the first OOM.
+
+        ``record_timeline=False`` is the fast path for callers that only
+        need the peaks: the allocator's stat counters track both peaks in
+        the same single pass, so no usage curve is materialized and the
+        returned ``timeline`` is empty.
+        """
         device = DeviceAllocator(capacity=self.capacity_bytes)
-        allocator = CachingAllocator(device, config=self.allocator_config)
+        allocator = CachingAllocator(
+            device,
+            config=self.allocator_config,
+            record_timeline=record_timeline,
+            timeline_max_points=self.timeline_max_points,
+        )
         oom = False
         oom_ts: Optional[int] = None
         processed = 0
         live: set[int] = set()
-        for event in sequence.events:
+        # the flat stream skips per-event dataclass attribute lookups and
+        # EventKind comparisons — this loop dominates warm-cache estimates
+        malloc = allocator.malloc
+        free_owner = allocator.free_owner
+        for ts, is_alloc, block_id, size in sequence.event_stream():
             try:
-                if event.kind is EventKind.ALLOC:
-                    allocator.malloc(event.size, ts=event.ts, owner=event.block_id)
-                    live.add(event.block_id)
+                if is_alloc:
+                    malloc(size, ts, block_id)
+                    live.add(block_id)
                 else:
-                    if event.block_id not in live:
+                    if block_id not in live:
                         continue  # free of a block dropped by a failed alloc
-                    allocator.free_owner(event.block_id, ts=event.ts)
-                    live.discard(event.block_id)
+                    free_owner(block_id, ts)
+                    live.discard(block_id)
             except SimOutOfMemoryError:
                 oom = True
-                oom_ts = event.ts
+                oom_ts = ts
                 break
             processed += 1
-        timeline = allocator.timeline or TimelineRecorder()
+        timeline = (
+            allocator.timeline
+            if allocator.timeline is not None
+            else TimelineRecorder()
+        )
         return SimulationResult(
             peak_reserved_bytes=allocator.peak_reserved_bytes,
             peak_allocated_bytes=allocator.peak_allocated_bytes,

@@ -26,7 +26,15 @@ def profile_workload(
     service: EstimationService, workload: WorkloadConfig
 ) -> Trace:
     """One CPU profile of ``workload``, matching the wrapped estimator's
-    own profiling parameters so estimates stay byte-identical."""
+    own profiling parameters so estimates stay byte-identical.
+
+    A staged estimator profiles through its own pipeline, so the shared
+    trace lands in (or comes from) the stage cache — the bulk fast path
+    and the per-request stage caches reuse one artifact.
+    """
+    pipeline = getattr(service.estimator, "pipeline", None)
+    if pipeline is not None:
+        return pipeline.profile(workload)
     iterations = getattr(
         service.estimator, "iterations", DEFAULT_PROFILE_ITERATIONS
     )

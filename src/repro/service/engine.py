@@ -248,6 +248,12 @@ class EstimationService:
                 self._inflight.pop(request.fingerprint, None)
             future.set_exception(error)
             return
+        stages = getattr(result, "stage_seconds", None)
+        if stages:
+            # staged estimators report where computed time went; recorded
+            # alongside record_computed (and never for cache hits) so the
+            # per-stage counts reconcile with the computed counter
+            self.metrics.record_stages(stages)
         self.metrics.record_computed(time.perf_counter() - ctx.submitted_at)
         with self._lock:
             self._inflight.pop(request.fingerprint, None)

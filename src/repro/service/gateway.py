@@ -488,6 +488,7 @@ def aggregate_shard_stats(
     cache = {key: 0 for key in cache_keys}
     samples = list(latency_samples or ())
     inflight = 0
+    stages: dict[str, dict] = {}
     for snapshot in shard_stats:
         service = snapshot["service"]
         for key in service_keys:
@@ -495,6 +496,16 @@ def aggregate_shard_stats(
         for key in cache_keys:
             cache[key] += snapshot["cache"][key]
         inflight += snapshot.get("inflight", 0)
+        for stage, data in service.get("stages", {}).items():
+            fleet = stages.setdefault(
+                stage, {"count": 0, "total_seconds": 0.0}
+            )
+            fleet["count"] += data["count"]
+            fleet["total_seconds"] += data["total_seconds"]
+    for fleet in stages.values():
+        fleet["mean_seconds"] = (
+            fleet["total_seconds"] / fleet["count"] if fleet["count"] else None
+        )
     answered = totals["cache_hits"] + totals["computed"]
     cache_lookups = cache["hits"] + cache["misses"]
     return {
@@ -516,4 +527,5 @@ def aggregate_shard_stats(
             "p99": percentile(samples, 99),
             "max": max(samples) if samples else None,
         },
+        "stages": stages,
     }

@@ -13,7 +13,7 @@ import json
 import threading
 import time
 from collections import deque
-from typing import Callable, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 #: Latency samples kept for percentile computation (ring buffer).
 DEFAULT_LATENCY_WINDOW = 4096
@@ -51,6 +51,10 @@ class ServiceMetrics:
         self.rejected = 0
         self.throttled = 0
         self.errors = 0
+        # per-pipeline-stage wall-clock accounting (profile/analyze/
+        # orchestrate/simulate), reported by computed estimates
+        self.stage_seconds: dict[str, float] = {}
+        self.stage_counts: dict[str, int] = {}
         self._first_at: Optional[float] = None
         self._last_at: Optional[float] = None
 
@@ -89,6 +93,15 @@ class ServiceMetrics:
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
+
+    def record_stages(self, stage_seconds: Mapping[str, float]) -> None:
+        """Accumulate one estimate's per-stage latency breakdown."""
+        with self._lock:
+            for stage, seconds in stage_seconds.items():
+                self.stage_seconds[stage] = (
+                    self.stage_seconds.get(stage, 0.0) + float(seconds)
+                )
+                self.stage_counts[stage] = self.stage_counts.get(stage, 0) + 1
 
     def latency_samples(self) -> list[float]:
         """A copy of the latency reservoir (newest-last), for aggregation.
@@ -129,6 +142,18 @@ class ServiceMetrics:
                     "p95": percentile(samples, 95),
                     "p99": percentile(samples, 99),
                     "max": max(samples) if samples else None,
+                },
+                "stages": {
+                    stage: {
+                        "count": self.stage_counts.get(stage, 0),
+                        "total_seconds": total,
+                        "mean_seconds": (
+                            total / self.stage_counts[stage]
+                            if self.stage_counts.get(stage)
+                            else None
+                        ),
+                    }
+                    for stage, total in sorted(self.stage_seconds.items())
                 },
             }
 

@@ -105,3 +105,27 @@ class TestQueries:
         pool.add(make_block(0, 4096))
         pool.add(make_block(8192, 512))
         assert [b.size for b in pool] == [512, 4096]
+
+
+class TestEqualKeyRemoval:
+    """remove() scans blocks sharing a (size, addr) key without rescanning
+    the key per loop iteration; these pin the scan's semantics."""
+
+    def test_remove_picks_identity_among_equal_keys(self):
+        pool = BlockPool(is_small=False)
+        first = make_block(0, 1024)
+        second = make_block(0, 1024)  # same sort key, distinct object
+        pool.add(first)
+        pool.add(second)
+        pool.remove(second)
+        assert second not in pool
+        assert first in pool
+        pool.remove(first)
+        assert len(pool) == 0
+
+    def test_remove_absent_equal_key_raises(self):
+        pool = BlockPool(is_small=False)
+        pool.add(make_block(0, 1024))
+        stranger = make_block(0, 1024)
+        with pytest.raises(KeyError):
+            pool.remove(stranger)

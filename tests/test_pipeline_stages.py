@@ -1,0 +1,359 @@
+"""Stage-cache correctness: golden equivalence, invalidation, fast paths.
+
+The staged pipeline (:mod:`repro.core.pipeline`) must be invisible in the
+numbers: a stage-cached estimate is byte-identical to a cold run, and any
+knob that feeds a stage — profiling iterations, the rule set, the
+allocator configuration — must invalidate exactly the artifacts derived
+from it, nothing less.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.allocator.constants import DEFAULT_CONFIG
+from repro.core.estimator import XMemEstimator
+from repro.core.pipeline import (
+    ANALYZE,
+    ORCHESTRATE,
+    PROFILE,
+    SIMULATE,
+    EstimationPipeline,
+    PipelineCache,
+    trace_fingerprint,
+)
+from repro.core.simulator import MemorySimulator
+from repro.runtime.profiler import profile_on_cpu
+from repro.workload import RTX_3060, RTX_4060, WorkloadConfig
+
+from tests.conftest import tiny_spec
+
+WORKLOAD = WorkloadConfig("MobileNetV3Small", "sgd", 4)
+
+
+def make_estimator(stage_cache=True, **knobs) -> XMemEstimator:
+    return XMemEstimator(iterations=2, stage_cache=stage_cache, **knobs)
+
+
+class TestGoldenEquivalence:
+    """Stage-cached estimates == cold estimates, across every knob."""
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {},
+            {"orchestrate": False},
+            {"two_level": False},
+            {"account": "tensor"},
+            {"allocator_config": replace(DEFAULT_CONFIG, allow_split=False)},
+        ],
+        ids=["default", "no_orchestrator", "single_level", "tensor",
+             "no_split"],
+    )
+    def test_warm_estimate_is_byte_identical(self, knobs):
+        cold = make_estimator(stage_cache=False, **knobs).estimate(
+            WORKLOAD, RTX_3060
+        )
+        warm_estimator = make_estimator(**knobs)
+        first = warm_estimator.estimate(WORKLOAD, RTX_3060)
+        second = warm_estimator.estimate(WORKLOAD, RTX_3060)  # fully warm
+        assert first.peak_bytes == cold.peak_bytes == second.peak_bytes
+        assert first.detail == cold.detail == second.detail
+        assert second.stage_cached == {
+            PROFILE: True,
+            ANALYZE: True,
+            ORCHESTRATE: True,
+            SIMULATE: False,
+        }
+
+    @pytest.mark.parametrize(
+        "model,optimizer", [("MobileNetV3Small", "adam"), ("MnasNet", "sgd")]
+    )
+    def test_across_models(self, model, optimizer):
+        workload = WorkloadConfig(model, optimizer, 4)
+        cold = make_estimator(stage_cache=False).estimate(workload, RTX_3060)
+        estimator = make_estimator()
+        estimator.estimate(workload, RTX_3060)
+        warm = estimator.estimate(workload, RTX_3060)
+        assert warm.peak_bytes == cold.peak_bytes
+        assert warm.detail == cold.detail
+
+    def test_curve_fast_path_same_peaks(self):
+        with_curve = make_estimator().estimate(WORKLOAD, RTX_3060)
+        without = make_estimator(curve=False).estimate(WORKLOAD, RTX_3060)
+        assert without.curve is None
+        assert with_curve.curve is not None
+        assert without.peak_bytes == with_curve.peak_bytes
+        assert without.detail == with_curve.detail
+
+
+class TestUpstreamReuse:
+    """Requests differing only in simulation knobs re-run only simulate."""
+
+    def test_allocator_ablation_reuses_trace_and_sequence(self):
+        cache = PipelineCache()
+        default = make_estimator(stage_cache=cache)
+        no_split = make_estimator(
+            stage_cache=cache,
+            allocator_config=replace(DEFAULT_CONFIG, allow_split=False),
+        )
+        default.estimate(WORKLOAD, RTX_3060)
+        ablated = no_split.estimate(WORKLOAD, RTX_3060)
+        assert ablated.stage_cached[PROFILE]
+        assert ablated.stage_cached[ANALYZE]
+        assert ablated.stage_cached[ORCHESTRATE]
+        assert not ablated.stage_cached[SIMULATE]
+        assert cache.traces.stats()["misses"] == 1
+        assert cache.sequences.stats()["misses"] == 1
+
+    def test_two_level_ablation_reuses_upstream(self):
+        cache = PipelineCache()
+        make_estimator(stage_cache=cache).estimate(WORKLOAD, RTX_3060)
+        single = make_estimator(
+            stage_cache=cache, two_level=False
+        ).estimate(WORKLOAD, RTX_3060)
+        assert single.stage_cached[ORCHESTRATE]
+        assert cache.traces.stats()["misses"] == 1
+        # the knob still took effect downstream of the shared artifacts
+        cold = make_estimator(
+            stage_cache=False, two_level=False
+        ).estimate(WORKLOAD, RTX_3060)
+        assert single.peak_bytes == cold.peak_bytes
+
+    def test_device_change_reuses_everything_upstream(self):
+        estimator = make_estimator()
+        first = estimator.estimate(WORKLOAD, RTX_3060)
+        other = estimator.estimate(WORKLOAD, RTX_4060)
+        assert other.stage_cached[PROFILE]
+        assert other.stage_cached[ANALYZE]
+        assert other.stage_cached[ORCHESTRATE]
+        # the simulation is device-independent; only the OOM verdict moves
+        assert other.peak_bytes == first.peak_bytes
+
+
+class TestInvalidation:
+    """Changed upstream knobs must never serve stale downstream artifacts."""
+
+    def test_rule_set_invalidates_sequences_not_traces(self):
+        cache = PipelineCache()
+        full = make_estimator(stage_cache=cache)
+        raw = make_estimator(stage_cache=cache, orchestrate=False)
+        orchestrated = full.estimate(WORKLOAD, RTX_3060)
+        unorchestrated = raw.estimate(WORKLOAD, RTX_3060)
+        # trace + analysis shared, sequence recomputed per rule set
+        assert cache.traces.stats()["misses"] == 1
+        assert cache.analyses.stats()["misses"] == 1
+        assert cache.sequences.stats()["misses"] == 2
+        assert unorchestrated.detail["rule_adjustments"] == {}
+        assert orchestrated.detail["rule_adjustments"] != {}
+        cold = make_estimator(
+            stage_cache=False, orchestrate=False
+        ).estimate(WORKLOAD, RTX_3060)
+        assert unorchestrated.peak_bytes == cold.peak_bytes
+        assert unorchestrated.detail == cold.detail
+
+    def test_iterations_invalidate_the_profile(self):
+        cache = PipelineCache()
+        make_estimator(stage_cache=cache).estimate(WORKLOAD, RTX_3060)
+        three = XMemEstimator(iterations=3, stage_cache=cache).estimate(
+            WORKLOAD, RTX_3060
+        )
+        assert cache.traces.stats()["misses"] == 2
+        cold = XMemEstimator(iterations=3, stage_cache=False).estimate(
+            WORKLOAD, RTX_3060
+        )
+        assert three.peak_bytes == cold.peak_bytes
+        assert three.detail == cold.detail
+
+    def test_batch_size_invalidates_the_profile(self):
+        cache = PipelineCache()
+        estimator = make_estimator(stage_cache=cache)
+        small = estimator.estimate(WORKLOAD, RTX_3060)
+        large = estimator.estimate(
+            WORKLOAD.with_batch_size(16), RTX_3060
+        )
+        assert cache.traces.stats()["misses"] == 2
+        assert large.peak_bytes != small.peak_bytes
+
+
+class TestTraceFingerprint:
+    """Supplied traces are content-addressed, not identity-addressed."""
+
+    def test_identical_profiles_share_a_fingerprint(self):
+        first = profile_on_cpu(tiny_spec(), batch_size=4, optimizer="sgd")
+        second = profile_on_cpu(tiny_spec(), batch_size=4, optimizer="sgd")
+        assert first is not second
+        assert trace_fingerprint(first) == trace_fingerprint(second)
+
+    def test_different_workloads_differ(self):
+        first = profile_on_cpu(tiny_spec(), batch_size=4, optimizer="sgd")
+        second = profile_on_cpu(tiny_spec(), batch_size=8, optimizer="sgd")
+        assert trace_fingerprint(first) != trace_fingerprint(second)
+
+    def test_fingerprint_is_memoized(self):
+        trace = profile_on_cpu(tiny_spec(), batch_size=4, optimizer="sgd")
+        assert trace_fingerprint(trace) is trace_fingerprint(trace)
+
+    def test_supplied_twin_trace_hits_the_analysis_cache(self):
+        workload = WorkloadConfig("TinyConvNet", "sgd", 4)
+        first = profile_on_cpu(tiny_spec(), batch_size=4, optimizer="sgd")
+        second = profile_on_cpu(tiny_spec(), batch_size=4, optimizer="sgd")
+        estimator = make_estimator()
+        estimator.estimate(workload, RTX_3060, trace=first)
+        warm = estimator.estimate(workload, RTX_3060, trace=second)
+        assert warm.stage_cached[ANALYZE]
+        assert warm.stage_cached[ORCHESTRATE]
+        assert estimator.stage_cache.analyses.stats()["hits"] == 1
+
+
+class TestReplayCore:
+    def test_event_stream_matches_events(self, tiny_trace):
+        pipeline = EstimationPipeline(iterations=3)
+        sequence = pipeline.orchestrate(pipeline.analyze(tiny_trace))
+        stream = sequence.event_stream()
+        assert len(stream) == len(sequence.events)
+        for flat, event in zip(stream, sequence.events):
+            assert flat == (
+                event.ts,
+                event.kind.value == "alloc",
+                event.block_id,
+                event.size,
+            )
+        assert sequence.event_stream() is stream  # cached
+
+    def test_replay_without_timeline_matches_peaks(self, tiny_trace):
+        pipeline = EstimationPipeline(iterations=3)
+        sequence = pipeline.orchestrate(pipeline.analyze(tiny_trace))
+        recorded = MemorySimulator().replay(sequence)
+        fast = MemorySimulator().replay(sequence, record_timeline=False)
+        assert fast.peak_reserved_bytes == recorded.peak_reserved_bytes
+        assert fast.peak_allocated_bytes == recorded.peak_allocated_bytes
+        assert fast.num_events == recorded.num_events
+        assert len(fast.timeline) == 0
+        assert len(recorded.timeline) > 0
+
+    def test_bounded_timeline_replay_keeps_exact_peaks(self, tiny_trace):
+        pipeline = EstimationPipeline(iterations=3)
+        sequence = pipeline.orchestrate(pipeline.analyze(tiny_trace))
+        reference = MemorySimulator().replay(sequence)
+        bounded = MemorySimulator(timeline_max_points=32).replay(sequence)
+        assert bounded.peak_reserved_bytes == reference.peak_reserved_bytes
+        assert len(bounded.timeline) <= 64
+        assert (
+            bounded.timeline.peak_reserved()
+            == reference.timeline.peak_reserved()
+        )
+
+
+class TestPipelineCacheStore:
+    def test_capacity_zero_disables_storage(self):
+        cache = PipelineCache(max_traces=0)
+        calls = []
+        value, hit = cache.traces.get_or_compute(
+            "k", lambda: calls.append(1) or "v"
+        )
+        assert (value, hit) == ("v", False)
+        value, hit = cache.traces.get_or_compute(
+            "k", lambda: calls.append(1) or "v"
+        )
+        assert (value, hit) == ("v", False)
+        assert len(calls) == 2
+
+    def test_lru_eviction_order(self):
+        cache = PipelineCache(max_traces=2)
+        store = cache.traces
+        store.get_or_compute("a", lambda: 1)
+        store.get_or_compute("b", lambda: 2)
+        store.get_or_compute("a", lambda: 1)  # refresh a
+        store.get_or_compute("c", lambda: 3)  # evicts b
+        assert store.get_or_compute("a", lambda: 99) == (1, True)
+        assert store.get_or_compute("b", lambda: 42) == (42, False)
+        assert store.stats()["evictions"] >= 1
+
+    def test_build_failure_propagates_and_releases_the_key(self):
+        cache = PipelineCache()
+
+        def boom():
+            raise RuntimeError("profile failed")
+
+        with pytest.raises(RuntimeError):
+            cache.traces.get_or_compute("k", boom)
+        value, hit = cache.traces.get_or_compute("k", lambda: "ok")
+        assert (value, hit) == ("ok", False)
+
+    def test_clear(self):
+        cache = PipelineCache()
+        cache.traces.get_or_compute("k", lambda: 1)
+        cache.clear()
+        assert cache.traces.stats()["size"] == 0
+
+    def test_concurrent_misses_build_once(self):
+        import threading
+
+        cache = PipelineCache()
+        calls = []
+        gate = threading.Barrier(4)
+
+        def build():
+            calls.append(1)
+            return "artifact"
+
+        def worker(results, index):
+            gate.wait()
+            results[index] = cache.traces.get_or_compute("k", build)
+
+        results: dict[int, tuple] = {}
+        threads = [
+            threading.Thread(target=worker, args=(results, i))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        assert all(value == "artifact" for value, _ in results.values())
+        assert sum(1 for _, hit in results.values() if not hit) == 1
+
+
+class TestServiceIntegration:
+    def test_service_metrics_report_stage_timings(self):
+        from repro.service import EstimationService
+
+        with EstimationService(estimator=make_estimator()) as service:
+            service.estimate(WORKLOAD, RTX_3060)
+            service.estimate(WORKLOAD, RTX_3060)  # cache hit: no stages
+            stats = service.stats()
+        stages = stats["service"]["stages"]
+        assert set(stages) == {"profile", "analyze", "orchestrate", "simulate"}
+        for data in stages.values():
+            assert data["count"] == 1  # only the computed request reported
+            assert data["total_seconds"] >= 0.0
+
+    def test_gateway_aggregates_stage_timings(self):
+        from repro.service import ServiceGateway
+
+        with ServiceGateway(
+            num_shards=2, estimator_factory=make_estimator
+        ) as gateway:
+            gateway.estimate(WORKLOAD, RTX_3060)
+            gateway.estimate(WORKLOAD.with_batch_size(8), RTX_3060)
+            stats = gateway.stats()
+        stages = stats["aggregate"]["stages"]
+        assert set(stages) == {"profile", "analyze", "orchestrate", "simulate"}
+        assert sum(data["count"] for data in stages.values()) == 8
+
+    def test_estimate_many_shares_the_stage_cache_profile(self):
+        from repro.service import EstimationService, estimate_many
+
+        estimator = make_estimator()
+        with EstimationService(estimator=estimator) as service:
+            requests = [
+                (WORKLOAD, RTX_3060),
+                (WORKLOAD, RTX_4060),
+                (WORKLOAD, replace(RTX_4060, init_bytes=1 << 30)),
+            ]
+            results = estimate_many(service, requests)
+        assert len({r.peak_bytes for r in results}) == 1
+        # one workload, many devices: exactly one CPU profile happened
+        assert estimator.stage_cache.traces.stats()["misses"] == 1

@@ -208,3 +208,54 @@ class TestOrchestratorComposition:
                 seen_alloc.add(event.block_id)
             else:
                 assert event.block_id in seen_alloc
+
+
+class TestBoundedTimeline:
+    """The online max_points mode: memory-bounded, peaks exact."""
+
+    @staticmethod
+    def _fill(recorder, n=5000, seed=7):
+        import random
+
+        rng = random.Random(seed)
+        allocated = 0
+        for ts in range(n):
+            allocated = max(0, allocated + rng.randint(-100, 120))
+            recorder.record(ts, allocated, allocated + 50)
+
+    def test_bounded_recorder_matches_unbounded_peaks(self):
+        bounded = TimelineRecorder(max_points=32)
+        unbounded = TimelineRecorder()
+        self._fill(bounded)
+        self._fill(unbounded)
+        assert len(unbounded) == 5000
+        assert len(bounded) <= 2 * 32
+        assert bounded.peak_reserved() == unbounded.peak_reserved()
+        assert bounded.peak_allocated() == unbounded.peak_allocated()
+
+    def test_peak_points_survive_compaction(self):
+        bounded = TimelineRecorder(max_points=16)
+        self._fill(bounded, n=2000)
+        assert (
+            max(p.reserved_bytes for p in bounded.points)
+            == bounded.peak_reserved()
+        )
+        assert (
+            max(p.allocated_bytes for p in bounded.points)
+            == bounded.peak_allocated()
+        )
+
+    def test_endpoints_survive_compaction(self):
+        bounded = TimelineRecorder(max_points=8)
+        self._fill(bounded, n=1000)
+        assert bounded.points[0].ts == 0
+        assert bounded.points[-1].ts == 999
+
+    def test_max_points_validation(self):
+        with pytest.raises(ValueError):
+            TimelineRecorder(max_points=2)
+
+    def test_unbounded_by_default(self):
+        recorder = TimelineRecorder()
+        self._fill(recorder, n=300)
+        assert len(recorder) == 300
