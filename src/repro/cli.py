@@ -256,23 +256,17 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_loadtest(args: argparse.Namespace) -> int:
-    """Replay a named traffic scenario against a sharded gateway."""
+def _loadtest_replay(trace, args, policy_name: str, driver: str):
+    """Replay one trace through one (policy, driver) gateway combo."""
     from .service import (
+        AsyncServiceGateway,
         ServiceGateway,
         SyntheticEstimator,
-        generate_traffic,
         make_policy,
         replay,
+        replay_async,
     )
 
-    trace = generate_traffic(
-        args.scenario,
-        args.requests,
-        seed=args.seed,
-        unique_workloads=args.unique,
-        waves=args.waves,
-    )
     if args.estimator == "synthetic":
         factory = lambda: SyntheticEstimator(  # noqa: E731
             work_seconds=args.work_ms / 1000.0
@@ -281,17 +275,35 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         factory = lambda: XMemEstimator(  # noqa: E731
             iterations=args.iterations, curve=False
         )
+    policy = make_policy(policy_name, args.shards, seed=args.seed)
+    if driver == "asyncio":
+        import asyncio
+
+        async def _go():
+            gateway = AsyncServiceGateway(
+                num_shards=args.shards,
+                estimator_factory=factory,
+                policy=policy,
+                max_queue_depth=args.max_queue_depth,
+                max_workers_per_shard=args.workers_per_shard,
+            )
+            try:
+                return await replay_async(trace, gateway)
+            finally:
+                await gateway.aclose()
+
+        return asyncio.run(_go())
     with ServiceGateway(
         num_shards=args.shards,
         estimator_factory=factory,
-        policy=make_policy(args.policy, args.shards, seed=args.seed),
+        policy=policy,
         max_queue_depth=args.max_queue_depth,
         max_workers_per_shard=args.workers_per_shard,
     ) as gateway:
-        report = replay(trace, gateway)
-    if args.json:
-        print(json.dumps(report.as_dict()))
-        return 0
+        return replay(trace, gateway)
+
+
+def _print_loadtest_report(trace, args, report) -> None:
     aggregate = report.stats["aggregate"]
     gateway_stats = report.stats["gateway"]
     print(
@@ -314,6 +326,92 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     p95 = aggregate["latency_seconds"]["p95"]
     if p95 is not None:
         print(f"latency p95     : {p95 * 1e3:.2f} ms")
+
+
+def _print_loadtest_comparison(runs) -> None:
+    """Per-scenario comparison across the requested policy/driver combos."""
+
+    def _ms(value):
+        return f"{value * 1e3:.2f}" if value is not None else "n/a"
+
+    header = (
+        f"{'policy':<14}{'driver':<9}{'hit rate':>9}{'p50 ms':>9}"
+        f"{'p95 ms':>9}{'shed':>6}{'req/s':>10}"
+    )
+    for scenario in dict.fromkeys(run["scenario"] for run in runs):
+        print(f"\nscenario {scenario!r}:")
+        print(header)
+        for run in runs:
+            if run["scenario"] != scenario:
+                continue
+            report = run["report"]
+            latency = report.stats["aggregate"]["latency_seconds"]
+            print(
+                f"{run['policy']:<14}{run['driver']:<9}"
+                f"{report.stats['aggregate']['cache_hit_rate']:>8.1%} "
+                f"{_ms(latency['p50']):>8} {_ms(latency['p95']):>8}"
+                f"{report.shed:>6}{report.throughput_rps:>10,.0f}"
+            )
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Replay named traffic scenarios against sharded gateways.
+
+    ``--scenario`` / ``--policy`` / ``--driver`` are repeatable; a single
+    combo prints the detailed report, several print a per-scenario
+    comparison table (hit rate, p50/p95, shed, throughput).
+    """
+    from .service import generate_traffic
+
+    scenarios = args.scenario or ["zipf"]
+    policies = args.policy or ["hash"]
+    drivers = args.driver or ["threads"]
+    runs = []
+    for scenario in scenarios:
+        trace = generate_traffic(
+            scenario,
+            args.requests,
+            seed=args.seed,
+            unique_workloads=args.unique,
+            waves=args.waves,
+        )
+        for policy_name in policies:
+            for driver in drivers:
+                report = _loadtest_replay(trace, args, policy_name, driver)
+                runs.append(
+                    {
+                        "scenario": scenario,
+                        "policy": policy_name,
+                        "driver": driver,
+                        "trace": trace,
+                        "report": report,
+                    }
+                )
+    if args.json:
+        if len(runs) == 1:
+            # single combo keeps the original flat payload
+            print(json.dumps(runs[0]["report"].as_dict()))
+        else:
+            print(
+                json.dumps(
+                    {
+                        "runs": [
+                            {
+                                "scenario": run["scenario"],
+                                "policy": run["policy"],
+                                "driver": run["driver"],
+                                **run["report"].as_dict(),
+                            }
+                            for run in runs
+                        ]
+                    }
+                )
+            )
+        return 0
+    if len(runs) == 1:
+        _print_loadtest_report(runs[0]["trace"], args, runs[0]["report"])
+    else:
+        _print_loadtest_comparison(runs)
     return 0
 
 
@@ -451,8 +549,8 @@ def build_parser() -> argparse.ArgumentParser:
     from .service import POLICY_NAMES, SCENARIO_NAMES
 
     loadtest.add_argument(
-        "--scenario", choices=SCENARIO_NAMES, default="zipf",
-        help="traffic shape (see docs/service.md, Scaling out)",
+        "--scenario", choices=SCENARIO_NAMES, action="append", default=None,
+        help="traffic shape, repeatable (default zipf; see docs/service.md)",
     )
     loadtest.add_argument("--requests", type=int, default=200)
     loadtest.add_argument(
@@ -462,8 +560,15 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--waves", type=int, default=4)
     loadtest.add_argument("--shards", type=int, default=4)
     loadtest.add_argument(
-        "--policy", choices=POLICY_NAMES, default="hash",
-        help="routing policy (hash preserves per-shard cache locality)",
+        "--policy", choices=POLICY_NAMES, action="append", default=None,
+        help="routing policy, repeatable (default hash — preserves "
+        "per-shard cache locality); several values print a comparison",
+    )
+    loadtest.add_argument(
+        "--driver", choices=("threads", "asyncio"), action="append",
+        default=None,
+        help="execution driver over the sans-IO core, repeatable "
+        "(default threads); several values print a comparison",
     )
     loadtest.add_argument("--max-queue-depth", type=int, default=64)
     loadtest.add_argument("--workers-per-shard", type=int, default=2)

@@ -190,7 +190,13 @@ class ServiceAdmissionController:
     Any object with the service's ``estimate(workload, device)`` surface
     works, including a sharded
     :class:`~repro.service.gateway.ServiceGateway` — admission then
-    scales with the fleet instead of one worker pool.
+    scales with the fleet instead of one worker pool.  The controller is
+    driver-agnostic: the blocking methods (``decide`` / ``build_jobs`` /
+    ``simulate``) drive the thread services, and the ``*_async`` mirrors
+    drive :class:`~repro.service.aio.AsyncEstimationService` /
+    :class:`~repro.service.aio.AsyncServiceGateway`, whose ``estimate``
+    is a coroutine — the admission policy itself (margin, budget check)
+    is shared verbatim between the two paths.
 
     ``safety_margin`` is the multiplicative headroom schedulers add on top
     of any estimate (the demo's 1.15).  Workloads whose reservation
@@ -212,17 +218,20 @@ class ServiceAdmissionController:
         self.devices = tuple(devices)
         self.safety_margin = safety_margin
 
-    def decide(self, workload: WorkloadConfig) -> AdmissionDecision:
-        """Estimate (through the service) and admit or refuse."""
-        try:
-            result = self.service.estimate(workload, self.devices[0])
-        except ServiceError as error:
-            return AdmissionDecision(
-                workload=workload,
-                admitted=False,
-                reserved_bytes=0,
-                reason=f"rejected by service: {error}",
-            )
+    def _refusal(
+        self, workload: WorkloadConfig, error: ServiceError
+    ) -> AdmissionDecision:
+        return AdmissionDecision(
+            workload=workload,
+            admitted=False,
+            reserved_bytes=0,
+            reason=f"rejected by service: {error}",
+        )
+
+    def _decision_from_estimate(
+        self, workload: WorkloadConfig, result
+    ) -> AdmissionDecision:
+        """The shared admission policy: margin + budget check."""
         reserved = int(result.peak_bytes * self.safety_margin)
         if all(reserved > d.job_budget() for d in self.devices):
             return AdmissionDecision(
@@ -237,6 +246,22 @@ class ServiceAdmissionController:
             reserved_bytes=reserved,
             reason="fits",
         )
+
+    def decide(self, workload: WorkloadConfig) -> AdmissionDecision:
+        """Estimate (through the service) and admit or refuse."""
+        try:
+            result = self.service.estimate(workload, self.devices[0])
+        except ServiceError as error:
+            return self._refusal(workload, error)
+        return self._decision_from_estimate(workload, result)
+
+    async def decide_async(self, workload: WorkloadConfig) -> AdmissionDecision:
+        """``decide`` for asyncio-driver services (awaits the estimate)."""
+        try:
+            result = await self.service.estimate(workload, self.devices[0])
+        except ServiceError as error:
+            return self._refusal(workload, error)
+        return self._decision_from_estimate(workload, result)
 
     def build_jobs(
         self,
@@ -255,14 +280,43 @@ class ServiceAdmissionController:
             decisions.append(decision)
             if decision.admitted:
                 jobs.append(
-                    Job(
-                        workload=workload,
-                        reserved_bytes=decision.reserved_bytes,
-                        actual_peak_bytes=actual_peak_bytes,
-                        duration=duration,
-                    )
+                    self._job_from(decision, actual_peak_bytes, duration)
                 )
         return jobs, decisions
+
+    async def build_jobs_async(
+        self,
+        submissions: Sequence[tuple[WorkloadConfig, int]],
+        duration: int = 1,
+    ) -> tuple[list[Job], list[AdmissionDecision]]:
+        """``build_jobs`` for asyncio-driver services.
+
+        Decisions are awaited in submission order (repeats hit the
+        service cache and concurrent duplicates single-flight exactly as
+        in the blocking path), so the returned lists are byte-identical
+        to ``build_jobs`` over the same service state.
+        """
+        jobs: list[Job] = []
+        decisions: list[AdmissionDecision] = []
+        for workload, actual_peak_bytes in submissions:
+            decision = await self.decide_async(workload)
+            decisions.append(decision)
+            if decision.admitted:
+                jobs.append(
+                    self._job_from(decision, actual_peak_bytes, duration)
+                )
+        return jobs, decisions
+
+    @staticmethod
+    def _job_from(
+        decision: AdmissionDecision, actual_peak_bytes: int, duration: int
+    ) -> Job:
+        return Job(
+            workload=decision.workload,
+            reserved_bytes=decision.reserved_bytes,
+            actual_peak_bytes=actual_peak_bytes,
+            duration=duration,
+        )
 
     def simulate(
         self,
@@ -273,6 +327,23 @@ class ServiceAdmissionController:
     ) -> tuple[ScheduleOutcome, list[AdmissionDecision]]:
         """Admission + scheduling in one call (the full service-backed path)."""
         jobs, decisions = self.build_jobs(submissions, duration=duration)
+        scheduler = scheduler or MemoryAwareScheduler(
+            list(self.devices), gpus_per_device=gpus_per_device
+        )
+        return scheduler.simulate(jobs), decisions
+
+    async def simulate_async(
+        self,
+        submissions: Sequence[tuple[WorkloadConfig, int]],
+        duration: int = 1,
+        gpus_per_device: int = 1,
+        scheduler: Optional[MemoryAwareScheduler] = None,
+    ) -> tuple[ScheduleOutcome, list[AdmissionDecision]]:
+        """``simulate`` for asyncio-driver services: admission awaits the
+        service; the scheduling sweep itself is pure CPU and runs inline."""
+        jobs, decisions = await self.build_jobs_async(
+            submissions, duration=duration
+        )
         scheduler = scheduler or MemoryAwareScheduler(
             list(self.devices), gpus_per_device=gpus_per_device
         )

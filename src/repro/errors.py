@@ -116,5 +116,22 @@ class ServiceClosedError(ServiceError):
     """A request was submitted to a service that has been shut down."""
 
 
+class DeadlineExceededError(RequestRejectedError):
+    """A request's deadline passed before the service could serve it.
+
+    Carries how late the request was when the core noticed, so callers
+    can distinguish a near miss from a request that queued forever.  A
+    subclass of :class:`RequestRejectedError` so every classification
+    site — gateway dispatch accounting, traffic replays, middleware
+    unwinding — treats a deadline miss as the rejection it is.
+    """
+
+    def __init__(self, late_by_seconds: float):
+        self.late_by_seconds = late_by_seconds
+        super().__init__(
+            f"deadline exceeded {late_by_seconds:.3f}s before service"
+        )
+
+
 class ValidationError(ReproError):
     """The two-round validation protocol was driven with inconsistent inputs."""

@@ -24,21 +24,28 @@ Quickstart::
 
 from .batch import SweepCell, estimate_many, profile_workload, sweep
 from .cache import CacheStats, EstimateCache
+from .context import NullLock, RequestContext, ServiceRequest
+from .core import (
+    Admission,
+    GatewayCore,
+    ServiceCore,
+    SingleFlight,
+    aggregate_shard_stats,
+)
 from .engine import EstimationService, default_middlewares
 from .fingerprint import (
     FINGERPRINT_VERSION,
     fingerprint_request,
     request_payload,
 )
-from .gateway import (
+from .gateway import ServiceGateway
+from .routing import (
     POLICY_NAMES,
     BroadcastWarmupRouting,
     ConsistentHashRouting,
     LeastLoadedRouting,
     RandomRouting,
     RoutingPolicy,
-    ServiceGateway,
-    aggregate_shard_stats,
     make_policy,
 )
 from .metrics import ServiceMetrics, percentile
@@ -52,29 +59,40 @@ from .traffic import (
     replay,
     workload_catalog,
 )
+from .aio import (
+    AsyncEstimationService,
+    AsyncServiceGateway,
+    estimate_many_async,
+    replay_async,
+)
 from .middleware import (
     AuditLogMiddleware,
     CacheMiddleware,
+    DeadlineMiddleware,
     MiddlewareChain,
     RateLimitMiddleware,
-    RequestContext,
     ServiceMiddleware,
-    ServiceRequest,
     TimingMiddleware,
     ValidationMiddleware,
 )
 
 __all__ = [
+    "Admission",
+    "AsyncEstimationService",
+    "AsyncServiceGateway",
     "AuditLogMiddleware",
     "BroadcastWarmupRouting",
     "CacheMiddleware",
     "CacheStats",
     "ConsistentHashRouting",
+    "DeadlineMiddleware",
     "EstimateCache",
     "EstimationService",
     "FINGERPRINT_VERSION",
+    "GatewayCore",
     "LeastLoadedRouting",
     "MiddlewareChain",
+    "NullLock",
     "POLICY_NAMES",
     "RandomRouting",
     "RateLimitMiddleware",
@@ -82,10 +100,12 @@ __all__ = [
     "RequestContext",
     "RoutingPolicy",
     "SCENARIO_NAMES",
+    "ServiceCore",
     "ServiceGateway",
     "ServiceMetrics",
     "ServiceMiddleware",
     "ServiceRequest",
+    "SingleFlight",
     "SweepCell",
     "SyntheticEstimator",
     "TimingMiddleware",
@@ -95,12 +115,14 @@ __all__ = [
     "aggregate_shard_stats",
     "default_middlewares",
     "estimate_many",
+    "estimate_many_async",
     "fingerprint_request",
     "generate_traffic",
     "make_policy",
     "percentile",
     "profile_workload",
     "replay",
+    "replay_async",
     "request_payload",
     "sweep",
     "workload_catalog",

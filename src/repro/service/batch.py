@@ -7,6 +7,11 @@ sweep of one workload over N devices therefore needs one profile, not N.
 and hands the shared trace to the service (whose estimator replays it per
 device); ``sweep`` builds the (model x batch size x device) grid the
 paper's capacity-planning scenarios ask for.
+
+The planning step (:func:`plan_shared_traces`) is driver-agnostic: it
+only needs the service surface (``fingerprint`` / ``cache`` /
+``estimator``), so :func:`repro.service.aio.estimate_many_async` reuses
+it verbatim for the asyncio driver — one planner, two substrates.
 """
 
 from __future__ import annotations
@@ -51,11 +56,15 @@ def profile_workload(
     )
 
 
-def _shared_traces(
-    service: EstimationService,
+def plan_shared_traces(
+    service,
     requests: Sequence[tuple[WorkloadConfig, DeviceSpec]],
 ) -> dict[tuple, Trace]:
-    """Profile each workload that appears in >= 2 non-cached requests."""
+    """Profile each workload that appears in >= 2 non-cached requests.
+
+    ``service`` is any driver exposing ``fingerprint`` / ``cache`` /
+    ``estimator`` — the thread service or the asyncio one.
+    """
     pending: dict[tuple, list[tuple[WorkloadConfig, DeviceSpec]]] = {}
     for workload, device in requests:
         if service.fingerprint(workload, device) in service.cache:
@@ -90,7 +99,7 @@ def estimate_many(
     """
     traces: dict[tuple, Trace] = {}
     if share_profiles and service.accepts_trace:
-        traces = _shared_traces(service, requests)
+        traces = plan_shared_traces(service, requests)
     futures = []
     for workload, device in requests:
         try:

@@ -8,15 +8,22 @@ deployments, not correctness; ``ttl_seconds=None`` disables expiry.
 
 The clock is injectable (any ``() -> float`` in seconds) so tests can
 drive expiry without sleeping.
+
+The cache is part of the sans-IO core: it never imports a concurrency
+substrate.  Its lock slot starts as a :class:`~repro.service.context.NullLock`;
+a concurrent driver binds a real primitive via :meth:`EstimateCache.bind_lock`
+(the thread driver passes ``threading.Lock``; the asyncio driver leaves
+the null lock because every cache access runs on the event loop).
 """
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
+
+from .context import LockFactory, NullLock
 
 
 @dataclass(frozen=True)
@@ -63,7 +70,7 @@ class EstimateCache:
         self.max_entries = max_entries
         self.ttl_seconds = ttl_seconds
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = NullLock()
         #: fingerprint -> (value, expires_at | None), in LRU order
         self._entries: "OrderedDict[str, tuple[Any, Optional[float]]]" = (
             OrderedDict()
@@ -72,6 +79,11 @@ class EstimateCache:
         self._misses = 0
         self._evictions = 0
         self._expirations = 0
+
+    def bind_lock(self, lock_factory: LockFactory) -> None:
+        """Adopt a driver-supplied lock (idempotent; see module docs)."""
+        if isinstance(self._lock, NullLock):
+            self._lock = lock_factory()
 
     def get(self, key: str) -> Optional[Any]:
         """The cached value, or None; refreshes LRU order on hit."""

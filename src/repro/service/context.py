@@ -1,0 +1,100 @@
+"""The transport-agnostic request envelope (sans-IO core).
+
+The service stack is split sans-IO style: every *policy* decision —
+middleware interception, cache lookup, single-flight dedup, routing,
+queue accounting — is expressed as pure steps over the envelope types in
+this module, while the *execution substrate* (threads + locks, or an
+asyncio event loop) lives in a thin driver (:mod:`repro.service.engine`,
+:mod:`repro.service.aio`).  The core modules therefore never import
+``threading`` or ``asyncio``; where shared state needs mutual exclusion
+under a concurrent driver, the core declares a :class:`NullLock` slot and
+the driver *binds* a real primitive via ``bind_lock`` (see
+:class:`~repro.service.cache.EstimateCache` and the locking middlewares).
+
+:class:`ServiceRequest` is the immutable request; :class:`RequestContext`
+is the mutable per-request state threaded through every hook: identity
+(``request_id``, ``fingerprint``), budget (``deadline``, ``attempt``),
+placement (``shard_hint``), and outcome flags the drivers and middlewares
+fill in as the request advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, ContextManager, Optional
+
+from ..trace.reader import Trace
+from ..workload import DeviceSpec, WorkloadConfig
+
+#: ``() -> context manager`` — what drivers pass to ``bind_lock`` (e.g.
+#: ``threading.Lock``).  The asyncio driver binds nothing: its hooks run
+#: on the event loop, which already serializes them.
+LockFactory = Callable[[], ContextManager]
+
+
+class NullLock:
+    """No-op lock: the sans-IO default until a driver binds a real one.
+
+    Single-threaded drivers (and the asyncio driver, whose hooks all run
+    on the event loop) never need more; the thread driver replaces every
+    ``NullLock`` slot with a ``threading.Lock`` at construction time.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullLock":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NullLock()"
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One estimation request as seen by the middleware chain."""
+
+    workload: WorkloadConfig
+    device: DeviceSpec
+    fingerprint: str
+    #: pre-computed CPU profile shared across requests (see service.batch)
+    trace: Optional[Trace] = None
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class RequestContext:
+    """Mutable per-request state threaded through the hooks.
+
+    ``tags`` is the middlewares' scratchpad (e.g. timing start stamps);
+    ``metadata`` is the caller/driver-supplied annotation bag (trace IDs,
+    tenant labels) that the core carries but never interprets.
+    """
+
+    request_id: int
+    submitted_at: float
+    #: the cache/single-flight/routing key (empty until the driver sets it)
+    fingerprint: str = ""
+    #: absolute clock value after which the request is not worth serving
+    deadline: Optional[float] = None
+    #: 1 on first submission; drivers bump it on retries/failover
+    attempt: int = 1
+    #: the shard the router picked (None outside a gateway)
+    shard_hint: Optional[int] = None
+    cache_hit: bool = False
+    deduplicated: bool = False
+    short_circuited_by: Optional[str] = None
+    tags: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def remaining(self, now: float) -> Optional[float]:
+        """Seconds left before the deadline (None = no deadline)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - now
+
+    def expired(self, now: float) -> bool:
+        """Whether the deadline has passed at clock value ``now``."""
+        return self.deadline is not None and now >= self.deadline

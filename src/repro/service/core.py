@@ -1,0 +1,500 @@
+"""The sans-IO service core: every policy step, no execution substrate.
+
+This module is the single source of truth for what it *means* to serve an
+estimation request — fingerprinting, middleware interception, cache
+population, single-flight bookkeeping, metric classification, gateway
+admission/shed/settle accounting — expressed as plain method calls with
+no threads, no event loop, and no blocking.  The execution drivers
+(:mod:`repro.service.engine` on a thread pool,
+:mod:`repro.service.aio` on an asyncio event loop) own *when* these
+steps run and under what mutual exclusion; the core owns *what* happens.
+
+Driver contract:
+
+* :class:`ServiceCore` methods are synchronous and non-blocking.  The
+  single-flight table (:class:`SingleFlight`) must only be touched under
+  the driver's serialization regime — a lock for the thread driver,
+  the event loop itself for asyncio.
+* :class:`GatewayCore` mutating methods (``admit`` / ``settle`` /
+  ``count_request`` / lifecycle flags) carry the same requirement.
+* Metric recording goes through :class:`~repro.service.metrics.ServiceMetrics`,
+  which is internally synchronized and safe from any driver.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ..core.result import EstimationResult
+from ..errors import (
+    DeadlineExceededError,
+    RateLimitExceededError,
+    RequestRejectedError,
+    ServiceClosedError,
+)
+from ..trace.reader import Trace
+from ..workload import DeviceSpec, WorkloadConfig
+from .cache import EstimateCache
+from .context import RequestContext, ServiceRequest
+from .fingerprint import fingerprint_request
+from .metrics import ServiceMetrics, percentile
+from .middleware import CacheMiddleware, MiddlewareChain, ServiceMiddleware
+from .routing import RoutingPolicy
+
+
+def compute_fingerprint(
+    estimator, workload: WorkloadConfig, device: DeviceSpec
+) -> str:
+    """The cache/single-flight key a service derives for one request."""
+    return fingerprint_request(
+        workload,
+        device,
+        estimator_name=estimator.name,
+        estimator_version=str(getattr(estimator, "version", "")),
+        allocator_config=getattr(estimator, "allocator_config", None),
+    )
+
+
+def estimator_accepts_trace(estimator) -> bool:
+    """Whether the estimator's ``estimate`` takes a pre-computed trace."""
+    return "trace" in inspect.signature(estimator.estimate).parameters
+
+
+def invoke_estimator(estimator, request: ServiceRequest, accepts_trace: bool):
+    """Run the wrapped estimator for one request (the CPU-bound step).
+
+    Both drivers call this from their execution substrate — a worker
+    thread or an executor the event loop offloads to.
+    """
+    if request.trace is not None and accepts_trace:
+        return estimator.estimate(
+            request.workload, request.device, trace=request.trace
+        )
+    return estimator.estimate(request.workload, request.device)
+
+
+def adopt_chain_cache(
+    middlewares: Sequence[ServiceMiddleware], fallback: EstimateCache
+) -> EstimateCache:
+    """The cache that actually serves hits for this chain.
+
+    ``stats()`` and the batch fast path must see the cache the chain's
+    :class:`CacheMiddleware` consults; fall back to the service's own
+    when the chain has none (hits are then impossible, stats just idle).
+    """
+    for middleware in middlewares:
+        if isinstance(middleware, CacheMiddleware):
+            return middleware.cache
+    return fallback
+
+
+class SingleFlight:
+    """Fingerprint → in-flight handle, with no synchronization of its own.
+
+    The handle is whatever the driver shares between duplicate callers —
+    a ``concurrent.futures.Future`` for threads, an ``asyncio.Future``
+    for the event loop.  Drivers must call these methods under their own
+    mutual exclusion; the core only defines the bookkeeping.
+    """
+
+    __slots__ = ("_inflight",)
+
+    def __init__(self):
+        self._inflight: dict[str, Any] = {}
+
+    def get(self, fingerprint: str) -> Optional[Any]:
+        return self._inflight.get(fingerprint)
+
+    def claim(self, fingerprint: str, handle: Any) -> None:
+        self._inflight[fingerprint] = handle
+
+    def release(self, fingerprint: str) -> None:
+        self._inflight.pop(fingerprint, None)
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+
+@dataclass(frozen=True)
+class Admission:
+    """What the request hooks decided for one request.
+
+    ``result`` non-None means the chain short-circuited (cache hit,
+    synthetic answer): the result has already passed ``on_result`` for
+    the outer layers and been recorded in the metrics — the driver just
+    wraps it in its future type.  ``result`` None means the estimator
+    must run; ``depth`` is how many layers are owed ``on_result`` /
+    ``on_error`` afterwards.
+    """
+
+    result: Optional[EstimationResult]
+    depth: int
+
+
+class ServiceCore:
+    """Driver-independent request pipeline for one estimation service.
+
+    Owns the middleware chain, the cache handle, the metrics sink, the
+    single-flight table, and the request-id sequence.  A driver turns
+    one ``submit`` into::
+
+        request, ctx = core.open_request(...)
+        handle = core.inflight.get(fp)        # under driver serialization
+        if handle: core.note_deduplicated(ctx); return handle
+        admission = core.run_request_hooks(request, ctx)   # may raise
+        if admission.result is not None: return resolved(admission.result)
+        core.inflight.claim(fp, handle)       # under driver serialization
+        ... run invoke_estimator() on the execution substrate ...
+        result = core.finish(request, ctx, result, admission.depth)
+        core.inflight.release(fp)             # under driver serialization
+    """
+
+    def __init__(
+        self,
+        chain: MiddlewareChain,
+        cache: EstimateCache,
+        metrics: ServiceMetrics,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.chain = chain
+        self.cache = cache
+        self.metrics = metrics
+        self.clock = clock
+        self.inflight = SingleFlight()
+        self._request_ids = itertools.count(1)
+
+    def open_request(
+        self,
+        workload: WorkloadConfig,
+        device: DeviceSpec,
+        fingerprint: str,
+        trace: Optional[Trace] = None,
+        deadline: Optional[float] = None,
+        metadata: Optional[dict] = None,
+    ) -> tuple[ServiceRequest, RequestContext]:
+        """Admit one request into the pipeline and stamp its envelope."""
+        self.metrics.record_request()
+        request = ServiceRequest(
+            workload=workload,
+            device=device,
+            fingerprint=fingerprint,
+            trace=trace,
+            metadata=dict(metadata) if metadata else {},
+        )
+        ctx = RequestContext(
+            request_id=next(self._request_ids),
+            submitted_at=self.clock(),
+            fingerprint=fingerprint,
+            deadline=deadline,
+            metadata=dict(metadata) if metadata else {},
+        )
+        return request, ctx
+
+    def note_deduplicated(self, ctx: RequestContext) -> None:
+        """Record that this caller piggybacked on an in-flight duplicate."""
+        ctx.deduplicated = True
+        self.metrics.record_deduplicated()
+
+    def check_deadline(self, ctx: RequestContext) -> None:
+        """Reject (and count) a request whose deadline already passed.
+
+        Drivers call this right after ``open_request`` — before even the
+        single-flight lookup, so an expired caller never piggybacks on an
+        in-flight duplicate and never pays for a hook.
+        """
+        now = self.clock()
+        if ctx.expired(now):
+            self.metrics.record_rejected()
+            raise DeadlineExceededError(now - ctx.deadline)
+
+    def run_request_hooks(
+        self, request: ServiceRequest, ctx: RequestContext
+    ) -> Admission:
+        """``on_request`` hooks + budget check, with metric classification.
+
+        Raises the hook's own exception after recording it (throttled /
+        rejected / error); a short-circuit answer is completed through
+        ``on_result`` and recorded before it is returned.  Deadlines are
+        enforced twice overall: the driver calls :meth:`check_deadline`
+        before the dedup lookup (caller-supplied deadlines), and this
+        method re-checks after the chain, before admitting a compute
+        dispatch — so a budget stamped *by* a hook
+        (:class:`~repro.service.middleware.DeadlineMiddleware`) still
+        rejects before the estimator is paid for.  A short-circuit
+        answer is exempt from the second check: it is already computed
+        and costs nothing to hand back.
+        """
+        try:
+            short, depth = self.chain.run_request(request, ctx)
+        except RateLimitExceededError:
+            self.metrics.record_throttled()
+            raise
+        except RequestRejectedError:
+            self.metrics.record_rejected()
+            raise
+        except BaseException:
+            self.metrics.record_error()
+            raise
+        if short is not None:
+            short = self.chain.run_result(request, short, ctx, depth)
+            latency = self.clock() - ctx.submitted_at
+            if ctx.cache_hit:
+                self.metrics.record_cache_hit(latency)
+            else:
+                self.metrics.record_computed(latency)
+            return Admission(result=short, depth=depth)
+        now = self.clock()
+        if ctx.expired(now):
+            # the budget ran out inside the chain (or a hook stamped one
+            # that is already hopeless): unwind the entered layers like
+            # any other mid-chain rejection, then refuse the dispatch
+            error = DeadlineExceededError(now - ctx.deadline)
+            self.chain.run_error(request, error, ctx, depth)
+            self.metrics.record_rejected()
+            raise error
+        return Admission(result=None, depth=depth)
+
+    def finish(
+        self,
+        request: ServiceRequest,
+        ctx: RequestContext,
+        result: EstimationResult,
+        depth: int,
+    ) -> EstimationResult:
+        """Post-estimation completion: ``on_result`` hooks + accounting."""
+        result = self.chain.run_result(request, result, ctx, depth)
+        stages = getattr(result, "stage_seconds", None)
+        if stages:
+            # staged estimators report where computed time went; recorded
+            # alongside record_computed (and never for cache hits) so the
+            # per-stage counts reconcile with the computed counter
+            self.metrics.record_stages(stages)
+        self.metrics.record_computed(self.clock() - ctx.submitted_at)
+        return result
+
+    def fail(
+        self,
+        request: ServiceRequest,
+        ctx: RequestContext,
+        error: BaseException,
+        depth: int,
+    ) -> None:
+        """Estimation failure: unwind ``on_error`` hooks + count it."""
+        self.chain.run_error(request, error, ctx, depth)
+        self.metrics.record_error()
+
+    def record_dispatch_failure(self) -> None:
+        """The driver could not hand the request to its substrate."""
+        self.metrics.record_error()
+
+
+# ----------------------------------------------------------------------
+# gateway core
+# ----------------------------------------------------------------------
+
+
+class _ShardState:
+    """Gateway-side accounting for one shard (no lock: driver-owned)."""
+
+    __slots__ = ("pending", "routed")
+
+    def __init__(self):
+        self.pending = 0  # queued-or-running requests admitted by us
+        self.routed = 0  # lifetime requests this shard was primary for
+
+
+class GatewayCore:
+    """Admission/shed/drain state machine for a sharded gateway.
+
+    Pure counters and decisions: which shard a fingerprint routes to,
+    whether a shard may take one more request or must shed, when the
+    fleet is idle.  Mutating methods must run under the driver's
+    serialization (the thread gateway's lock / the asyncio event loop);
+    the driver supplies the waiting primitive ``drain()`` blocks on.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        policy: RoutingPolicy,
+        max_queue_depth: int,
+    ):
+        if num_shards < 1:
+            raise ValueError("gateway needs at least one shard")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.policy = policy
+        self.max_queue_depth = max_queue_depth
+        self.shards = [_ShardState() for _ in range(num_shards)]
+        self.draining = False
+        self.closed = False
+        self.requests = 0
+        self.shed = 0
+        self.rejected = 0
+        self.throttled = 0
+        self.warmup_replicas = 0
+
+    # -- intake gate ---------------------------------------------------
+    def check_open(self) -> None:
+        if self.closed or self.draining:
+            raise ServiceClosedError("gateway is closed to new requests")
+
+    def count_request(self) -> None:
+        self.check_open()
+        self.requests += 1
+
+    # -- routing -------------------------------------------------------
+    def loads(self) -> list[int]:
+        return [shard.pending for shard in self.shards]
+
+    def route(self, fingerprint: str) -> tuple[int, tuple[int, ...]]:
+        """(primary shard, warm-up replica shards) for one fingerprint."""
+        selected = self.policy.select(fingerprint, self.loads())
+        return selected[0], tuple(selected[1:])
+
+    # -- admission -----------------------------------------------------
+    def admit(self, shard_index: int) -> None:
+        """Reserve one primary slot on a shard, or shed.
+
+        Re-checks the intake gate so a drain/close racing with a submit
+        either sees the pending slot or turns the request away — never
+        both reports idle and lets the request hit a closed shard.
+        """
+        self.check_open()
+        shard = self.shards[shard_index]
+        if shard.pending >= self.max_queue_depth:
+            self.shed += 1
+            raise RateLimitExceededError(
+                retry_after_seconds=0.05 * (shard.pending + 1)
+            )
+        shard.pending += 1
+        shard.routed += 1
+
+    def admit_replica(self, shard_index: int) -> bool:
+        """Reserve a best-effort warm-up slot; False = silently skip.
+
+        Warm-up never sheds real traffic: a full queue or a closing
+        gateway simply drops the replica.
+        """
+        shard = self.shards[shard_index]
+        if (
+            self.closed
+            or self.draining
+            or shard.pending >= self.max_queue_depth
+        ):
+            return False
+        shard.pending += 1
+        self.warmup_replicas += 1
+        return True
+
+    def settle(
+        self,
+        shard_index: int,
+        rejected: bool = False,
+        throttled: bool = False,
+    ) -> bool:
+        """Release one reserved slot; True when the fleet just went idle."""
+        self.shards[shard_index].pending -= 1
+        if rejected:
+            self.rejected += 1
+        if throttled:
+            self.throttled += 1
+        return self.idle()
+
+    def idle(self) -> bool:
+        return all(shard.pending == 0 for shard in self.shards)
+
+    def pending(self) -> int:
+        return sum(shard.pending for shard in self.shards)
+
+    def snapshot(self) -> dict:
+        """The gateway-level counter block of ``stats()``."""
+        return {
+            "policy": self.policy.name,
+            "num_shards": len(self.shards),
+            "max_queue_depth": self.max_queue_depth,
+            "requests": self.requests,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "throttled": self.throttled,
+            "warmup_replicas": self.warmup_replicas,
+            "pending": self.pending(),
+            "routed_per_shard": [shard.routed for shard in self.shards],
+        }
+
+
+def aggregate_shard_stats(
+    shard_stats: Sequence[dict],
+    latency_samples: Optional[Sequence[float]] = None,
+) -> dict:
+    """Fold per-shard ``service.stats()`` snapshots into fleet totals.
+
+    Counters sum; the hit rate is recomputed from the summed numerators
+    (averaging per-shard rates would weight an idle shard like a busy
+    one); latency percentiles are taken over ``latency_samples`` — the
+    union of every shard's reservoir — which is exact as long as no
+    reservoir overflowed.  Idle shards contribute empty reservoirs, and a
+    fully idle fleet yields ``None`` percentiles rather than raising, so
+    dashboards can poll a fresh deployment.
+    """
+    service_keys = (
+        "requests",
+        "cache_hits",
+        "computed",
+        "deduplicated",
+        "rejected",
+        "throttled",
+        "errors",
+    )
+    cache_keys = ("hits", "misses", "evictions", "expirations", "size")
+    totals = {key: 0 for key in service_keys}
+    cache = {key: 0 for key in cache_keys}
+    # a shard with an empty (or absent) reservoir must not poison the
+    # merge: keep only real samples so the percentile math sees numbers
+    samples = [s for s in (latency_samples or ()) if s is not None]
+    inflight = 0
+    stages: dict[str, dict] = {}
+    for snapshot in shard_stats:
+        service = snapshot["service"]
+        for key in service_keys:
+            totals[key] += service[key]
+        for key in cache_keys:
+            cache[key] += snapshot["cache"][key]
+        inflight += snapshot.get("inflight", 0)
+        for stage, data in service.get("stages", {}).items():
+            fleet = stages.setdefault(
+                stage, {"count": 0, "total_seconds": 0.0}
+            )
+            fleet["count"] += data["count"]
+            fleet["total_seconds"] += data["total_seconds"]
+    for fleet in stages.values():
+        fleet["mean_seconds"] = (
+            fleet["total_seconds"] / fleet["count"] if fleet["count"] else None
+        )
+    answered = totals["cache_hits"] + totals["computed"]
+    cache_lookups = cache["hits"] + cache["misses"]
+    return {
+        **totals,
+        "inflight": inflight,
+        "cache_hit_rate": (
+            totals["cache_hits"] / answered if answered else 0.0
+        ),
+        "cache": {
+            **cache,
+            "hit_rate": (
+                cache["hits"] / cache_lookups if cache_lookups else 0.0
+            ),
+        },
+        "latency_seconds": {
+            "count": len(samples),
+            "p50": percentile(samples, 50),
+            "p95": percentile(samples, 95),
+            "p99": percentile(samples, 99),
+            "max": max(samples) if samples else None,
+        },
+        "stages": stages,
+    }

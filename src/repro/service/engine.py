@@ -1,7 +1,8 @@
-"""The estimation service: middleware chain + concurrent request engine.
+"""The thread-pool execution driver over the sans-IO service core.
 
 :class:`EstimationService` wraps any :class:`~repro.core.base.Estimator`
-behind a request pipeline:
+behind the request pipeline defined by
+:class:`~repro.service.core.ServiceCore`:
 
 1. the request is fingerprinted (:mod:`repro.service.fingerprint`);
 2. if an identical request is already in flight, the caller piggybacks on
@@ -13,6 +14,13 @@ behind a request pipeline:
 4. misses dispatch to a ``ThreadPoolExecutor`` worker, which runs the
    estimator and then the ``on_result`` hooks (populating the cache).
 
+Every policy decision above lives in the core; this module only supplies
+the execution substrate — worker threads, ``concurrent.futures.Future``
+handles, and the ``threading.Lock`` primitives it binds onto the core's
+shared state (cache, locking middlewares, single-flight table).  The
+asyncio driver (:mod:`repro.service.aio`) drives the identical core from
+an event loop instead.
+
 ``estimate()`` is the blocking convenience wrapper; ``submit()`` returns
 a ``concurrent.futures.Future`` so schedulers can fan out.  Results are
 the estimator's own objects, untouched — byte-identical to calling the
@@ -21,41 +29,32 @@ estimator directly.
 
 from __future__ import annotations
 
-import inspect
-import itertools
 import threading
-import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Optional, Sequence
 
 from ..core.base import Estimator
 from ..core.estimator import XMemEstimator
-from ..errors import (
-    RateLimitExceededError,
-    RequestRejectedError,
-    ServiceClosedError,
-)
+from ..errors import ServiceClosedError
 from ..trace.reader import Trace
 from ..workload import DeviceSpec, WorkloadConfig
 from .cache import EstimateCache
-from .fingerprint import fingerprint_request
+from .context import RequestContext, ServiceRequest
+from .core import (
+    ServiceCore,
+    adopt_chain_cache,
+    compute_fingerprint,
+    estimator_accepts_trace,
+    invoke_estimator,
+)
 from .metrics import ServiceMetrics
 from .middleware import (
-    CacheMiddleware,
     MiddlewareChain,
-    RequestContext,
     ServiceMiddleware,
-    ServiceRequest,
-    TimingMiddleware,
-    ValidationMiddleware,
+    default_middlewares,
 )
 
 DEFAULT_MAX_WORKERS = 4
-
-
-def default_middlewares(cache: EstimateCache) -> tuple[ServiceMiddleware, ...]:
-    """The standard stack: timing outermost, then validation, then cache."""
-    return (TimingMiddleware(), ValidationMiddleware(), CacheMiddleware(cache))
 
 
 class EstimationService:
@@ -78,22 +77,20 @@ class EstimationService:
         else:
             # stats() and the batch fast path must see the cache that
             # actually serves hits: adopt the chain's, if it has one
-            for middleware in middlewares:
-                if isinstance(middleware, CacheMiddleware):
-                    self.cache = middleware.cache
-                    break
+            self.cache = adopt_chain_cache(middlewares, self.cache)
         self.chain = MiddlewareChain(middlewares)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        # thread driver: bind real locks onto the sans-IO core's shared
+        # state — hooks run concurrently on caller and worker threads
+        self.cache.bind_lock(threading.Lock)
+        self.chain.bind_lock(threading.Lock)
+        self.core = ServiceCore(self.chain, self.cache, self.metrics)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="xmem-service"
         )
         self._lock = threading.Lock()
-        self._inflight: dict[str, Future] = {}
-        self._request_ids = itertools.count(1)
         self._closed = False
-        self._accepts_trace = "trace" in inspect.signature(
-            self.estimator.estimate
-        ).parameters
+        self._accepts_trace = estimator_accepts_trace(self.estimator)
 
     # ------------------------------------------------------------------
     # public API
@@ -107,13 +104,7 @@ class EstimationService:
         self, workload: WorkloadConfig, device: DeviceSpec
     ) -> str:
         """The cache/single-flight key this service uses for a request."""
-        return fingerprint_request(
-            workload,
-            device,
-            estimator_name=self.estimator.name,
-            estimator_version=str(getattr(self.estimator, "version", "")),
-            allocator_config=getattr(self.estimator, "allocator_config", None),
-        )
+        return compute_fingerprint(self.estimator, workload, device)
 
     def submit(
         self,
@@ -121,81 +112,72 @@ class EstimationService:
         device: DeviceSpec,
         trace: Optional[Trace] = None,
         fingerprint: Optional[str] = None,
+        deadline: Optional[float] = None,
+        metadata: Optional[dict] = None,
     ) -> Future:
         """Enqueue one request; returns a future of the EstimationResult.
 
         Raises synchronously when an ``on_request`` hook rejects the
-        request (validation failure, rate limit); estimator failures
-        surface through the future.  Identical concurrent requests share
-        one future (their middlewares run once, for the first caller).
-        ``fingerprint``, when given, must equal ``self.fingerprint(...)``
-        for the pair — the gateway passes the one it already routed on so
-        the canonical payload is hashed once per request, not twice.
+        request (validation failure, rate limit) or the ``deadline`` —
+        an absolute ``time.perf_counter()`` value — has already passed;
+        estimator failures surface through the future.  Identical
+        concurrent requests share one future (their middlewares run once,
+        for the first caller).  ``fingerprint``, when given, must equal
+        ``self.fingerprint(...)`` for the pair — the gateway passes the
+        one it already routed on so the canonical payload is hashed once
+        per request, not twice.
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
-        self.metrics.record_request()
         fp = (
             fingerprint
             if fingerprint is not None
             else self.fingerprint(workload, device)
         )
-        request = ServiceRequest(
-            workload=workload, device=device, fingerprint=fp, trace=trace
+        request, ctx = self.core.open_request(
+            workload,
+            device,
+            fp,
+            trace=trace,
+            deadline=deadline,
+            metadata=metadata,
         )
-        ctx = RequestContext(
-            request_id=next(self._request_ids),
-            submitted_at=time.perf_counter(),
-        )
+        # an already-expired deadline is rejected before the dedup lookup:
+        # piggybacking would hand the caller a result it declared useless
+        self.core.check_deadline(ctx)
         with self._lock:
-            inflight = self._inflight.get(fp)
+            inflight = self.core.inflight.get(fp)
         if inflight is not None:
-            ctx.deduplicated = True
-            self.metrics.record_deduplicated()
+            self.core.note_deduplicated(ctx)
             return inflight
         # hooks run outside the lock: cache/rate-limit state is internally
         # locked, and a hook may call back into stats() without deadlock
-        try:
-            short, depth = self.chain.run_request(request, ctx)
-        except RateLimitExceededError:
-            self.metrics.record_throttled()
-            raise
-        except RequestRejectedError:
-            self.metrics.record_rejected()
-            raise
-        except BaseException:
-            self.metrics.record_error()
-            raise
-        if short is not None:
-            short = self.chain.run_result(request, short, ctx, depth)
-            latency = time.perf_counter() - ctx.submitted_at
-            if ctx.cache_hit:
-                self.metrics.record_cache_hit(latency)
-            else:
-                self.metrics.record_computed(latency)
+        admission = self.core.run_request_hooks(request, ctx)
+        if admission.result is not None:
             future: Future = Future()
-            future.set_result(short)
+            future.set_result(admission.result)
             return future
         with self._lock:
             # re-check: another thread may have registered this
             # fingerprint while our hooks ran (it already paid its own
             # trip through the chain, so piggybacking now is safe)
-            inflight = self._inflight.get(fp)
+            inflight = self.core.inflight.get(fp)
             if inflight is not None:
-                ctx.deduplicated = True
-                self.metrics.record_deduplicated()
+                self.core.note_deduplicated(ctx)
                 return inflight
             future = Future()
-            self._inflight[fp] = future
+            self.core.inflight.claim(fp, future)
         try:
-            self._executor.submit(self._run, request, ctx, future, depth)
+            self._executor.submit(
+                self._run, request, ctx, future, admission.depth
+            )
         except BaseException as error:
             # e.g. the pool shut down between the _closed check and here:
             # release the single-flight slot so nothing piggybacks on a
             # future no worker will ever resolve
             with self._lock:
-                self._inflight.pop(fp, None)
-            self.metrics.record_error()
+                self.core.inflight.release(fp)
+            self.core.record_dispatch_failure()
             future.set_exception(error)
         return future
 
@@ -211,7 +193,7 @@ class EstimationService:
     def stats(self) -> dict:
         """Service metrics + cache counters in one JSON-ready snapshot."""
         with self._lock:
-            inflight = len(self._inflight)
+            inflight = len(self.core.inflight)
         return {
             "service": self.metrics.as_dict(),
             "cache": self.cache.stats().as_dict(),
@@ -239,29 +221,16 @@ class EstimationService:
         depth: int,
     ) -> None:
         try:
-            result = self._invoke_estimator(request)
-            result = self.chain.run_result(request, result, ctx, depth)
+            result = invoke_estimator(
+                self.estimator, request, self._accepts_trace
+            )
+            result = self.core.finish(request, ctx, result, depth)
         except BaseException as error:
-            self.chain.run_error(request, error, ctx, depth)
-            self.metrics.record_error()
+            self.core.fail(request, ctx, error, depth)
             with self._lock:
-                self._inflight.pop(request.fingerprint, None)
+                self.core.inflight.release(request.fingerprint)
             future.set_exception(error)
             return
-        stages = getattr(result, "stage_seconds", None)
-        if stages:
-            # staged estimators report where computed time went; recorded
-            # alongside record_computed (and never for cache hits) so the
-            # per-stage counts reconcile with the computed counter
-            self.metrics.record_stages(stages)
-        self.metrics.record_computed(time.perf_counter() - ctx.submitted_at)
         with self._lock:
-            self._inflight.pop(request.fingerprint, None)
+            self.core.inflight.release(request.fingerprint)
         future.set_result(result)
-
-    def _invoke_estimator(self, request: ServiceRequest):
-        if request.trace is not None and self._accepts_trace:
-            return self.estimator.estimate(
-                request.workload, request.device, trace=request.trace
-            )
-        return self.estimator.estimate(request.workload, request.device)

@@ -1,18 +1,16 @@
-"""A sharded gateway over replicated estimation services.
+"""The thread-driven sharded gateway over replicated estimation services.
 
 One :class:`~repro.service.engine.EstimationService` is a single worker
 pool behind a single cache; cluster-rate traffic needs N of them.  The
 :class:`ServiceGateway` fans requests across replicated service *shards*
 and owns the three policies a serving tier needs:
 
-* **Routing** (:class:`RoutingPolicy`) — which shard answers a request.
-  The default :class:`ConsistentHashRouting` keys on the request
-  fingerprint, so every repeat of a workload lands on the same shard and
-  per-shard caches stay hot (the whole point of sharding a cache).
-  :class:`LeastLoadedRouting` trades locality for balance,
-  :class:`RandomRouting` is the locality-free baseline, and
-  :class:`BroadcastWarmupRouting` replicates each primary answer to every
-  other shard to pre-warm a fresh fleet.
+* **Routing** (:class:`~repro.service.routing.RoutingPolicy`) — which
+  shard answers a request.  The default
+  :class:`~repro.service.routing.ConsistentHashRouting` keys on the
+  request fingerprint, so every repeat of a workload lands on the same
+  shard and per-shard caches stay hot (the whole point of sharding a
+  cache).
 * **Backpressure** — each shard accepts at most ``max_queue_depth``
   queued-or-running requests; beyond that the gateway *sheds*, raising
   :class:`~repro.errors.RateLimitExceededError` so callers can retry
@@ -20,6 +18,13 @@ and owns the three policies a serving tier needs:
   own middleware chain pass through unchanged.
 * **Lifecycle** — ``drain()`` stops intake and waits for in-flight work;
   ``close()`` drains then shuts every shard down.
+
+All three are decided by the sans-IO :class:`~repro.service.core.GatewayCore`
+state machine; this module adds only the thread substrate — a lock
+serializing the core's mutations, a condition variable ``drain()`` blocks
+on, and ``concurrent.futures`` plumbing.  The asyncio driver
+(:class:`~repro.service.aio.AsyncServiceGateway`) drives the identical
+core from an event loop.
 
 ``stats()`` aggregates every shard's metrics into one fleet-level
 snapshot (summed counters, recomputed hit rate, percentiles over the
@@ -29,9 +34,6 @@ see both the fleet and its skew.
 
 from __future__ import annotations
 
-import bisect
-import hashlib
-import random
 import threading
 from concurrent.futures import Future
 from typing import Callable, Optional, Sequence
@@ -39,164 +41,39 @@ from typing import Callable, Optional, Sequence
 from ..errors import (
     RateLimitExceededError,
     RequestRejectedError,
-    ServiceClosedError,
 )
 from ..trace.reader import Trace
 from ..workload import DeviceSpec, WorkloadConfig
+from .core import GatewayCore, aggregate_shard_stats
 from .engine import EstimationService
-from .metrics import percentile
+from .routing import (
+    DEFAULT_VNODES,
+    POLICY_NAMES,
+    BroadcastWarmupRouting,
+    ConsistentHashRouting,
+    LeastLoadedRouting,
+    RandomRouting,
+    RoutingPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "BroadcastWarmupRouting",
+    "ConsistentHashRouting",
+    "DEFAULT_MAX_QUEUE_DEPTH",
+    "DEFAULT_NUM_SHARDS",
+    "DEFAULT_VNODES",
+    "LeastLoadedRouting",
+    "POLICY_NAMES",
+    "RandomRouting",
+    "RoutingPolicy",
+    "ServiceGateway",
+    "aggregate_shard_stats",
+    "make_policy",
+]
 
 DEFAULT_NUM_SHARDS = 4
 DEFAULT_MAX_QUEUE_DEPTH = 64
-
-#: virtual nodes per shard on the consistent-hash ring (smooths the
-#: key-space split so a 4-shard ring is within a few percent of 25/25/25/25)
-DEFAULT_VNODES = 64
-
-
-def _ring_hash(token: str) -> int:
-    """Stable 64-bit position on the hash ring (process-independent)."""
-    return int.from_bytes(
-        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
-    )
-
-
-class RoutingPolicy:
-    """Picks the shard(s) that serve one fingerprint.
-
-    ``select`` returns a non-empty tuple of shard indices: the first is
-    the *primary* (its future is the caller's answer); any others receive
-    best-effort warm-up replicas whose results and failures are ignored.
-    ``loads`` is the current queued-or-running count per shard.
-    """
-
-    name = "policy"
-
-    def select(
-        self, fingerprint: str, loads: Sequence[int]
-    ) -> tuple[int, ...]:
-        raise NotImplementedError
-
-    def __repr__(self) -> str:
-        return f"{type(self).__name__}(name={self.name!r})"
-
-
-class ConsistentHashRouting(RoutingPolicy):
-    """Fingerprint-keyed consistent hashing: repeats share a shard.
-
-    Classic ring construction — each shard owns ``vnodes`` pseudo-random
-    arcs; a fingerprint routes to the first vnode clockwise from its own
-    hash.  Cache locality is structural: identical fingerprints always
-    map to the same shard, and resizing the fleet remaps only ~1/N of the
-    key space (the arcs the new shard takes over).
-    """
-
-    name = "hash"
-
-    def __init__(self, num_shards: int, vnodes: int = DEFAULT_VNODES):
-        if num_shards < 1 or vnodes < 1:
-            raise ValueError("need at least one shard and one vnode")
-        positions = [
-            (_ring_hash(f"shard-{shard}/vnode-{vnode}"), shard)
-            for shard in range(num_shards)
-            for vnode in range(vnodes)
-        ]
-        positions.sort()
-        self._ring = [position for position, _ in positions]
-        self._owner = [shard for _, shard in positions]
-
-    def shard_for(self, fingerprint: str) -> int:
-        index = bisect.bisect(self._ring, _ring_hash(fingerprint))
-        return self._owner[index % len(self._owner)]
-
-    def select(self, fingerprint, loads):
-        return (self.shard_for(fingerprint),)
-
-
-class RandomRouting(RoutingPolicy):
-    """Seeded uniform routing — the no-locality baseline.
-
-    A hot fingerprint is smeared across every shard, so each shard pays
-    its own cold miss for the same key; benchmarks use this as the
-    control :class:`ConsistentHashRouting` must beat on hit rate.
-    """
-
-    name = "random"
-
-    def __init__(self, seed: int = 0):
-        self._rng = random.Random(seed)
-        self._lock = threading.Lock()
-
-    def select(self, fingerprint, loads):
-        with self._lock:
-            return (self._rng.randrange(len(loads)),)
-
-
-class LeastLoadedRouting(RoutingPolicy):
-    """Routes to the shard with the shortest queue (ties → lowest index).
-
-    Ignores the fingerprint entirely: best when requests rarely repeat
-    (cache locality is worthless) and worst-case queueing dominates.
-    """
-
-    name = "least_loaded"
-
-    def select(self, fingerprint, loads):
-        return (min(range(len(loads)), key=lambda index: loads[index]),)
-
-
-class BroadcastWarmupRouting(RoutingPolicy):
-    """Wraps a primary policy and replicates every request to all shards.
-
-    The caller's answer comes from the primary policy's shard; the other
-    shards receive best-effort duplicates that populate their caches.
-    Use for fleet warm-up (every shard learns the catalog), then swap the
-    gateway back to the plain primary policy.
-    """
-
-    name = "broadcast"
-
-    def __init__(self, primary: Optional[RoutingPolicy] = None):
-        self.primary = primary
-
-    def select(self, fingerprint, loads):
-        if self.primary is not None:
-            first = self.primary.select(fingerprint, loads)[0]
-        else:
-            first = _ring_hash(fingerprint) % len(loads)
-        return (first,) + tuple(
-            shard for shard in range(len(loads)) if shard != first
-        )
-
-
-def make_policy(name: str, num_shards: int, seed: int = 0) -> RoutingPolicy:
-    """Build a routing policy from its CLI/benchmark name."""
-    if name == "hash":
-        return ConsistentHashRouting(num_shards)
-    if name == "random":
-        return RandomRouting(seed=seed)
-    if name == "least_loaded":
-        return LeastLoadedRouting()
-    if name == "broadcast":
-        return BroadcastWarmupRouting(ConsistentHashRouting(num_shards))
-    raise ValueError(
-        f"unknown routing policy {name!r}; choose from {sorted(POLICY_NAMES)}"
-    )
-
-
-POLICY_NAMES = ("broadcast", "hash", "least_loaded", "random")
-
-
-class _Shard:
-    """One replicated service plus its gateway-side admission counter."""
-
-    __slots__ = ("service", "pending", "routed", "lock")
-
-    def __init__(self, service: EstimationService):
-        self.service = service
-        self.pending = 0  # queued-or-running requests admitted by us
-        self.routed = 0  # lifetime requests this shard was primary for
-        self.lock = threading.Lock()
 
 
 class ServiceGateway:
@@ -237,48 +114,50 @@ class ServiceGateway:
             ]
         elif not shards:
             raise ValueError("gateway needs at least one shard")
-        if max_queue_depth < 1:
-            raise ValueError("max_queue_depth must be >= 1")
-        self._shards = [_Shard(service) for service in shards]
-        self.policy = (
-            policy
-            if policy is not None
-            else ConsistentHashRouting(len(self._shards))
+        self._shard_services = tuple(shards)
+        self.core = GatewayCore(
+            num_shards=len(self._shard_services),
+            policy=(
+                policy
+                if policy is not None
+                else ConsistentHashRouting(len(self._shard_services))
+            ),
+            max_queue_depth=max_queue_depth,
         )
-        self.max_queue_depth = max_queue_depth
         self._lock = threading.Lock()
-        self._draining = False
-        self._closed = False
         self._idle = threading.Condition(self._lock)
-        # gateway-level counters (shard services keep their own)
-        self._requests = 0
-        self._shed = 0
-        self._rejected = 0
-        self._throttled = 0
-        self._warmup_replicas = 0
 
     # ------------------------------------------------------------------
     # public API (mirrors EstimationService)
     # ------------------------------------------------------------------
     @property
+    def policy(self) -> RoutingPolicy:
+        return self.core.policy
+
+    @property
+    def max_queue_depth(self) -> int:
+        return self.core.max_queue_depth
+
+    @property
     def num_shards(self) -> int:
-        return len(self._shards)
+        return len(self._shard_services)
 
     @property
     def shards(self) -> tuple[EstimationService, ...]:
         """The underlying services, for tests and warm-up hooks."""
-        return tuple(shard.service for shard in self._shards)
+        return self._shard_services
 
     def fingerprint(
         self, workload: WorkloadConfig, device: DeviceSpec
     ) -> str:
         """The routing/cache key — identical on every (replica) shard."""
-        return self._shards[0].service.fingerprint(workload, device)
+        return self._shard_services[0].fingerprint(workload, device)
 
     def shard_for(self, workload: WorkloadConfig, device: DeviceSpec) -> int:
         """The primary shard the current policy would pick right now."""
         fingerprint = self.fingerprint(workload, device)
-        return self.policy.select(fingerprint, self._loads())[0]
+        with self._lock:
+            return self.core.route(fingerprint)[0]
 
     def submit(
         self,
@@ -293,13 +172,12 @@ class ServiceGateway:
         full (shed — nothing was enqueued), and passes through the shard
         middleware's own synchronous rejections.
         """
-        with self._lock:
-            if self._closed or self._draining:
-                raise ServiceClosedError("gateway is closed to new requests")
-            self._requests += 1
         fingerprint = self.fingerprint(workload, device)
-        selected = self.policy.select(fingerprint, self._loads())
-        primary, replicas = selected[0], selected[1:]
+        with self._lock:
+            self.core.count_request()
+            # stateful policies (the seeded RNG) rely on the driver for
+            # serialization, so routing happens inside the lock too
+            primary, replicas = self.core.route(fingerprint)
         future = self._dispatch(primary, workload, device, trace, fingerprint)
         for shard_index in replicas:
             self._replicate(shard_index, workload, device, trace, fingerprint)
@@ -317,7 +195,7 @@ class ServiceGateway:
     def pending(self) -> int:
         """Requests admitted by the gateway and not yet resolved."""
         with self._lock:
-            return sum(shard.pending for shard in self._shards)
+            return self.core.pending()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Stop accepting requests and wait for in-flight ones to finish.
@@ -326,21 +204,18 @@ class ServiceGateway:
         wait forever).  Idempotent; ``submit`` raises afterwards.
         """
         with self._idle:
-            self._draining = True
-            return self._idle.wait_for(
-                lambda: all(s.pending == 0 for s in self._shards),
-                timeout=timeout,
-            )
+            self.core.draining = True
+            return self._idle.wait_for(self.core.idle, timeout=timeout)
 
     def close(self, wait: bool = True) -> None:
         """Drain (when ``wait``) and shut every shard down."""
         if wait:
             self.drain()
         with self._lock:
-            self._draining = True
-            self._closed = True
-        for shard in self._shards:
-            shard.service.close(wait=wait)
+            self.core.draining = True
+            self.core.closed = True
+        for service in self._shard_services:
+            service.close(wait=wait)
 
     def __enter__(self) -> "ServiceGateway":
         return self
@@ -350,23 +225,12 @@ class ServiceGateway:
 
     def stats(self) -> dict:
         """Gateway counters + per-shard snapshots + fleet aggregate."""
-        shard_stats = [shard.service.stats() for shard in self._shards]
+        shard_stats = [service.stats() for service in self._shard_services]
         samples: list[float] = []
-        for shard in self._shards:
-            samples.extend(shard.service.metrics.latency_samples())
+        for service in self._shard_services:
+            samples.extend(service.metrics.latency_samples())
         with self._lock:
-            gateway = {
-                "policy": self.policy.name,
-                "num_shards": len(self._shards),
-                "max_queue_depth": self.max_queue_depth,
-                "requests": self._requests,
-                "shed": self._shed,
-                "rejected": self._rejected,
-                "throttled": self._throttled,
-                "warmup_replicas": self._warmup_replicas,
-                "pending": sum(s.pending for s in self._shards),
-                "routed_per_shard": [s.routed for s in self._shards],
-            }
+            gateway = self.core.snapshot()
         return {
             "gateway": gateway,
             "aggregate": aggregate_shard_stats(shard_stats, samples),
@@ -376,10 +240,6 @@ class ServiceGateway:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _loads(self) -> list[int]:
-        with self._lock:
-            return [shard.pending for shard in self._shards]
-
     def _dispatch(
         self,
         shard_index: int,
@@ -388,35 +248,29 @@ class ServiceGateway:
         trace: Optional[Trace],
         fingerprint: str,
     ) -> Future:
-        shard = self._shards[shard_index]
+        service = self._shard_services[shard_index]
         with self._lock:
-            # re-check the gate while reserving the slot: a drain()/close()
-            # racing between submit()'s gate and here must either see our
-            # pending slot or turn us away — never report idle and then
-            # let this request hit a closed shard
-            if self._closed or self._draining:
-                raise ServiceClosedError("gateway is closed to new requests")
-            if shard.pending >= self.max_queue_depth:
-                self._shed += 1
-                raise RateLimitExceededError(
-                    retry_after_seconds=0.05 * (shard.pending + 1)
-                )
-            shard.pending += 1
-            shard.routed += 1
+            # admit re-checks the gate while reserving the slot: a
+            # drain()/close() racing between submit()'s gate and here must
+            # either see our pending slot or turn us away — never report
+            # idle and then let this request hit a closed shard
+            self.core.admit(shard_index)
         try:
-            future = shard.service.submit(
+            future = service.submit(
                 workload, device, trace=trace, fingerprint=fingerprint
             )
         except RateLimitExceededError:
-            self._settle(shard, throttled=True)
+            self._settle(shard_index, throttled=True)
             raise
         except RequestRejectedError:
-            self._settle(shard, rejected=True)
+            self._settle(shard_index, rejected=True)
             raise
         except BaseException:
-            self._settle(shard)
+            self._settle(shard_index)
             raise
-        future.add_done_callback(lambda _f, s=shard: self._settle(s))
+        future.add_done_callback(
+            lambda _f, index=shard_index: self._settle(index)
+        )
         return future
 
     def _replicate(
@@ -428,104 +282,26 @@ class ServiceGateway:
         fingerprint: str,
     ) -> None:
         """Best-effort warm-up duplicate: never surfaces to the caller."""
-        shard = self._shards[shard_index]
+        service = self._shard_services[shard_index]
         with self._lock:
-            if (
-                self._closed
-                or self._draining
-                or shard.pending >= self.max_queue_depth
-            ):
+            if not self.core.admit_replica(shard_index):
                 return  # warm-up never sheds real traffic
-            shard.pending += 1
-            self._warmup_replicas += 1
         try:
-            future = shard.service.submit(
+            future = service.submit(
                 workload, device, trace=trace, fingerprint=fingerprint
             )
         except BaseException:
-            self._settle(shard)
+            self._settle(shard_index)
             return
         future.add_done_callback(
-            lambda f, s=shard: (f.exception(), self._settle(s))
+            lambda f, index=shard_index: (f.exception(), self._settle(index))
         )
 
     def _settle(
-        self, shard: _Shard, rejected: bool = False, throttled: bool = False
+        self, shard_index: int, rejected: bool = False, throttled: bool = False
     ) -> None:
         with self._idle:
-            shard.pending -= 1
-            if rejected:
-                self._rejected += 1
-            if throttled:
-                self._throttled += 1
-            if all(s.pending == 0 for s in self._shards):
+            if self.core.settle(
+                shard_index, rejected=rejected, throttled=throttled
+            ):
                 self._idle.notify_all()
-
-
-def aggregate_shard_stats(
-    shard_stats: Sequence[dict],
-    latency_samples: Optional[Sequence[float]] = None,
-) -> dict:
-    """Fold per-shard ``service.stats()`` snapshots into fleet totals.
-
-    Counters sum; the hit rate is recomputed from the summed numerators
-    (averaging per-shard rates would weight an idle shard like a busy
-    one); latency percentiles are taken over ``latency_samples`` — the
-    union of every shard's reservoir — which is exact as long as no
-    reservoir overflowed.
-    """
-    service_keys = (
-        "requests",
-        "cache_hits",
-        "computed",
-        "deduplicated",
-        "rejected",
-        "throttled",
-        "errors",
-    )
-    cache_keys = ("hits", "misses", "evictions", "expirations", "size")
-    totals = {key: 0 for key in service_keys}
-    cache = {key: 0 for key in cache_keys}
-    samples = list(latency_samples or ())
-    inflight = 0
-    stages: dict[str, dict] = {}
-    for snapshot in shard_stats:
-        service = snapshot["service"]
-        for key in service_keys:
-            totals[key] += service[key]
-        for key in cache_keys:
-            cache[key] += snapshot["cache"][key]
-        inflight += snapshot.get("inflight", 0)
-        for stage, data in service.get("stages", {}).items():
-            fleet = stages.setdefault(
-                stage, {"count": 0, "total_seconds": 0.0}
-            )
-            fleet["count"] += data["count"]
-            fleet["total_seconds"] += data["total_seconds"]
-    for fleet in stages.values():
-        fleet["mean_seconds"] = (
-            fleet["total_seconds"] / fleet["count"] if fleet["count"] else None
-        )
-    answered = totals["cache_hits"] + totals["computed"]
-    cache_lookups = cache["hits"] + cache["misses"]
-    return {
-        **totals,
-        "inflight": inflight,
-        "cache_hit_rate": (
-            totals["cache_hits"] / answered if answered else 0.0
-        ),
-        "cache": {
-            **cache,
-            "hit_rate": (
-                cache["hits"] / cache_lookups if cache_lookups else 0.0
-            ),
-        },
-        "latency_seconds": {
-            "count": len(samples),
-            "p50": percentile(samples, 50),
-            "p95": percentile(samples, 95),
-            "p99": percentile(samples, 99),
-            "max": max(samples) if samples else None,
-        },
-        "stages": stages,
-    }

@@ -20,11 +20,16 @@ DEFAULT_LATENCY_WINDOW = 4096
 
 
 def percentile(samples: Sequence[float], q: float) -> Optional[float]:
-    """Linear-interpolated percentile; q in [0, 100]; None when empty."""
-    if not samples:
-        return None
+    """Linear-interpolated percentile; q in [0, 100]; None when empty.
+
+    The quantile is validated before the empty-reservoir check so a bad
+    ``q`` fails loudly even when an idle shard contributes no samples —
+    fleet merges must not mask caller bugs behind ``None``.
+    """
     if not 0 <= q <= 100:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not samples:
+        return None
     ordered = sorted(samples)
     position = (q / 100) * (len(ordered) - 1)
     low = int(position)

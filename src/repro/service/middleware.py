@@ -1,4 +1,4 @@
-"""The service middleware chain: request/response interception.
+"""The service middleware chain: request/response interception (sans-IO).
 
 Every estimation request flows through an ordered chain of
 :class:`ServiceMiddleware` objects with three hooks:
@@ -18,14 +18,19 @@ Every estimation request flows through an ordered chain of
 This mirrors the onion model of HTTP/MCP middleware stacks: the first
 middleware in the list is the outermost layer — first to see the request,
 last to see the result.
+
+The chain is part of the sans-IO core: it never imports a concurrency
+substrate.  Middlewares that mutate shared state (the token bucket, the
+audit trail, the timing reservoir) declare a :class:`~repro.service.context.NullLock`
+slot; a concurrent driver *binds* a real primitive via ``bind_lock``
+(the thread driver passes ``threading.Lock``; the asyncio driver binds
+nothing because its hooks all run on the event loop).
 """
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from ..core.result import EstimationResult
@@ -36,32 +41,27 @@ from ..errors import (
 )
 from ..framework.optim import optimizer_names
 from ..models.registry import get_model_spec
-from ..trace.reader import Trace
-from ..workload import DeviceSpec, WorkloadConfig
+from .cache import EstimateCache
+from .context import (
+    LockFactory,
+    NullLock,
+    RequestContext,
+    ServiceRequest,
+)
 
-
-@dataclass(frozen=True)
-class ServiceRequest:
-    """One estimation request as seen by the middleware chain."""
-
-    workload: WorkloadConfig
-    device: DeviceSpec
-    fingerprint: str
-    #: pre-computed CPU profile shared across requests (see service.batch)
-    trace: Optional[Trace] = None
-    metadata: dict = field(default_factory=dict)
-
-
-@dataclass
-class RequestContext:
-    """Mutable per-request state threaded through the hooks."""
-
-    request_id: int
-    submitted_at: float
-    cache_hit: bool = False
-    deduplicated: bool = False
-    short_circuited_by: Optional[str] = None
-    tags: dict = field(default_factory=dict)
+__all__ = [
+    "AuditLogMiddleware",
+    "CacheMiddleware",
+    "DeadlineMiddleware",
+    "MiddlewareChain",
+    "RateLimitMiddleware",
+    "RequestContext",
+    "ServiceMiddleware",
+    "ServiceRequest",
+    "TimingMiddleware",
+    "ValidationMiddleware",
+    "default_middlewares",
+]
 
 
 class ServiceMiddleware:
@@ -87,6 +87,16 @@ class ServiceMiddleware:
     ) -> None:
         return None
 
+    def bind_lock(self, lock_factory: LockFactory) -> None:
+        """Adopt a driver-supplied lock for shared mutable state.
+
+        The sans-IO default is a no-op: stateless middlewares ignore it,
+        stateful ones replace their :class:`NullLock` slot (idempotent —
+        a lock already bound is kept, so two drivers sharing a middleware
+        agree on one primitive).
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -96,6 +106,11 @@ class MiddlewareChain:
 
     def __init__(self, middlewares: Sequence[ServiceMiddleware]):
         self.middlewares = tuple(middlewares)
+
+    def bind_lock(self, lock_factory: LockFactory) -> None:
+        """Bind a driver's lock primitive to every stateful middleware."""
+        for middleware in self.middlewares:
+            middleware.bind_lock(lock_factory)
 
     def run_request(
         self, request: ServiceRequest, ctx: RequestContext
@@ -159,6 +174,9 @@ class CacheMiddleware(ServiceMiddleware):
     def __init__(self, cache):
         self.cache = cache
 
+    def bind_lock(self, lock_factory: LockFactory) -> None:
+        self.cache.bind_lock(lock_factory)
+
     def on_request(self, request, ctx):
         result = self.cache.get(request.fingerprint)
         if result is not None:
@@ -201,6 +219,36 @@ class ValidationMiddleware(ServiceMiddleware):
         return None
 
 
+class DeadlineMiddleware(ServiceMiddleware):
+    """Tags every request with a relative deadline (``budget_seconds``).
+
+    Caller-supplied absolute deadlines are enforced by the core before
+    any hook (or dedup piggyback) runs; this middleware is for stacks
+    where the *service* imposes a serving budget on callers that did not
+    set one themselves.  The stamped budget is enforced by the core's
+    second deadline check — after the chain, before the estimator is
+    dispatched — so a request that exhausts its budget queueing through
+    the hooks is rejected instead of occupying a worker.
+    """
+
+    name = "deadline"
+
+    def __init__(
+        self,
+        budget_seconds: float,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if budget_seconds <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget_seconds = budget_seconds
+        self._clock = clock
+
+    def on_request(self, request, ctx):
+        if ctx.deadline is None:
+            ctx.deadline = self._clock() + self.budget_seconds
+        return None
+
+
 class RateLimitMiddleware(ServiceMiddleware):
     """A token bucket: at most ``burst`` requests instantly, refilled at
     ``rate_per_second``.  Placed before :class:`CacheMiddleware` it
@@ -225,7 +273,11 @@ class RateLimitMiddleware(ServiceMiddleware):
         self._clock = clock
         self._tokens = float(burst)
         self._refilled_at = clock()
-        self._lock = threading.Lock()
+        self._lock = NullLock()
+
+    def bind_lock(self, lock_factory: LockFactory) -> None:
+        if isinstance(self._lock, NullLock):
+            self._lock = lock_factory()
 
     def on_request(self, request, ctx):
         with self._lock:
@@ -249,8 +301,12 @@ class AuditLogMiddleware(ServiceMiddleware):
     def __init__(self, max_records: int = 1000, logger=None):
         self.max_records = max_records
         self.logger = logger
-        self._lock = threading.Lock()
+        self._lock = NullLock()
         self._records: "deque[dict[str, Any]]" = deque(maxlen=max_records)
+
+    def bind_lock(self, lock_factory: LockFactory) -> None:
+        if isinstance(self._lock, NullLock):
+            self._lock = lock_factory()
 
     def _append(self, record: dict[str, Any]) -> None:
         with self._lock:
@@ -308,8 +364,12 @@ class TimingMiddleware(ServiceMiddleware):
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = NullLock()
         self._samples: list[float] = []
+
+    def bind_lock(self, lock_factory: LockFactory) -> None:
+        if isinstance(self._lock, NullLock):
+            self._lock = lock_factory()
 
     def on_request(self, request, ctx):
         ctx.tags["timing_start"] = self._clock()
@@ -326,3 +386,8 @@ class TimingMiddleware(ServiceMiddleware):
     def samples(self) -> list[float]:
         with self._lock:
             return list(self._samples)
+
+
+def default_middlewares(cache: EstimateCache) -> tuple[ServiceMiddleware, ...]:
+    """The standard stack: timing outermost, then validation, then cache."""
+    return (TimingMiddleware(), ValidationMiddleware(), CacheMiddleware(cache))

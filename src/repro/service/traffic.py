@@ -18,6 +18,11 @@ except where a scenario *wants* rejects (``adversarial``).
 and deterministic (peak bytes derived from the request fingerprint), so
 replays measure the serving layer — routing, caches, queues — rather
 than CPU profiling time.
+
+:func:`replay` drives the thread-based services/gateways wave by wave;
+:func:`repro.service.aio.replay_async` is its awaitable mirror for the
+asyncio driver, with identical accounting (same :class:`ReplayReport`),
+so the two drivers can be compared on the same trace apples-to-apples.
 """
 
 from __future__ import annotations

@@ -193,3 +193,38 @@ class TestLoadtest:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["answered"] == 20
+
+    def test_asyncio_driver_runs(self, capsys):
+        code = main([
+            "loadtest", "--scenario", "zipf", "--requests", "30",
+            "--shards", "2", "--driver", "asyncio", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["answered"] == 30
+        assert payload["errors"] == 0
+
+    def test_multiple_drivers_print_comparison_table(self, capsys):
+        code = main([
+            "loadtest", "--scenario", "zipf", "--requests", "30",
+            "--shards", "2", "--driver", "threads", "--driver", "asyncio",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario 'zipf':" in out
+        assert "hit rate" in out and "p95 ms" in out and "shed" in out
+        assert "threads" in out and "asyncio" in out
+
+    def test_multiple_policies_json_lists_every_run(self, capsys):
+        code = main([
+            "loadtest", "--scenario", "uniform", "--requests", "20",
+            "--shards", "2", "--policy", "hash", "--policy", "random",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["runs"]) == 2
+        assert {run["policy"] for run in payload["runs"]} == {
+            "hash", "random",
+        }
+        assert all(run["answered"] == 20 for run in payload["runs"])

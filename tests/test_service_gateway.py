@@ -260,6 +260,48 @@ class TestLifecycle:
         with pytest.raises(ServiceClosedError):
             gateway.submit(WORKLOAD, RTX_3060)
 
+    def test_drain_with_inflight_loses_nothing_and_never_double_sheds(self):
+        # satellite of the sans-IO PR: the thread-driver mirror of the
+        # asyncio drain test — a full queue sheds exactly once, draining
+        # with requests still gated resolves every admitted future, and
+        # close stays idempotent afterwards
+        gate = threading.Event()
+        estimator = SyntheticEstimator()
+        original = estimator.estimate
+
+        def gated(workload, device):
+            assert gate.wait(timeout=10)
+            return original(workload, device)
+
+        estimator.estimate = gated
+        service = EstimationService(estimator=estimator, max_workers=2)
+        gateway = ServiceGateway(shards=[service], max_queue_depth=2)
+        first = gateway.submit(WORKLOAD, RTX_3060)
+        second = gateway.submit(
+            WorkloadConfig("MobileNetV2", "adam", 16), RTX_3060
+        )
+        with pytest.raises(RateLimitExceededError):
+            gateway.submit(
+                WorkloadConfig("MobileNetV2", "sgd", 32), RTX_3060
+            )
+        assert gateway.stats()["gateway"]["shed"] == 1
+        drained = []
+        waiter = threading.Thread(
+            target=lambda: drained.append(gateway.drain(timeout=10))
+        )
+        waiter.start()
+        gate.set()
+        waiter.join(timeout=10)
+        assert drained == [True]
+        # no lost results: both admitted futures resolved through drain
+        assert first.result(timeout=10).peak_bytes > 0
+        assert second.result(timeout=10).peak_bytes > 0
+        stats = gateway.stats()["gateway"]
+        assert stats["shed"] == 1  # draining did not double-shed
+        assert stats["pending"] == 0
+        gateway.close()
+        gateway.close()  # idempotent after a drain with traffic
+
 
 class TestAggregation:
     def test_stats_shape_and_totals(self):
@@ -331,3 +373,38 @@ class TestAggregation:
         assert aggregate["requests"] == 0
         assert aggregate["cache_hit_rate"] == 0.0
         assert aggregate["latency_seconds"]["p50"] is None
+
+    def test_idle_shard_reservoirs_do_not_poison_fleet_percentiles(self):
+        # regression (sans-IO PR satellite): a fleet where some shards
+        # never served a request must still merge — empty reservoirs
+        # contribute nothing, a fully idle fleet reports None, and stray
+        # None entries in the sample union are dropped, not compared
+        with make_gateway(num_shards=4) as gateway:
+            gateway.estimate(WORKLOAD, RTX_3060)  # exactly one busy shard
+            stats = gateway.stats()
+        fleet_latency = stats["aggregate"]["latency_seconds"]
+        assert fleet_latency["count"] == 1
+        assert fleet_latency["p50"] == fleet_latency["p95"]
+        idle_shards = [
+            shard
+            for shard in stats["shards"]
+            if shard["service"]["latency_seconds"]["count"] == 0
+        ]
+        assert len(idle_shards) == 3  # the merge really saw empty ones
+
+        with make_gateway(num_shards=2) as gateway:
+            fresh = gateway.stats()  # fully idle fleet, zero samples
+        assert fresh["aggregate"]["latency_seconds"]["p95"] is None
+        assert fresh["aggregate"]["latency_seconds"]["max"] is None
+
+        shard_stats = [make_gateway(num_shards=1).stats()["shards"][0]]
+        merged = aggregate_shard_stats(shard_stats, [None, 0.25, None])
+        assert merged["latency_seconds"]["count"] == 1
+        assert merged["latency_seconds"]["p50"] == pytest.approx(0.25)
+
+    def test_percentile_validates_q_even_on_empty_reservoirs(self):
+        from repro.service import percentile
+
+        assert percentile([], 95) is None
+        with pytest.raises(ValueError):
+            percentile([], 150)  # bad q must not hide behind empty
