@@ -1,0 +1,187 @@
+"""Benchmark regression gate: BENCH_pipeline.json vs. the checked-in baseline.
+
+The stage-cache benchmark (:mod:`bench_pipeline_stages`) already asserts
+*invariants* (warm >= 3x cold, byte-identical peaks); this gate asserts
+*non-regression* against a committed reference, so a PR that quietly
+halves the stage-cache win — without dipping below the absolute floor —
+still fails CI.
+
+Compared metrics (from the report both runs write):
+
+* ``warm_speedup``   — cold/warm wall-clock ratio; **higher is better**.
+  Hardware-neutral: both sides of the ratio ran on the same machine.
+* ``warm_cell_ms``   — absolute warm per-cell latency; **lower is
+  better**.  Hardware-sensitive: expect to retune the tolerance (or the
+  baseline) when the CI runner generation changes.
+
+A metric regresses when it is worse than the baseline by more than the
+tolerance (default +/-30%, ``--tolerance`` / per-metric ``--override``).
+Improvements never fail the gate — refresh the baseline to bank them.
+
+Always writes a trend artifact (``BENCH_pipeline.trend.json``): baseline
+vs. current vs. relative delta per metric, plus the verdict — CI uploads
+it on success *and* failure, so a regression comes with its numbers.
+
+Exit codes: 0 ok, 1 regression, 2 missing/incomparable inputs.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        [--current BENCH_pipeline.json] \
+        [--baseline benchmarks/baselines/BENCH_pipeline.baseline.json] \
+        [--tolerance 0.30] [--override warm_cell_ms=0.60] \
+        [--trend-out BENCH_pipeline.trend.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "BENCH_pipeline.json"
+DEFAULT_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "BENCH_pipeline.baseline.json"
+)
+DEFAULT_TREND = REPO_ROOT / "BENCH_pipeline.trend.json"
+
+#: metric -> direction ("higher" / "lower" is better)
+METRICS = {
+    "warm_speedup": "higher",
+    "warm_cell_ms": "lower",
+}
+
+
+def parse_overrides(pairs: list[str]) -> dict[str, float]:
+    overrides = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if name not in METRICS:
+            print(
+                f"error: unknown metric {name!r}; known: {sorted(METRICS)}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)  # bad input, not a benchmark regression
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            print(
+                f"error: --override wants NAME=FLOAT, got {pair!r}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2) from None
+    return overrides
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float, overrides: dict
+) -> dict:
+    """Per-metric verdicts + the overall one (pure, tested directly)."""
+    rows = {}
+    regressions = []
+    for metric, direction in METRICS.items():
+        base = baseline.get(metric)
+        now = current.get(metric)
+        tol = overrides.get(metric, tolerance)
+        row = {
+            "baseline": base,
+            "current": now,
+            "direction": direction,
+            "tolerance": tol,
+        }
+        if base is None or now is None or base == 0:
+            row["verdict"] = "not-comparable"
+        else:
+            delta = (now - base) / base
+            row["delta"] = delta
+            if direction == "higher":
+                regressed = now < base * (1 - tol)
+            else:
+                regressed = now > base * (1 + tol)
+            row["verdict"] = "regression" if regressed else "ok"
+            if regressed:
+                regressions.append(metric)
+        rows[metric] = row
+    return {
+        "metrics": rows,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed relative worsening per metric (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--override", action="append", default=[], metavar="METRIC=TOL",
+        help="per-metric tolerance override, repeatable "
+        "(e.g. warm_cell_ms=0.60 for a noisier hosted runner)",
+    )
+    parser.add_argument("--trend-out", type=Path, default=DEFAULT_TREND)
+    args = parser.parse_args(argv)
+
+    for path, what in ((args.current, "current"), (args.baseline, "baseline")):
+        if not path.exists():
+            print(f"error: {what} report {path} not found", file=sys.stderr)
+            return 2
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+
+    verdict = compare(
+        baseline, current, args.tolerance, parse_overrides(args.override)
+    )
+    comparable = current.get("quick") == baseline.get("quick") and (
+        current.get("grid") == baseline.get("grid")
+    )
+    if not comparable:
+        # runs over different work (a --quick run against a full-grid
+        # baseline, or an edited quick grid against a stale baseline)
+        # measure nothing comparable; gate nothing, but say so loudly in
+        # the artifact so the baseline gets refreshed
+        verdict["ok"] = True
+        verdict["regressions"] = []
+        verdict["skipped"] = (
+            f"grid mismatch: current quick={current.get('quick')} "
+            f"grid={current.get('grid')} vs baseline "
+            f"quick={baseline.get('quick')} grid={baseline.get('grid')} "
+            f"— not comparable; refresh the baseline"
+        )
+
+    trend = {
+        "baseline_grid": baseline.get("grid"),
+        "current_grid": current.get("grid"),
+        **verdict,
+    }
+    args.trend_out.write_text(json.dumps(trend, indent=2) + "\n")
+
+    for metric, row in verdict["metrics"].items():
+        delta = row.get("delta")
+        print(
+            f"{metric:<14} baseline={row['baseline']!r:<10} "
+            f"current={row['current']!r:<10} "
+            f"delta={'n/a' if delta is None else f'{delta:+.1%}'} "
+            f"[{row['verdict']}]"
+        )
+    if verdict.get("skipped"):
+        print(f"gate skipped: {verdict['skipped']}")
+        return 0
+    if not verdict["ok"]:
+        print(
+            f"REGRESSION: {', '.join(verdict['regressions'])} worse than "
+            f"baseline beyond tolerance (trend written to {args.trend_out})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"benchmark within tolerance (trend written to {args.trend_out})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

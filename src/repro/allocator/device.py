@@ -15,7 +15,7 @@ memory already in use on the device (``M_init`` in the paper's notation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import DeviceOutOfMemoryError, InvalidFreeError
 

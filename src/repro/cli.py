@@ -258,8 +258,11 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
 
 def _loadtest_replay(trace, args, policy_name: str, driver: str):
     """Replay one trace through one (policy, driver) gateway combo."""
+    from functools import partial
+
     from .service import (
         AsyncServiceGateway,
+        ProcServiceGateway,
         ServiceGateway,
         SyntheticEstimator,
         make_policy,
@@ -267,15 +270,29 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str):
         replay_async,
     )
 
+    # partial over an importable callable, not a lambda: the process
+    # driver ships the factory to its workers, which requires pickling
+    # under the spawn start method
     if args.estimator == "synthetic":
-        factory = lambda: SyntheticEstimator(  # noqa: E731
-            work_seconds=args.work_ms / 1000.0
+        factory = partial(
+            SyntheticEstimator,
+            work_seconds=args.work_ms / 1000.0,
+            spin_seconds=args.spin_ms / 1000.0,
         )
     else:
-        factory = lambda: XMemEstimator(  # noqa: E731
-            iterations=args.iterations, curve=False
+        factory = partial(
+            XMemEstimator, iterations=args.iterations, curve=False
         )
     policy = make_policy(policy_name, args.shards, seed=args.seed)
+    if driver == "processes":
+        with ProcServiceGateway(
+            num_shards=args.shards,
+            estimator_factory=factory,
+            policy=policy,
+            max_queue_depth=args.max_queue_depth,
+            pool_workers=args.pool_workers,
+        ) as gateway:
+            return replay(trace, gateway)
     if driver == "asyncio":
         import asyncio
 
@@ -565,20 +582,31 @@ def build_parser() -> argparse.ArgumentParser:
         "per-shard cache locality); several values print a comparison",
     )
     loadtest.add_argument(
-        "--driver", choices=("threads", "asyncio"), action="append",
-        default=None,
+        "--driver", choices=("threads", "asyncio", "processes"),
+        action="append", default=None,
         help="execution driver over the sans-IO core, repeatable "
         "(default threads); several values print a comparison",
     )
     loadtest.add_argument("--max-queue-depth", type=int, default=64)
     loadtest.add_argument("--workers-per-shard", type=int, default=2)
     loadtest.add_argument(
+        "--pool-workers", type=int, default=4,
+        help="worker processes shared by all shards (--driver processes)",
+    )
+    loadtest.add_argument(
         "--estimator", choices=("synthetic", "xmem"), default="synthetic",
         help="synthetic = measure the serving layer; xmem = real pipeline",
     )
     loadtest.add_argument(
         "--work-ms", type=float, default=0.0,
-        help="simulated per-estimate cost for the synthetic estimator",
+        help="simulated per-estimate cost for the synthetic estimator "
+        "(sleep: releases the GIL)",
+    )
+    loadtest.add_argument(
+        "--spin-ms", type=float, default=0.0,
+        help="simulated CPU-bound per-estimate cost for the synthetic "
+        "estimator (busy loop: holds the GIL — what --driver processes "
+        "parallelizes and the other drivers cannot)",
     )
     loadtest.add_argument(
         "--iterations", type=int, default=2,

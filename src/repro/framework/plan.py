@@ -14,7 +14,7 @@ the allocation/deallocation event stream on either backend.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from .tensor import TensorMeta

@@ -162,7 +162,6 @@ class T5Model(Module):
             ffn(ctx)
         self.final_norm(ctx)
         # Tied LM head: no extra parameters, logits allocated
-        x = ctx.current_meta
         ctx.add(
             "aten::mm",
             output=TensorMeta((batch, seq, config.vocab_size)),

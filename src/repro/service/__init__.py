@@ -65,6 +65,11 @@ from .aio import (
     estimate_many_async,
     replay_async,
 )
+from .procpool import (
+    ProcEstimationService,
+    ProcServiceGateway,
+    default_estimator_factory,
+)
 from .middleware import (
     AuditLogMiddleware,
     CacheMiddleware,
@@ -94,6 +99,8 @@ __all__ = [
     "MiddlewareChain",
     "NullLock",
     "POLICY_NAMES",
+    "ProcEstimationService",
+    "ProcServiceGateway",
     "RandomRouting",
     "RateLimitMiddleware",
     "ReplayReport",
@@ -113,6 +120,7 @@ __all__ = [
     "TrafficTrace",
     "ValidationMiddleware",
     "aggregate_shard_stats",
+    "default_estimator_factory",
     "default_middlewares",
     "estimate_many",
     "estimate_many_async",

@@ -11,7 +11,12 @@ paper's capacity-planning scenarios ask for.
 The planning step (:func:`plan_shared_traces`) is driver-agnostic: it
 only needs the service surface (``fingerprint`` / ``cache`` /
 ``estimator``), so :func:`repro.service.aio.estimate_many_async` reuses
-it verbatim for the asyncio driver — one planner, two substrates.
+it for the asyncio driver and
+:meth:`repro.service.procpool.ProcEstimationService.estimate_many` for
+the process driver — one planner, three substrates.  Under the process
+driver the profile is computed once in the parent and shipped (pickled)
+to whichever worker handles each request of the group, so N workers
+never profile the same workload N times.
 """
 
 from __future__ import annotations
@@ -95,7 +100,8 @@ def estimate_many(
     With ``share_profiles`` (and a trace-capable estimator), workloads
     repeated across devices are profiled once up front.  With
     ``return_exceptions``, failures come back in-place instead of raising
-    on the first bad request.
+    on the first bad request.  ``service`` is any synchronous driver
+    exposing ``submit`` futures — the thread service or the process one.
     """
     traces: dict[tuple, Trace] = {}
     if share_profiles and service.accepts_trace:

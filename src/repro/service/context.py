@@ -63,6 +63,40 @@ class ServiceRequest:
     trace: Optional[Trace] = None
     metadata: dict = field(default_factory=dict)
 
+    def as_dict(self) -> dict:
+        """JSON-ready identity of the request (everything but the trace).
+
+        This is the wire format the process-pool driver ships to worker
+        processes: plain dicts survive any serialization substrate
+        (pickle today, JSON-over-socket tomorrow).  The trace is carried
+        out-of-band — it is a large binary artifact with its own
+        serialization, not part of the request identity.
+        """
+        return {
+            "workload": self.workload.as_dict(),
+            "device": self.device.as_dict(),
+            "fingerprint": self.fingerprint,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: dict, trace: Optional[Trace] = None
+    ) -> "ServiceRequest":
+        """Inverse of :meth:`as_dict` (round-trips exactly).
+
+        ``trace`` re-attaches the out-of-band profile on the receiving
+        side (the process-pool worker passes through whatever the parent
+        shipped alongside the payload).
+        """
+        return cls(
+            workload=WorkloadConfig.from_dict(payload["workload"]),
+            device=DeviceSpec.from_dict(payload["device"]),
+            fingerprint=payload["fingerprint"],
+            trace=trace,
+            metadata=dict(payload.get("metadata", {})),
+        )
+
 
 @dataclass
 class RequestContext:
@@ -98,3 +132,46 @@ class RequestContext:
     def expired(self, now: float) -> bool:
         """Whether the deadline has passed at clock value ``now``."""
         return self.deadline is not None and now >= self.deadline
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of the per-request state.
+
+        The envelope's wire-format contract (paired with
+        :meth:`ServiceRequest.as_dict`): today's process-pool driver
+        keeps contexts in the parent and ships only the request, but any
+        transport that forwards in-progress requests — cross-process
+        retry/failover, a socket gateway — needs the whole envelope to
+        round-trip, and the property tests pin that both halves do.
+        ``tags`` is deliberately shallow-copied: middlewares only ever
+        store scalars there (timestamps, flags), never live objects.
+        """
+        return {
+            "request_id": self.request_id,
+            "submitted_at": self.submitted_at,
+            "fingerprint": self.fingerprint,
+            "deadline": self.deadline,
+            "attempt": self.attempt,
+            "shard_hint": self.shard_hint,
+            "cache_hit": self.cache_hit,
+            "deduplicated": self.deduplicated,
+            "short_circuited_by": self.short_circuited_by,
+            "tags": dict(self.tags),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RequestContext":
+        """Inverse of :meth:`as_dict` (round-trips exactly)."""
+        return cls(
+            request_id=payload["request_id"],
+            submitted_at=payload["submitted_at"],
+            fingerprint=payload.get("fingerprint", ""),
+            deadline=payload.get("deadline"),
+            attempt=payload.get("attempt", 1),
+            shard_hint=payload.get("shard_hint"),
+            cache_hit=payload.get("cache_hit", False),
+            deduplicated=payload.get("deduplicated", False),
+            short_circuited_by=payload.get("short_circuited_by"),
+            tags=dict(payload.get("tags", {})),
+            metadata=dict(payload.get("metadata", {})),
+        )

@@ -283,12 +283,10 @@ class ServiceCore:
         error: BaseException,
         depth: int,
     ) -> None:
-        """Estimation failure: unwind ``on_error`` hooks + count it."""
+        """Failure after admission — the estimator raised, or the driver
+        could not hand the request to its substrate: unwind the entered
+        ``on_error`` hooks + count it."""
         self.chain.run_error(request, error, ctx, depth)
-        self.metrics.record_error()
-
-    def record_dispatch_failure(self) -> None:
-        """The driver could not hand the request to its substrate."""
         self.metrics.record_error()
 
 
@@ -440,6 +438,13 @@ def aggregate_shard_stats(
     reservoir overflowed.  Idle shards contribute empty reservoirs, and a
     fully idle fleet yields ``None`` percentiles rather than raising, so
     dashboards can poll a fresh deployment.
+
+    Tolerates *partial* snapshots: a shard whose substrate worker died
+    mid-request (or a snapshot truncated in transit from a worker
+    process) may be missing counters, the cache block, or whole
+    sections — every absent field counts as zero instead of raising
+    ``KeyError``, because a fleet dashboard must keep rendering the
+    healthy shards while one is broken.
     """
     service_keys = (
         "requests",
@@ -458,19 +463,25 @@ def aggregate_shard_stats(
     samples = [s for s in (latency_samples or ()) if s is not None]
     inflight = 0
     stages: dict[str, dict] = {}
+    workers: dict[str, int] = {}
     for snapshot in shard_stats:
-        service = snapshot["service"]
+        service = snapshot.get("service") or {}
+        shard_cache = snapshot.get("cache") or {}
         for key in service_keys:
-            totals[key] += service[key]
+            totals[key] += service.get(key, 0)
         for key in cache_keys:
-            cache[key] += snapshot["cache"][key]
+            cache[key] += shard_cache.get(key, 0)
         inflight += snapshot.get("inflight", 0)
-        for stage, data in service.get("stages", {}).items():
+        for stage, data in (service.get("stages") or {}).items():
             fleet = stages.setdefault(
                 stage, {"count": 0, "total_seconds": 0.0}
             )
-            fleet["count"] += data["count"]
-            fleet["total_seconds"] += data["total_seconds"]
+            fleet["count"] += data.get("count", 0)
+            fleet["total_seconds"] += data.get("total_seconds", 0.0)
+        for worker, count in (service.get("workers") or {}).items():
+            # shards of a process gateway share one pool, so the same
+            # PID legitimately shows up under several shards: sum them
+            workers[worker] = workers.get(worker, 0) + count
     for fleet in stages.values():
         fleet["mean_seconds"] = (
             fleet["total_seconds"] / fleet["count"] if fleet["count"] else None
@@ -497,4 +508,5 @@ def aggregate_shard_stats(
             "max": max(samples) if samples else None,
         },
         "stages": stages,
+        "workers": dict(sorted(workers.items())),
     }

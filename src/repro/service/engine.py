@@ -174,10 +174,12 @@ class EstimationService:
         except BaseException as error:
             # e.g. the pool shut down between the _closed check and here:
             # release the single-flight slot so nothing piggybacks on a
-            # future no worker will ever resolve
+            # future no worker will ever resolve, and unwind the entered
+            # middleware layers (core.fail = on_error hooks + the error
+            # counter) so the audit trail and counters keep reconciling
             with self._lock:
                 self.core.inflight.release(fp)
-            self.core.record_dispatch_failure()
+            self.core.fail(request, ctx, error, admission.depth)
             future.set_exception(error)
         return future
 

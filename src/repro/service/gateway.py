@@ -68,6 +68,7 @@ __all__ = [
     "RandomRouting",
     "RoutingPolicy",
     "ServiceGateway",
+    "SyncGatewayShell",
     "aggregate_shard_stats",
     "make_policy",
 ]
@@ -76,44 +77,29 @@ DEFAULT_NUM_SHARDS = 4
 DEFAULT_MAX_QUEUE_DEPTH = 64
 
 
-class ServiceGateway:
-    """Routes estimation requests across N service shards.
+class SyncGatewayShell:
+    """The thread-substrate gateway shell, shared by the sync drivers.
 
-    Construct either from explicit ``shards`` (pre-built services, e.g.
-    with custom middleware stacks) or from ``num_shards`` plus an
-    ``estimator_factory`` — each shard then gets its *own* estimator
-    instance and its own cache, which is what process-per-shard
-    deployments will look like.
-
-    The gateway mirrors the single-service surface (``submit`` /
-    ``estimate`` / ``stats`` / context manager), so anything written
-    against :class:`EstimationService` — the admission controller, the
-    batch helpers' caller side — can point at a gateway unchanged.
+    Everything a lock-and-condition-variable gateway does — routing
+    under the lock, admit/shed/settle against :class:`GatewayCore`,
+    best-effort warm-up replicas, ``drain()`` blocking on the idle
+    condition, fleet ``stats()`` aggregation — is identical whether the
+    shards run estimation on worker threads
+    (:class:`ServiceGateway`) or in a process pool
+    (:class:`~repro.service.procpool.ProcServiceGateway`); only shard
+    construction and substrate teardown differ.  Subclasses call
+    :meth:`_init_shell` from their constructor and override
+    :meth:`_shutdown_substrate` / :meth:`_snapshot_extra` as needed.
+    (The asyncio gateway shares none of this: its serialization is the
+    event loop, not a lock.)
     """
 
-    def __init__(
+    def _init_shell(
         self,
-        shards: Optional[Sequence[EstimationService]] = None,
-        num_shards: int = DEFAULT_NUM_SHARDS,
-        estimator_factory: Optional[Callable[[], object]] = None,
-        policy: Optional[RoutingPolicy] = None,
-        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
-        max_workers_per_shard: int = 2,
-    ):
-        if shards is None:
-            if num_shards < 1:
-                raise ValueError("gateway needs at least one shard")
-            shards = [
-                EstimationService(
-                    estimator=(
-                        estimator_factory() if estimator_factory else None
-                    ),
-                    max_workers=max_workers_per_shard,
-                )
-                for _ in range(num_shards)
-            ]
-        elif not shards:
-            raise ValueError("gateway needs at least one shard")
+        shards: Sequence,
+        policy: Optional[RoutingPolicy],
+        max_queue_depth: int,
+    ) -> None:
         self._shard_services = tuple(shards)
         self.core = GatewayCore(
             num_shards=len(self._shard_services),
@@ -126,6 +112,15 @@ class ServiceGateway:
         )
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
+
+    # -- substrate hooks ----------------------------------------------
+    def _shutdown_substrate(self, wait: bool) -> None:
+        """Tear down any substrate the subclass owns beyond the shards."""
+        return None
+
+    def _snapshot_extra(self) -> dict:
+        """Substrate-specific keys merged into the gateway snapshot."""
+        return {}
 
     # ------------------------------------------------------------------
     # public API (mirrors EstimationService)
@@ -143,7 +138,7 @@ class ServiceGateway:
         return len(self._shard_services)
 
     @property
-    def shards(self) -> tuple[EstimationService, ...]:
+    def shards(self) -> tuple:
         """The underlying services, for tests and warm-up hooks."""
         return self._shard_services
 
@@ -208,7 +203,8 @@ class ServiceGateway:
             return self._idle.wait_for(self.core.idle, timeout=timeout)
 
     def close(self, wait: bool = True) -> None:
-        """Drain (when ``wait``) and shut every shard down."""
+        """Drain (when ``wait``), shut every shard down, then release
+        whatever substrate the subclass owns."""
         if wait:
             self.drain()
         with self._lock:
@@ -216,8 +212,9 @@ class ServiceGateway:
             self.core.closed = True
         for service in self._shard_services:
             service.close(wait=wait)
+        self._shutdown_substrate(wait)
 
-    def __enter__(self) -> "ServiceGateway":
+    def __enter__(self):
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -231,6 +228,7 @@ class ServiceGateway:
             samples.extend(service.metrics.latency_samples())
         with self._lock:
             gateway = self.core.snapshot()
+        gateway.update(self._snapshot_extra())
         return {
             "gateway": gateway,
             "aggregate": aggregate_shard_stats(shard_stats, samples),
@@ -305,3 +303,44 @@ class ServiceGateway:
                 shard_index, rejected=rejected, throttled=throttled
             ):
                 self._idle.notify_all()
+
+
+class ServiceGateway(SyncGatewayShell):
+    """Routes estimation requests across N thread-driven service shards.
+
+    Construct either from explicit ``shards`` (pre-built services, e.g.
+    with custom middleware stacks) or from ``num_shards`` plus an
+    ``estimator_factory`` — each shard then gets its *own* estimator
+    instance and its own cache, which is what process-per-shard
+    deployments will look like.
+
+    The gateway mirrors the single-service surface (``submit`` /
+    ``estimate`` / ``stats`` / context manager), so anything written
+    against :class:`EstimationService` — the admission controller, the
+    batch helpers' caller side — can point at a gateway unchanged.
+    """
+
+    def __init__(
+        self,
+        shards: Optional[Sequence[EstimationService]] = None,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        estimator_factory: Optional[Callable[[], object]] = None,
+        policy: Optional[RoutingPolicy] = None,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        max_workers_per_shard: int = 2,
+    ):
+        if shards is None:
+            if num_shards < 1:
+                raise ValueError("gateway needs at least one shard")
+            shards = [
+                EstimationService(
+                    estimator=(
+                        estimator_factory() if estimator_factory else None
+                    ),
+                    max_workers=max_workers_per_shard,
+                )
+                for _ in range(num_shards)
+            ]
+        elif not shards:
+            raise ValueError("gateway needs at least one shard")
+        self._init_shell(shards, policy, max_queue_depth)

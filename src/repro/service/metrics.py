@@ -60,6 +60,10 @@ class ServiceMetrics:
         # orchestrate/simulate), reported by computed estimates
         self.stage_seconds: dict[str, float] = {}
         self.stage_counts: dict[str, int] = {}
+        # computed-request counts per execution-substrate worker (the
+        # process driver records worker PIDs; thread/asyncio drivers
+        # leave this empty — one process, nothing to attribute)
+        self.worker_requests: dict[str, int] = {}
         self._first_at: Optional[float] = None
         self._last_at: Optional[float] = None
 
@@ -107,6 +111,13 @@ class ServiceMetrics:
                     self.stage_seconds.get(stage, 0.0) + float(seconds)
                 )
                 self.stage_counts[stage] = self.stage_counts.get(stage, 0) + 1
+
+    def record_worker(self, worker_id) -> None:
+        """Attribute one computed estimate to an execution-substrate
+        worker (a process PID for the process-pool driver)."""
+        key = str(worker_id)
+        with self._lock:
+            self.worker_requests[key] = self.worker_requests.get(key, 0) + 1
 
     def latency_samples(self) -> list[float]:
         """A copy of the latency reservoir (newest-last), for aggregation.
@@ -160,6 +171,7 @@ class ServiceMetrics:
                     }
                     for stage, total in sorted(self.stage_seconds.items())
                 },
+                "workers": dict(sorted(self.worker_requests.items())),
             }
 
     def to_json(self, indent: Optional[int] = None) -> str:

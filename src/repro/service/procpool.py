@@ -1,0 +1,505 @@
+"""The process-pool execution driver over the sans-IO service core.
+
+Third substrate, same policy.  The thread driver (:mod:`.engine`) and the
+asyncio driver (:mod:`.aio`) both execute estimation under one GIL, so a
+CPU-bound estimator — the simulate-stage-dominated cold path of the real
+pipeline — cannot scale past one core no matter how many workers the
+pool has.  :class:`ProcEstimationService` keeps every *policy* step
+inline in the parent process (fingerprinting, middleware hooks, cache
+lookup and population, single-flight dedup, metrics — all driven through
+the identical :class:`~repro.service.core.ServiceCore`) and dispatches
+only the cache-miss estimator invocation to a pool of worker processes.
+
+Division of labour:
+
+* **parent** — owns the cache, the chain, the single-flight table, and
+  the metrics.  Hooks run on the submitting thread; completion hooks
+  (``on_result`` → cache population → accounting) run on the pool's
+  callback thread, under the ``threading.Lock`` primitives this driver
+  binds onto the core, exactly like the thread driver's worker side.
+* **workers** — each process builds its estimator **once**, via the
+  pool initializer (:func:`_init_worker`), from a picklable factory.
+  Stage caches (:class:`~repro.core.pipeline.PipelineCache`) therefore
+  warm *inside* each worker and persist across requests.  A worker only
+  ever sees the pickle-safe request payload
+  (:meth:`~repro.service.context.ServiceRequest.as_dict` + the optional
+  shared trace) and returns ``(worker_pid, result)``.
+
+Cross-process metrics: the result objects come back carrying their
+``stage_seconds`` breakdown (``compare=False``, so byte-identity with
+the other drivers is preserved), and the parent merges them through the
+existing :meth:`~repro.service.metrics.ServiceMetrics.record_stages` /
+:func:`~repro.service.core.aggregate_shard_stats` path — a fleet
+dashboard cannot tell which substrate produced the numbers.  Per-worker
+request counts are additionally tracked via
+:meth:`~repro.service.metrics.ServiceMetrics.record_worker`.
+
+:class:`ProcServiceGateway` shards the service exactly like the thread
+gateway — same :class:`~repro.service.core.GatewayCore` admission/shed/
+drain state machine, same routing policies (which stay in the parent and
+are never pickled) — but all shards share **one** process pool, so the
+process count is bounded by ``pool_workers`` rather than
+``shards × workers``.
+
+Start method: ``forkserver`` where the platform offers it (workers fork
+from a clean single-threaded server process — the parent here is
+multi-threaded by design, so plain ``fork`` risks inheriting a held
+lock), then ``fork``, then ``spawn`` — overridable via ``mp_context``.
+Except under plain ``fork``, the estimator factory must be picklable: a
+module-level function or a :func:`functools.partial` over an importable
+callable (``partial(XMemEstimator, iterations=2, curve=False)``), not a
+lambda.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from functools import partial
+from typing import Callable, Optional, Sequence
+
+from ..core.estimator import XMemEstimator
+from ..errors import ServiceClosedError
+from ..trace.reader import Trace
+from ..workload import DeviceSpec, WorkloadConfig
+from .batch import estimate_many as _estimate_many
+from .cache import EstimateCache
+from .context import RequestContext, ServiceRequest
+from .core import (
+    ServiceCore,
+    adopt_chain_cache,
+    compute_fingerprint,
+    estimator_accepts_trace,
+    invoke_estimator,
+)
+from .gateway import (
+    DEFAULT_MAX_QUEUE_DEPTH,
+    DEFAULT_NUM_SHARDS,
+    SyncGatewayShell,
+)
+from .metrics import ServiceMetrics
+from .middleware import (
+    MiddlewareChain,
+    ServiceMiddleware,
+    default_middlewares,
+)
+from .routing import RoutingPolicy
+
+__all__ = [
+    "DEFAULT_POOL_WORKERS",
+    "ProcEstimationService",
+    "ProcServiceGateway",
+    "default_estimator_factory",
+]
+
+DEFAULT_POOL_WORKERS = 4
+
+#: Factory the drivers fall back to: the real pipeline, curve-less (the
+#: serving tier reads peaks; skipping curve materialization keeps the
+#: result payload small on the wire).  Module-level so it pickles.
+default_estimator_factory = partial(XMemEstimator, curve=False)
+
+
+# ----------------------------------------------------------------------
+# worker side (runs in the pool processes)
+# ----------------------------------------------------------------------
+
+#: Per-process estimator, built once by :func:`_init_worker`.  Module
+#: globals are the standard idiom for pool-worker state: the initializer
+#: runs before any work item, and every subsequent task in this process
+#: reuses the same instance — which is what lets stage caches warm.
+_WORKER_ESTIMATOR = None
+_WORKER_ACCEPTS_TRACE = False
+
+
+def _init_worker(factory: Callable[[], object]) -> None:
+    """Pool initializer: construct this process's estimator exactly once."""
+    global _WORKER_ESTIMATOR, _WORKER_ACCEPTS_TRACE
+    _WORKER_ESTIMATOR = factory()
+    _WORKER_ACCEPTS_TRACE = estimator_accepts_trace(_WORKER_ESTIMATOR)
+
+
+def _worker_estimate(payload: dict, trace: Optional[Trace]):
+    """Run one cache-miss estimation inside a worker process.
+
+    ``payload`` is the pickle-safe envelope
+    (:meth:`ServiceRequest.as_dict`); the trace rides alongside because
+    it is a large out-of-band artifact, not request identity.  Returns
+    ``(pid, result)`` so the parent can attribute work to workers.
+    """
+    request = ServiceRequest.from_dict(payload, trace=trace)
+    result = invoke_estimator(
+        _WORKER_ESTIMATOR, request, _WORKER_ACCEPTS_TRACE
+    )
+    return multiprocessing.current_process().pid, result
+
+
+def _resolve_context(mp_context: Optional[str]):
+    """The multiprocessing context for a pool.
+
+    Default preference: ``forkserver`` (workers fork from a clean,
+    single-threaded server — immune to the classic fork-while-threaded
+    deadlock, since this driver is multi-threaded by design: caller
+    threads plus the pool's callback thread, all holding locks), then
+    ``fork`` (platforms without forkserver), then ``spawn``.  Pass
+    ``mp_context="fork"`` explicitly to trade that safety for the
+    cheapest possible worker start-up on a single-threaded parent.
+    """
+    if mp_context is not None:
+        return multiprocessing.get_context(mp_context)
+    methods = multiprocessing.get_all_start_methods()
+    for method in ("forkserver", "fork"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context("spawn")
+
+
+def make_pool(
+    max_workers: int,
+    estimator_factory: Callable[[], object],
+    mp_context: Optional[str] = None,
+) -> ProcessPoolExecutor:
+    """A worker pool whose processes each own one warmed estimator."""
+    if max_workers < 1:
+        raise ValueError("process pool needs at least one worker")
+    return ProcessPoolExecutor(
+        max_workers=max_workers,
+        mp_context=_resolve_context(mp_context),
+        initializer=_init_worker,
+        initargs=(estimator_factory,),
+    )
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+
+class ProcEstimationService:
+    """Serves estimation requests with estimator work in child processes.
+
+    Mirrors :class:`~repro.service.engine.EstimationService`'s surface
+    (``submit`` / ``estimate`` / ``estimate_many`` / ``stats`` /
+    ``drain`` / ``close`` / context manager) and its behaviour —
+    byte-identical results, synchronous rejections, single-flight
+    dedup — but takes an ``estimator_factory`` instead of an estimator
+    instance: the factory is shipped to each worker process, while the
+    parent keeps one *template* instance for fingerprinting and the bulk
+    planner's shared-profile work.
+
+    ``executor`` lets a gateway share one pool across shards; the
+    service then does not own (and will not shut down) the pool.
+    """
+
+    def __init__(
+        self,
+        estimator_factory: Optional[Callable[[], object]] = None,
+        middlewares: Optional[Sequence[ServiceMiddleware]] = None,
+        cache: Optional[EstimateCache] = None,
+        max_workers: int = DEFAULT_POOL_WORKERS,
+        metrics: Optional[ServiceMetrics] = None,
+        mp_context: Optional[str] = None,
+        executor: Optional[ProcessPoolExecutor] = None,
+    ):
+        if executor is None and max_workers < 1:
+            raise ValueError("service needs at least one worker")
+        self.estimator_factory = (
+            estimator_factory
+            if estimator_factory is not None
+            else default_estimator_factory
+        )
+        # the template never estimates; it answers fingerprint inputs
+        # (name/version/allocator config), `accepts_trace`, and the bulk
+        # planner's profile calls — all parent-side concerns
+        self.estimator = self.estimator_factory()
+        self.cache = cache if cache is not None else EstimateCache()
+        if middlewares is None:
+            middlewares = default_middlewares(self.cache)
+        else:
+            self.cache = adopt_chain_cache(middlewares, self.cache)
+        self.chain = MiddlewareChain(middlewares)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        # completion hooks run on the pool's callback thread while new
+        # submissions run hooks on caller threads: bind real locks, the
+        # same regime as the thread driver
+        self.cache.bind_lock(threading.Lock)
+        self.chain.bind_lock(threading.Lock)
+        self.core = ServiceCore(self.chain, self.cache, self.metrics)
+        self._owns_executor = executor is None
+        self._executor = (
+            executor
+            if executor is not None
+            else make_pool(max_workers, self.estimator_factory, mp_context)
+        )
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._dispatched = 0  # estimator invocations in flight in the pool
+        self._draining = False
+        self._closed = False
+        self._accepts_trace = estimator_accepts_trace(self.estimator)
+
+    # ------------------------------------------------------------------
+    # public API (mirrors EstimationService)
+    # ------------------------------------------------------------------
+    @property
+    def accepts_trace(self) -> bool:
+        """Whether the wrapped estimator can reuse a pre-computed trace."""
+        return self._accepts_trace
+
+    def fingerprint(
+        self, workload: WorkloadConfig, device: DeviceSpec
+    ) -> str:
+        """The cache/single-flight key this service uses for a request."""
+        return compute_fingerprint(self.estimator, workload, device)
+
+    def submit(
+        self,
+        workload: WorkloadConfig,
+        device: DeviceSpec,
+        trace: Optional[Trace] = None,
+        fingerprint: Optional[str] = None,
+        deadline: Optional[float] = None,
+        metadata: Optional[dict] = None,
+    ) -> Future:
+        """Enqueue one request; returns a future of the EstimationResult.
+
+        Same contract as the thread driver: synchronous raise on hook
+        rejection or an already-expired deadline, shared future for
+        identical in-flight requests, estimator failures through the
+        future.  Only the cache-miss estimator call crosses the process
+        boundary.
+        """
+        if self._closed or self._draining:
+            raise ServiceClosedError("service is closed")
+        fp = (
+            fingerprint
+            if fingerprint is not None
+            else self.fingerprint(workload, device)
+        )
+        request, ctx = self.core.open_request(
+            workload,
+            device,
+            fp,
+            trace=trace,
+            deadline=deadline,
+            metadata=metadata,
+        )
+        # an already-expired deadline is rejected before the dedup lookup:
+        # piggybacking would hand the caller a result it declared useless
+        self.core.check_deadline(ctx)
+        with self._lock:
+            inflight = self.core.inflight.get(fp)
+        if inflight is not None:
+            self.core.note_deduplicated(ctx)
+            return inflight
+        # hooks run outside the lock: cache/rate-limit state is internally
+        # locked, and a hook may call back into stats() without deadlock
+        admission = self.core.run_request_hooks(request, ctx)
+        if admission.result is not None:
+            future: Future = Future()
+            future.set_result(admission.result)
+            return future
+        refused = False
+        with self._lock:
+            # re-check the intake gate under the lock: a drain() racing
+            # with this submit has either already seen our _dispatched
+            # slot (and waits for us) or flipped _draining first (and we
+            # refuse loudly) — drain can never report quiescence while a
+            # gated-in request is still on its way to the pool
+            if self._closed or self._draining:
+                refused = True
+            else:
+                # another thread may have registered this fingerprint
+                # while our hooks ran
+                inflight = self.core.inflight.get(fp)
+                if inflight is not None:
+                    self.core.note_deduplicated(ctx)
+                    return inflight
+                future = Future()
+                self.core.inflight.claim(fp, future)
+                self._dispatched += 1
+        if refused:
+            # the hooks already ran for this request: unwind the entered
+            # layers and classify the outcome (mirroring the core's own
+            # mid-chain rejection path) so counters keep reconciling —
+            # outside the lock, because hooks must never run under it
+            error = ServiceClosedError("service is closed")
+            self.chain.run_error(request, error, ctx, admission.depth)
+            self.metrics.record_rejected()
+            raise error
+        try:
+            inner = self._executor.submit(
+                _worker_estimate, request.as_dict(), request.trace
+            )
+        except BaseException as error:
+            # the pool broke or shut down between the gate and here:
+            # release the single-flight slot so nothing piggybacks on a
+            # future no worker will ever resolve, and unwind the entered
+            # middleware layers (core.fail = on_error hooks + the error
+            # counter) so the audit trail and counters keep reconciling
+            with self._idle:
+                self.core.inflight.release(fp)
+                self._dispatched -= 1
+                self._idle.notify_all()
+            self.core.fail(request, ctx, error, admission.depth)
+            future.set_exception(error)
+            return future
+        inner.add_done_callback(
+            partial(self._on_done, request, ctx, future, admission.depth)
+        )
+        return future
+
+    def estimate(
+        self,
+        workload: WorkloadConfig,
+        device: DeviceSpec,
+        trace: Optional[Trace] = None,
+    ):
+        """Blocking request — the drop-in for ``estimator.estimate()``."""
+        return self.submit(workload, device, trace=trace).result()
+
+    def estimate_many(
+        self,
+        requests: Sequence[tuple[WorkloadConfig, DeviceSpec]],
+        share_profiles: bool = True,
+        return_exceptions: bool = False,
+    ) -> list:
+        """Bulk API; results in request order (see :mod:`.batch`).
+
+        Shared-profile planning (:func:`~repro.service.batch.plan_shared_traces`)
+        runs in the parent — one profile per repeated workload — and the
+        trace is shipped to whichever worker handles each request.
+        """
+        return _estimate_many(
+            self,
+            requests,
+            share_profiles=share_profiles,
+            return_exceptions=return_exceptions,
+        )
+
+    def stats(self) -> dict:
+        """Service metrics + cache counters in one JSON-ready snapshot."""
+        with self._lock:
+            inflight = len(self.core.inflight)
+        return {
+            "service": self.metrics.as_dict(),
+            "cache": self.cache.stats().as_dict(),
+            "inflight": inflight,
+        }
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting requests and wait for in-flight estimations.
+
+        Returns True when every dispatched estimation settled within
+        ``timeout`` (None = wait forever).  No result is lost: futures
+        already handed out resolve normally.  Idempotent; ``submit``
+        raises afterwards.
+        """
+        with self._idle:
+            self._draining = True
+            return self._idle.wait_for(
+                lambda: self._dispatched == 0, timeout=timeout
+            )
+
+    def close(self, wait: bool = True) -> None:
+        """Drain (when ``wait``) and release the pool, if this service
+        owns it (a gateway-shared pool is the gateway's to close)."""
+        if wait:
+            self.drain()
+        self._draining = True
+        self._closed = True
+        if self._owns_executor:
+            self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "ProcEstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # completion (runs on the pool's callback thread)
+    # ------------------------------------------------------------------
+    def _on_done(
+        self,
+        request: ServiceRequest,
+        ctx: RequestContext,
+        future: Future,
+        depth: int,
+        inner: Future,
+    ) -> None:
+        try:
+            try:
+                worker_pid, result = inner.result()
+                result = self.core.finish(request, ctx, result, depth)
+                # attribution only after finish: a result an on_result
+                # hook rejects is classified as an error, and the
+                # per-worker counts must keep summing to `computed`
+                self.metrics.record_worker(worker_pid)
+            except BaseException as error:
+                self.core.fail(request, ctx, error, depth)
+                with self._idle:
+                    self.core.inflight.release(request.fingerprint)
+                future.set_exception(error)
+                return
+            with self._idle:
+                self.core.inflight.release(request.fingerprint)
+            future.set_result(result)
+        finally:
+            with self._idle:
+                self._dispatched -= 1
+                if self._dispatched == 0:
+                    self._idle.notify_all()
+
+
+class ProcServiceGateway(SyncGatewayShell):
+    """Routes estimation requests across N shards over one process pool.
+
+    The gateway shell — routing under the lock, admit/shed/settle,
+    warm-up replicas, condition-variable ``drain()``, fleet ``stats()``
+    — is inherited verbatim from
+    :class:`~repro.service.gateway.SyncGatewayShell` (the thread
+    gateway's shell): the decisions are byte-for-byte the same.  What
+    this class adds is the substrate: per-shard parent-side
+    caches/metrics over a **single shared pool** of worker processes
+    doing the estimator work.  Routing policies and their state stay in
+    the parent; nothing about the policy layer is ever pickled.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        estimator_factory: Optional[Callable[[], object]] = None,
+        policy: Optional[RoutingPolicy] = None,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        pool_workers: int = DEFAULT_POOL_WORKERS,
+        mp_context: Optional[str] = None,
+    ):
+        if num_shards < 1:
+            raise ValueError("gateway needs at least one shard")
+        factory = (
+            estimator_factory
+            if estimator_factory is not None
+            else default_estimator_factory
+        )
+        self._executor = make_pool(pool_workers, factory, mp_context)
+        self.pool_workers = pool_workers
+        try:
+            shards = tuple(
+                ProcEstimationService(
+                    estimator_factory=factory, executor=self._executor
+                )
+                for _ in range(num_shards)
+            )
+        except BaseException:
+            self._executor.shutdown(wait=False)
+            raise
+        self._init_shell(shards, policy, max_queue_depth)
+
+    def _shutdown_substrate(self, wait: bool) -> None:
+        """The shards share the pool, so the gateway owns its shutdown."""
+        self._executor.shutdown(wait=wait)
+
+    def _snapshot_extra(self) -> dict:
+        return {"pool_workers": self.pool_workers}

@@ -4,9 +4,14 @@ Extracted from the gateway so the policies are pure, driver-independent
 decision functions — no threads, no event loop, no clocks.  A policy sees
 only the request fingerprint and the current per-shard loads; mutual
 exclusion around stateful policies (the seeded RNG in
-:class:`RandomRouting`) is the *driver's* job: both gateway drivers call
-``select`` under their own serialization (the thread gateway inside its
-lock, the asyncio gateway on the event loop).
+:class:`RandomRouting`) is the *driver's* job: all three gateway drivers
+call ``select`` under their own serialization (the thread and process
+gateways inside their lock, the asyncio gateway on the event loop).
+
+Policies live entirely in the dispatching process: the process-pool
+driver (:mod:`repro.service.procpool`) routes and admits in the parent
+and ships only the request envelope to its workers, so ring tables and
+RNG state are never pickled and never diverge across replicas.
 """
 
 from __future__ import annotations

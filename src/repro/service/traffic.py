@@ -309,20 +309,36 @@ class SyntheticEstimator(Estimator):
     The estimate is a pure function of (workload, device): peak bytes are
     derived from a stable hash of the identity tuples, so two replicas —
     or a gateway and a direct call — always agree byte-for-byte.
-    ``work_seconds`` simulates estimation cost (sleep), which is what
-    makes cache hits and dedup visible in throughput numbers.
+    ``work_seconds`` simulates estimation cost (sleep — releases the GIL,
+    so thread pools overlap it), which is what makes cache hits and dedup
+    visible in throughput numbers.  ``spin_seconds`` simulates *CPU-bound*
+    estimation cost (a pure-Python arithmetic loop that holds the GIL):
+    thread drivers serialize it no matter how many workers they have,
+    which is exactly the contention the process-pool driver exists to
+    break — `benchmarks/bench_proc_gateway.py` races the two on it.
     """
 
     name = "synthetic"
     version = "1"
 
-    def __init__(self, work_seconds: float = 0.0):
+    def __init__(self, work_seconds: float = 0.0, spin_seconds: float = 0.0):
         self.work_seconds = work_seconds
+        self.spin_seconds = spin_seconds
         self.calls = 0
         self._lock = threading.Lock()
 
     def supports(self, workload: WorkloadConfig) -> bool:
         return True
+
+    @staticmethod
+    def _spin(seconds: float) -> int:
+        """Burn CPU under the GIL for ~``seconds`` (deterministic result)."""
+        deadline = time.perf_counter() + seconds
+        acc = 0
+        while time.perf_counter() < deadline:
+            for value in range(256):
+                acc = (acc * 31 + value) & 0xFFFFFFFF
+        return acc
 
     def estimate(
         self, workload: WorkloadConfig, device: DeviceSpec
@@ -331,6 +347,8 @@ class SyntheticEstimator(Estimator):
             self.calls += 1
         if self.work_seconds > 0:
             time.sleep(self.work_seconds)
+        if self.spin_seconds > 0:
+            self._spin(self.spin_seconds)
         token = repr((workload.to_key(), device.to_key())).encode("utf-8")
         digest = hashlib.sha256(token).digest()
         fraction = int.from_bytes(digest[:4], "big") / 2**32

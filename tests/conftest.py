@@ -6,7 +6,7 @@ import pytest
 
 from repro.framework.layers import Conv2d, Linear, ReLU, make_activation
 from repro.framework.loss import CrossEntropyLoss
-from repro.framework.module import Module, Sequential
+from repro.framework.module import Sequential
 from repro.framework.optim import make_optimizer
 from repro.framework.tensor import TensorMeta
 from repro.models.registry import ModelSpec

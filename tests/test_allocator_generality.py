@@ -7,7 +7,6 @@ configuration through the same simulator to back the paper's pluggability
 claim.
 """
 
-import pytest
 
 from repro.allocator.caching import CachingAllocator
 from repro.allocator.constants import AllocatorConfig

@@ -15,7 +15,7 @@ from repro.allocator.caching import CachingAllocator
 from repro.allocator.constants import AllocatorConfig
 from repro.allocator.device import DeviceAllocator
 from repro.allocator.rounding import round_size
-from repro.units import GiB, KiB, MiB
+from repro.units import GiB, MiB
 
 # a step is (op, value): op 0 = alloc of `value` bytes, op 1 = free of the
 # live block at index `value % len(live)`

@@ -1,0 +1,146 @@
+"""The CI benchmark regression gate (satellite of the procpool PR).
+
+``benchmarks/check_regression.py`` is CI-critical: a bug that never
+fails (or always fails) silently disables the perf gate.  These tests
+drive the comparison logic and the CLI surface end to end against
+synthetic reports.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+BASE = {"quick": True, "warm_speedup": 10.0, "warm_cell_ms": 8.0}
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        verdict = check_regression.compare(BASE, dict(BASE), 0.30, {})
+        assert verdict["ok"]
+        assert verdict["regressions"] == []
+
+    def test_within_tolerance_passes_both_directions(self):
+        current = {**BASE, "warm_speedup": 7.5, "warm_cell_ms": 10.0}
+        verdict = check_regression.compare(BASE, current, 0.30, {})
+        assert verdict["ok"], verdict
+
+    def test_speedup_drop_beyond_tolerance_regresses(self):
+        current = {**BASE, "warm_speedup": 6.0}  # -40%
+        verdict = check_regression.compare(BASE, current, 0.30, {})
+        assert verdict["regressions"] == ["warm_speedup"]
+
+    def test_cell_ms_growth_beyond_tolerance_regresses(self):
+        current = {**BASE, "warm_cell_ms": 12.0}  # +50%, lower-is-better
+        verdict = check_regression.compare(BASE, current, 0.30, {})
+        assert verdict["regressions"] == ["warm_cell_ms"]
+
+    def test_improvements_never_fail(self):
+        current = {**BASE, "warm_speedup": 100.0, "warm_cell_ms": 0.5}
+        verdict = check_regression.compare(BASE, current, 0.30, {})
+        assert verdict["ok"]
+
+    def test_per_metric_override_loosens_only_that_metric(self):
+        current = {**BASE, "warm_cell_ms": 12.0, "warm_speedup": 6.0}
+        verdict = check_regression.compare(
+            BASE, current, 0.30, {"warm_cell_ms": 0.60}
+        )
+        assert verdict["regressions"] == ["warm_speedup"]
+
+    def test_missing_metric_is_not_comparable_not_a_crash(self):
+        verdict = check_regression.compare(BASE, {"quick": True}, 0.30, {})
+        assert all(
+            row["verdict"] == "not-comparable"
+            for row in verdict["metrics"].values()
+        )
+        assert verdict["ok"]  # nothing measurable, nothing gated
+
+
+class TestCli:
+    def _write(self, tmp_path: Path, name: str, payload: dict) -> Path:
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def _run(self, tmp_path, current, baseline, *extra):
+        trend = tmp_path / "trend.json"
+        code = check_regression.main(
+            [
+                "--current", str(self._write(tmp_path, "cur.json", current)),
+                "--baseline", str(self._write(tmp_path, "base.json", baseline)),
+                "--trend-out", str(trend),
+                *extra,
+            ]
+        )
+        return code, json.loads(trend.read_text())
+
+    def test_pass_writes_trend(self, tmp_path):
+        code, trend = self._run(tmp_path, dict(BASE), dict(BASE))
+        assert code == 0
+        assert trend["ok"]
+        assert trend["metrics"]["warm_speedup"]["delta"] == 0.0
+
+    def test_regression_fails_and_still_writes_trend(self, tmp_path):
+        code, trend = self._run(
+            tmp_path, {**BASE, "warm_speedup": 1.0}, dict(BASE)
+        )
+        assert code == 1
+        assert trend["regressions"] == ["warm_speedup"]
+
+    def test_grid_mismatch_skips_gate(self, tmp_path):
+        code, trend = self._run(
+            tmp_path, {**BASE, "quick": False, "warm_speedup": 1.0}, BASE
+        )
+        assert code == 0
+        assert "grid mismatch" in trend["skipped"]
+
+    def test_same_quick_flag_but_different_grid_also_skips(self, tmp_path):
+        # the quick flag alone is not comparability: an edited quick
+        # grid measures different work even though both runs are quick
+        current = {
+            **BASE,
+            "grid": ["MobileNetV3Small/bs4"],
+            "warm_speedup": 1.0,
+        }
+        baseline = {**BASE, "grid": ["MnasNet/bs16"]}
+        code, trend = self._run(tmp_path, current, baseline)
+        assert code == 0
+        assert "grid mismatch" in trend["skipped"]
+
+    def test_missing_current_is_exit_2(self, tmp_path):
+        baseline = self._write(tmp_path, "base.json", BASE)
+        code = check_regression.main(
+            ["--current", str(tmp_path / "nope.json"),
+             "--baseline", str(baseline)]
+        )
+        assert code == 2
+
+    def test_unknown_override_metric_rejected(self):
+        with pytest.raises(SystemExit):
+            check_regression.parse_overrides(["no_such_metric=0.5"])
+
+
+def test_checked_in_baseline_parses_and_has_the_gated_metrics():
+    baseline_path = (
+        Path(__file__).resolve().parent.parent
+        / "benchmarks"
+        / "baselines"
+        / "BENCH_pipeline.baseline.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    for metric in check_regression.METRICS:
+        assert isinstance(baseline[metric], (int, float)), metric
+    assert baseline["peaks_byte_identical"] is True

@@ -4,9 +4,9 @@ import pytest
 
 from repro.allocator.caching import CachingAllocator
 from repro.allocator.device import DeviceAllocator
-from repro.runtime.backend import CpuBackend, GpuBackend
+from repro.runtime.backend import GpuBackend
 from repro.runtime.loop import POS0, POS1, TrainLoopConfig
-from repro.runtime.sink import AllocatorSink, NullSink
+from repro.runtime.sink import AllocatorSink
 from repro.trace.builder import TraceBuilder
 from repro.units import GiB
 from tests.conftest import run_tiny_engine

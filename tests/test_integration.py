@@ -1,13 +1,11 @@
 """End-to-end integration: full pipelines across module boundaries."""
 
-import pytest
 
 from repro.core import Analyzer, MemoryOrchestrator, MemorySimulator, XMemEstimator
 from repro.eval.runner import ExperimentRunner
 from repro.eval.validation import GroundTruthCache, validate
 from repro.runtime import TrainLoopConfig, profile_on_cpu, run_gpu_ground_truth
 from repro.trace import Trace, import_kineto, trace_to_json
-from repro.units import GiB
 from repro.workload import RTX_3060, RTX_4060, WorkloadConfig
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ModelNotFoundError
 from repro.models.registry import (
-    ModelSpec,
     get_model_spec,
     list_models,
     rq5_models,

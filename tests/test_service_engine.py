@@ -19,7 +19,6 @@ from repro.service import (
     EstimationService,
     RateLimitMiddleware,
     ServiceMiddleware,
-    ValidationMiddleware,
     estimate_many,
     sweep,
 )

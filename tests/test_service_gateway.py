@@ -402,6 +402,61 @@ class TestAggregation:
         assert merged["latency_seconds"]["count"] == 1
         assert merged["latency_seconds"]["p50"] == pytest.approx(0.25)
 
+    def test_partial_snapshot_from_dead_worker_does_not_raise(self):
+        # regression (process-pool PR satellite): a shard whose substrate
+        # worker died mid-request can surface a *partial* stats dict —
+        # counters missing, cache block absent, even the whole service
+        # section gone.  The fleet merge must count what is there and
+        # treat the rest as zero, never KeyError.
+        healthy = {
+            "service": {
+                "requests": 4,
+                "cache_hits": 1,
+                "computed": 3,
+                "deduplicated": 0,
+                "rejected": 0,
+                "throttled": 0,
+                "errors": 0,
+                "stages": {
+                    "simulate": {"count": 3, "total_seconds": 0.3}
+                },
+                "workers": {"101": 3},
+            },
+            "cache": {
+                "hits": 1,
+                "misses": 3,
+                "evictions": 0,
+                "expirations": 0,
+                "size": 3,
+            },
+            "inflight": 0,
+        }
+        truncated = {
+            # worker died while serializing: only some counters made it
+            "service": {
+                "requests": 2,
+                "errors": 1,
+                "stages": {"simulate": {"count": 1}},  # no total_seconds
+                "workers": {"101": 1},
+            },
+            # no "cache" block at all
+        }
+        hollow = {}  # the shard process itself is gone
+        aggregate = aggregate_shard_stats(
+            [healthy, truncated, hollow], [0.1, 0.2]
+        )
+        assert aggregate["requests"] == 6
+        assert aggregate["errors"] == 1
+        assert aggregate["computed"] == 3
+        assert aggregate["cache"]["hits"] == 1
+        assert aggregate["stages"]["simulate"]["count"] == 4
+        assert aggregate["stages"]["simulate"]["total_seconds"] == (
+            pytest.approx(0.3)
+        )
+        # the shared-pool worker is summed across the shards that saw it
+        assert aggregate["workers"] == {"101": 4}
+        assert aggregate["latency_seconds"]["count"] == 2
+
     def test_percentile_validates_q_even_on_empty_reservoirs(self):
         from repro.service import percentile
 

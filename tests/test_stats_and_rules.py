@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.allocator.stats import (
     StatCounter,
-    TimelinePoint,
     TimelineRecorder,
     merge_timelines,
 )
