@@ -1,0 +1,63 @@
+"""Render the benchmark trend artifact for humans.
+
+``check_regression.py`` writes ``BENCH_pipeline.trend.json`` — baseline
+vs. current vs. delta per metric plus the gate verdict.  This tool
+renders that JSON through
+:func:`repro.service.telemetry.report.render_trend_summary` into the
+plain-text table CI uploads next to the raw artifact, so a regression
+is legible from the artifact listing without re-deriving deltas.
+
+Exit codes: 0 rendered, 2 missing/unreadable input.
+
+Usage::
+
+    python benchmarks/render_trend.py \
+        [--trend BENCH_pipeline.trend.json] \
+        [--out BENCH_pipeline.trend.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # standalone invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.telemetry.report import render_trend_summary  # noqa: E402
+
+DEFAULT_TREND = REPO_ROOT / "BENCH_pipeline.trend.json"
+DEFAULT_OUT = REPO_ROOT / "BENCH_pipeline.trend.txt"
+
+
+def render_file(trend_path: Path) -> str:
+    """Load one trend JSON and return the rendered table."""
+    trend = json.loads(trend_path.read_text())
+    return render_trend_summary(trend)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trend", type=Path, default=DEFAULT_TREND)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    if not args.trend.exists():
+        print(f"error: trend report {args.trend} not found", file=sys.stderr)
+        return 2
+    try:
+        text = render_file(args.trend)
+    except (json.JSONDecodeError, AttributeError) as error:
+        print(f"error: unreadable trend report: {error}", file=sys.stderr)
+        return 2
+    args.out.write_text(text + "\n")
+    print(text)
+    print(f"\n(written to {args.out})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -256,7 +256,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _loadtest_replay(trace, args, policy_name: str, driver: str):
+def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None):
     """Replay one trace through one (policy, driver) gateway combo."""
     from functools import partial
 
@@ -291,6 +291,7 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str):
             policy=policy,
             max_queue_depth=args.max_queue_depth,
             pool_workers=args.pool_workers,
+            telemetry=telemetry,
         ) as gateway:
             return replay(trace, gateway)
     if driver == "asyncio":
@@ -303,6 +304,7 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str):
                 policy=policy,
                 max_queue_depth=args.max_queue_depth,
                 max_workers_per_shard=args.workers_per_shard,
+                telemetry=telemetry,
             )
             try:
                 return await replay_async(trace, gateway)
@@ -316,6 +318,7 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str):
         policy=policy,
         max_queue_depth=args.max_queue_depth,
         max_workers_per_shard=args.workers_per_shard,
+        telemetry=telemetry,
     ) as gateway:
         return replay(trace, gateway)
 
@@ -377,12 +380,17 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     ``--scenario`` / ``--policy`` / ``--driver`` are repeatable; a single
     combo prints the detailed report, several print a per-scenario
     comparison table (hit rate, p50/p95, shed, throughput).
+    ``--report`` (and ``--spans-out`` / ``--ledger-out``) enable
+    telemetry capture: each run gets its own tracer + audit ledger, and
+    the report panel adds latency histograms, shard heat, and the ledger
+    decision summary.
     """
-    from .service import generate_traffic
+    from .service import Telemetry, generate_traffic, render_loadtest_report
 
     scenarios = args.scenario or ["zipf"]
     policies = args.policy or ["hash"]
     drivers = args.driver or ["threads"]
+    capture = args.report or args.spans_out or args.ledger_out
     runs = []
     for scenario in scenarios:
         trace = generate_traffic(
@@ -394,7 +402,28 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         )
         for policy_name in policies:
             for driver in drivers:
-                report = _loadtest_replay(trace, args, policy_name, driver)
+                # full detail: the report panel exists to show the
+                # per-layer breakdown, so include middleware hook spans
+                telemetry = (
+                    Telemetry(ledger_path=args.ledger_out, detail="full")
+                    if capture
+                    else None
+                )
+                report = _loadtest_replay(
+                    trace, args, policy_name, driver, telemetry=telemetry
+                )
+                if telemetry is not None and args.spans_out:
+                    # spans stay in memory during the run (the report
+                    # panel reads them back); dump afterwards so several
+                    # runs append to one capture file, like the ledger
+                    with open(args.spans_out, "a", encoding="utf-8") as fh:
+                        for span in telemetry.spans():
+                            fh.write(
+                                json.dumps(span.as_dict(), sort_keys=True)
+                                + "\n"
+                            )
+                if telemetry is not None:
+                    telemetry.close()
                 runs.append(
                     {
                         "scenario": scenario,
@@ -402,6 +431,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                         "driver": driver,
                         "trace": trace,
                         "report": report,
+                        "telemetry": telemetry,
                     }
                 )
     if args.json:
@@ -425,7 +455,21 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                 )
             )
         return 0
-    if len(runs) == 1:
+    if args.report:
+        for index, run in enumerate(runs):
+            if index:
+                print()
+            telemetry = run["telemetry"]
+            print(
+                render_loadtest_report(
+                    run,
+                    ledger=telemetry.ledger if telemetry else None,
+                    spans=telemetry.spans() if telemetry else None,
+                )
+            )
+        if len(runs) > 1:
+            _print_loadtest_comparison(runs)
+    elif len(runs) == 1:
         _print_loadtest_report(runs[0]["trace"], args, runs[0]["report"])
     else:
         _print_loadtest_comparison(runs)
@@ -614,6 +658,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadtest.add_argument("--seed", type=int, default=0)
     loadtest.add_argument("--json", action="store_true")
+    loadtest.add_argument(
+        "--report", action="store_true",
+        help="enable telemetry and print the full panel per run: latency "
+        "histogram, shard heat, ledger decision summary, span accounting",
+    )
+    loadtest.add_argument(
+        "--spans-out", default=None, metavar="PATH",
+        help="append captured spans as JSON lines (implies telemetry)",
+    )
+    loadtest.add_argument(
+        "--ledger-out", default=None, metavar="PATH",
+        help="append audit-ledger events as JSON lines (implies telemetry)",
+    )
     loadtest.set_defaults(func=_cmd_loadtest)
 
     trace = sub.add_parser("trace", help="profile a workload on the CPU")

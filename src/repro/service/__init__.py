@@ -48,7 +48,22 @@ from .routing import (
     RoutingPolicy,
     make_policy,
 )
-from .metrics import ServiceMetrics, percentile
+from .metrics import ServiceMetrics, latency_histogram, percentile
+from .telemetry import (
+    AuditLedger,
+    InMemorySpanExporter,
+    JsonLinesSpanExporter,
+    LedgerEvent,
+    NullSpanExporter,
+    Span,
+    SpanExporter,
+    Telemetry,
+    Tracer,
+    canonical_trace_trees,
+    render_histogram,
+    render_loadtest_report,
+    render_trend_summary,
+)
 from .traffic import (
     SCENARIO_NAMES,
     ReplayReport,
@@ -85,6 +100,7 @@ __all__ = [
     "Admission",
     "AsyncEstimationService",
     "AsyncServiceGateway",
+    "AuditLedger",
     "AuditLogMiddleware",
     "BroadcastWarmupRouting",
     "CacheMiddleware",
@@ -95,9 +111,13 @@ __all__ = [
     "EstimationService",
     "FINGERPRINT_VERSION",
     "GatewayCore",
+    "InMemorySpanExporter",
+    "JsonLinesSpanExporter",
     "LeastLoadedRouting",
+    "LedgerEvent",
     "MiddlewareChain",
     "NullLock",
+    "NullSpanExporter",
     "POLICY_NAMES",
     "ProcEstimationService",
     "ProcServiceGateway",
@@ -113,22 +133,31 @@ __all__ = [
     "ServiceMiddleware",
     "ServiceRequest",
     "SingleFlight",
+    "Span",
+    "SpanExporter",
     "SweepCell",
     "SyntheticEstimator",
+    "Telemetry",
     "TimingMiddleware",
+    "Tracer",
     "TrafficRequest",
     "TrafficTrace",
     "ValidationMiddleware",
     "aggregate_shard_stats",
+    "canonical_trace_trees",
     "default_estimator_factory",
     "default_middlewares",
     "estimate_many",
     "estimate_many_async",
     "fingerprint_request",
     "generate_traffic",
+    "latency_histogram",
     "make_policy",
     "percentile",
     "profile_workload",
+    "render_histogram",
+    "render_loadtest_report",
+    "render_trend_summary",
     "replay",
     "replay_async",
     "request_payload",

@@ -72,6 +72,8 @@ from .middleware import (
     default_middlewares,
 )
 from .routing import ConsistentHashRouting, RoutingPolicy
+from .telemetry import ledger as ledger_events
+from .telemetry.spans import GATEWAY_SPAN
 from .traffic import ReplayReport, TrafficTrace
 
 __all__ = [
@@ -100,6 +102,7 @@ class AsyncEstimationService:
         cache: Optional[EstimateCache] = None,
         max_workers: int = DEFAULT_MAX_WORKERS,
         metrics: Optional[ServiceMetrics] = None,
+        telemetry=None,
     ):
         if max_workers < 1:
             raise ValueError("service needs at least one worker")
@@ -114,7 +117,14 @@ class AsyncEstimationService:
         # hooks run on the loop (no middleware locks needed), but the
         # shared-profile planner reads the cache from executor threads
         self.cache.bind_lock(threading.Lock)
-        self.core = ServiceCore(self.chain, self.cache, self.metrics)
+        self.telemetry = telemetry
+        self.core = ServiceCore(
+            self.chain,
+            self.cache,
+            self.metrics,
+            tracer=telemetry.tracer if telemetry is not None else None,
+            ledger=telemetry.ledger if telemetry is not None else None,
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="xmem-aio"
         )
@@ -304,6 +314,8 @@ class AsyncEstimationService:
     ) -> None:
         loop = asyncio.get_running_loop()
         try:
+            if ctx.telemetry is not None:
+                ctx.telemetry.begin_estimate()
             result = await loop.run_in_executor(
                 self._executor,
                 invoke_estimator,
@@ -344,6 +356,7 @@ class AsyncServiceGateway:
         policy: Optional[RoutingPolicy] = None,
         max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
         max_workers_per_shard: int = 2,
+        telemetry=None,
     ):
         if shards is None:
             if num_shards < 1:
@@ -369,8 +382,44 @@ class AsyncServiceGateway:
             ),
             max_queue_depth=max_queue_depth,
         )
+        # mirror SyncGatewayShell: one Telemetry bundle spans the fleet
+        self.telemetry = telemetry
+        for index, service in enumerate(self._shard_services):
+            shard_core = getattr(service, "core", None)
+            if shard_core is None:
+                continue
+            shard_core.shard_id = index
+            if telemetry is not None:
+                if shard_core.tracer is None:
+                    shard_core.tracer = telemetry.tracer
+                if shard_core.ledger is None:
+                    shard_core.ledger = telemetry.ledger
         self._went_idle = asyncio.Event()
         self._went_idle.set()
+
+    def _gateway_decision(
+        self,
+        event: str,
+        cause: str,
+        fingerprint: str,
+        seq: Optional[int],
+        shard_index: int,
+    ) -> None:
+        """Ledger one gateway-layer decision (no-op unledgered)."""
+        if self.telemetry is None:
+            return
+        self.telemetry.ledger.record(
+            event,
+            cause=cause,
+            fingerprint=fingerprint,
+            request_id=seq if seq is not None else 0,
+            shard=shard_index,
+            attributes={"layer": "gateway"},
+        )
+
+    def _close_span(self, span, status: str) -> None:
+        if span is not None and self.telemetry is not None:
+            self.telemetry.tracer.end(span, status=status)
 
     # ------------------------------------------------------------------
     # public API (mirrors ServiceGateway, awaitably)
@@ -416,11 +465,41 @@ class AsyncServiceGateway:
         middleware's own synchronous rejections.
         """
         self.core.count_request()
+        seq = self.core.requests
         fingerprint = self.fingerprint(workload, device)
         primary, replicas = self.core.route(fingerprint)
-        future = self._dispatch(primary, workload, device, trace, fingerprint)
+        span = None
+        metadata = None
+        if self.telemetry is not None:
+            span = self.telemetry.tracer.start_trace(
+                f"g{seq:06d}-{fingerprint[:12]}",
+                name=GATEWAY_SPAN,
+                attributes={
+                    "policy": self.core.policy.name,
+                    "shard": primary,
+                    "fingerprint": fingerprint,
+                },
+            )
+            metadata = {
+                "telemetry": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                }
+            }
+        future = self._dispatch(
+            primary,
+            workload,
+            device,
+            trace,
+            fingerprint,
+            metadata=metadata,
+            span=span,
+            seq=seq,
+        )
         for shard_index in replicas:
-            self._replicate(shard_index, workload, device, trace, fingerprint)
+            self._replicate(
+                shard_index, workload, device, trace, fingerprint, seq=seq
+            )
         return future
 
     async def estimate(
@@ -493,22 +572,42 @@ class AsyncServiceGateway:
         device: DeviceSpec,
         trace: Optional[Trace],
         fingerprint: str,
+        metadata: Optional[dict] = None,
+        span=None,
+        seq: Optional[int] = None,
     ) -> "asyncio.Future":
         service = self._shard_services[shard_index]
-        self.core.admit(shard_index)
+        try:
+            self.core.admit(shard_index)
+        except RateLimitExceededError:
+            self._gateway_decision(
+                ledger_events.SHED, "queue_full", fingerprint, seq, shard_index
+            )
+            self._close_span(span, "shed")
+            raise
+        self._gateway_decision(
+            ledger_events.ADMIT, "route", fingerprint, seq, shard_index
+        )
         self._went_idle.clear()
         try:
             future = service.submit(
-                workload, device, trace=trace, fingerprint=fingerprint
+                workload,
+                device,
+                trace=trace,
+                fingerprint=fingerprint,
+                metadata=metadata,
             )
         except RateLimitExceededError:
             self._settle(shard_index, throttled=True)
+            self._close_span(span, "throttled")
             raise
         except RequestRejectedError:
             self._settle(shard_index, rejected=True)
+            self._close_span(span, "rejected")
             raise
         except BaseException:
             self._settle(shard_index)
+            self._close_span(span, "error")
             raise
         if future.done():
             # a cache hit or piggyback on an already-resolved future:
@@ -517,11 +616,21 @@ class AsyncServiceGateway:
             # (matching concurrent.futures semantics) so hit-dominated
             # waves cannot pile up phantom pending and shed real traffic
             self._settle(shard_index)
+            self._settle_span(future, span)
         else:
             future.add_done_callback(
-                lambda _f, index=shard_index: self._settle(index)
+                lambda f, index=shard_index: (
+                    self._settle(index),
+                    self._settle_span(f, span),
+                )
             )
         return future
+
+    def _settle_span(self, future: "asyncio.Future", span) -> None:
+        if span is None:
+            return
+        failed = future.cancelled() or future.exception() is not None
+        self._close_span(span, "error" if failed else "ok")
 
     def _replicate(
         self,
@@ -530,11 +639,15 @@ class AsyncServiceGateway:
         device: DeviceSpec,
         trace: Optional[Trace],
         fingerprint: str,
+        seq: Optional[int] = None,
     ) -> None:
         """Best-effort warm-up duplicate: never surfaces to the caller."""
         service = self._shard_services[shard_index]
         if not self.core.admit_replica(shard_index):
             return  # warm-up never sheds real traffic
+        self._gateway_decision(
+            ledger_events.WARMUP, "replica", fingerprint, seq, shard_index
+        )
         self._went_idle.clear()
         try:
             future = service.submit(

@@ -122,6 +122,13 @@ class RequestContext:
     short_circuited_by: Optional[str] = None
     tags: dict = field(default_factory=dict)
     metadata: dict[str, Any] = field(default_factory=dict)
+    #: live tracing handle (:class:`~repro.service.telemetry.RequestTelemetry`)
+    #: attached by the core when a tracer is configured.  Never serialized:
+    #: the JSON-safe span context travels in ``metadata["telemetry"]``
+    #: instead, and the receiving side re-opens its own spans against it.
+    telemetry: Optional[Any] = field(
+        default=None, compare=False, repr=False
+    )
 
     def remaining(self, now: float) -> Optional[float]:
         """Seconds left before the deadline (None = no deadline)."""

@@ -41,9 +41,12 @@ from ..workload import DeviceSpec, WorkloadConfig
 from .cache import EstimateCache
 from .context import RequestContext, ServiceRequest
 from .fingerprint import fingerprint_request
-from .metrics import ServiceMetrics, percentile
+from .metrics import ServiceMetrics, latency_histogram, percentile
 from .middleware import CacheMiddleware, MiddlewareChain, ServiceMiddleware
 from .routing import RoutingPolicy
+from .telemetry import ledger as ledger_events
+from .telemetry.ledger import AuditLedger
+from .telemetry.spans import RequestTelemetry, Tracer
 
 
 def compute_fingerprint(
@@ -159,13 +162,42 @@ class ServiceCore:
         cache: EstimateCache,
         metrics: ServiceMetrics,
         clock: Callable[[], float] = time.perf_counter,
+        tracer: Optional[Tracer] = None,
+        ledger: Optional[AuditLedger] = None,
+        shard_id: Optional[int] = None,
     ):
         self.chain = chain
         self.cache = cache
         self.metrics = metrics
         self.clock = clock
+        self.tracer = tracer
+        self.ledger = ledger
+        #: gateway-assigned position in the fleet (None standalone);
+        #: stamped onto every ledger event for provenance
+        self.shard_id = shard_id
         self.inflight = SingleFlight()
         self._request_ids = itertools.count(1)
+
+    def _record_decision(
+        self,
+        event: str,
+        cause: str,
+        ctx: RequestContext,
+        worker: Optional[str] = None,
+        attributes: Optional[dict] = None,
+    ) -> None:
+        """Ledger one service-layer policy decision (no-op unledgered)."""
+        if self.ledger is None:
+            return
+        self.ledger.record(
+            event,
+            cause=cause,
+            fingerprint=ctx.fingerprint,
+            request_id=ctx.request_id,
+            shard=self.shard_id,
+            worker=worker,
+            attributes=attributes,
+        )
 
     def open_request(
         self,
@@ -192,12 +224,31 @@ class ServiceCore:
             deadline=deadline,
             metadata=dict(metadata) if metadata else {},
         )
+        if self.tracer is not None:
+            telemetry = RequestTelemetry.begin(
+                self.tracer,
+                fingerprint,
+                ctx.request_id,
+                parent_context=ctx.metadata.get("telemetry"),
+            )
+            ctx.telemetry = telemetry
+            # the JSON-safe span context rides the metadata bags so any
+            # transport (the procpool pickle boundary included) can
+            # re-parent its own spans under this request
+            span_context = telemetry.context()
+            request.metadata["telemetry"] = span_context
+            ctx.metadata["telemetry"] = span_context
         return request, ctx
 
     def note_deduplicated(self, ctx: RequestContext) -> None:
         """Record that this caller piggybacked on an in-flight duplicate."""
         ctx.deduplicated = True
         self.metrics.record_deduplicated()
+        self._record_decision(
+            ledger_events.DEDUP, "single_flight", ctx
+        )
+        if ctx.telemetry is not None:
+            ctx.telemetry.close("ok", deduplicated=True)
 
     def check_deadline(self, ctx: RequestContext) -> None:
         """Reject (and count) a request whose deadline already passed.
@@ -209,6 +260,11 @@ class ServiceCore:
         now = self.clock()
         if ctx.expired(now):
             self.metrics.record_rejected()
+            self._record_decision(
+                ledger_events.DEADLINE, "expired_before_dispatch", ctx
+            )
+            if ctx.telemetry is not None:
+                ctx.telemetry.close("deadline")
             raise DeadlineExceededError(now - ctx.deadline)
 
     def run_request_hooks(
@@ -232,20 +288,45 @@ class ServiceCore:
             short, depth = self.chain.run_request(request, ctx)
         except RateLimitExceededError:
             self.metrics.record_throttled()
+            self._record_decision(ledger_events.THROTTLED, "rate_limit", ctx)
+            if ctx.telemetry is not None:
+                ctx.telemetry.close("throttled")
             raise
-        except RequestRejectedError:
+        except RequestRejectedError as error:
             self.metrics.record_rejected()
+            self._record_decision(
+                ledger_events.REJECTED, type(error).__name__, ctx
+            )
+            if ctx.telemetry is not None:
+                ctx.telemetry.close("rejected")
             raise
-        except BaseException:
+        except BaseException as error:
             self.metrics.record_error()
+            self._record_decision(
+                ledger_events.ERROR, type(error).__name__, ctx
+            )
+            if ctx.telemetry is not None:
+                ctx.telemetry.close("error")
             raise
         if short is not None:
             short = self.chain.run_result(request, short, ctx, depth)
             latency = self.clock() - ctx.submitted_at
             if ctx.cache_hit:
                 self.metrics.record_cache_hit(latency)
+                self._record_decision(
+                    ledger_events.CACHE_HIT,
+                    ctx.short_circuited_by or "cache",
+                    ctx,
+                )
             else:
                 self.metrics.record_computed(latency)
+                self._record_decision(
+                    ledger_events.ADMIT,
+                    f"short_circuit:{ctx.short_circuited_by or 'unknown'}",
+                    ctx,
+                )
+            if ctx.telemetry is not None:
+                ctx.telemetry.close("ok", cache_hit=ctx.cache_hit)
             return Admission(result=short, depth=depth)
         now = self.clock()
         if ctx.expired(now):
@@ -255,7 +336,13 @@ class ServiceCore:
             error = DeadlineExceededError(now - ctx.deadline)
             self.chain.run_error(request, error, ctx, depth)
             self.metrics.record_rejected()
+            self._record_decision(
+                ledger_events.DEADLINE, "budget_exhausted_in_chain", ctx
+            )
+            if ctx.telemetry is not None:
+                ctx.telemetry.close("deadline")
             raise error
+        self._record_decision(ledger_events.ADMIT, "compute", ctx)
         return Admission(result=None, depth=depth)
 
     def finish(
@@ -274,6 +361,16 @@ class ServiceCore:
             # per-stage counts reconcile with the computed counter
             self.metrics.record_stages(stages)
         self.metrics.record_computed(self.clock() - ctx.submitted_at)
+        worker = ctx.tags.get("worker")
+        self._record_decision(
+            ledger_events.COMPUTED,
+            "estimator",
+            ctx,
+            worker=str(worker) if worker is not None else None,
+        )
+        if ctx.telemetry is not None:
+            ctx.telemetry.finish_estimate(stage_seconds=stages)
+            ctx.telemetry.close("ok", cache_hit=False)
         return result
 
     def fail(
@@ -288,6 +385,29 @@ class ServiceCore:
         ``on_error`` hooks + count it."""
         self.chain.run_error(request, error, ctx, depth)
         self.metrics.record_error()
+        self._record_decision(
+            ledger_events.ERROR, type(error).__name__, ctx
+        )
+        if ctx.telemetry is not None:
+            ctx.telemetry.finish_estimate(status="error")
+            ctx.telemetry.close("error", error=type(error).__name__)
+
+    def refuse(
+        self,
+        request: ServiceRequest,
+        ctx: RequestContext,
+        error: BaseException,
+        depth: int,
+        cause: str = "dispatch_refused",
+    ) -> None:
+        """Refusal after admission but before any estimator ran — the
+        driver's substrate turned the dispatch away (e.g. a pool racing
+        shutdown): unwind the entered layers + count a rejection."""
+        self.chain.run_error(request, error, ctx, depth)
+        self.metrics.record_rejected()
+        self._record_decision(ledger_events.REJECTED, cause, ctx)
+        if ctx.telemetry is not None:
+            ctx.telemetry.close("rejected", cause=cause)
 
 
 # ----------------------------------------------------------------------
@@ -506,6 +626,7 @@ def aggregate_shard_stats(
             "p95": percentile(samples, 95),
             "p99": percentile(samples, 99),
             "max": max(samples) if samples else None,
+            "histogram": latency_histogram(samples),
         },
         "stages": stages,
         "workers": dict(sorted(workers.items())),

@@ -67,7 +67,12 @@ class EstimationService:
         cache: Optional[EstimateCache] = None,
         max_workers: int = DEFAULT_MAX_WORKERS,
         metrics: Optional[ServiceMetrics] = None,
+        telemetry=None,
     ):
+        """``telemetry`` is an optional
+        :class:`~repro.service.telemetry.Telemetry` bundle (tracer +
+        ledger); the default ``None`` keeps the request path span-free
+        and ledger-free at zero cost."""
         if max_workers < 1:
             raise ValueError("service needs at least one worker")
         self.estimator = estimator if estimator is not None else XMemEstimator()
@@ -84,7 +89,14 @@ class EstimationService:
         # state — hooks run concurrently on caller and worker threads
         self.cache.bind_lock(threading.Lock)
         self.chain.bind_lock(threading.Lock)
-        self.core = ServiceCore(self.chain, self.cache, self.metrics)
+        self.telemetry = telemetry
+        self.core = ServiceCore(
+            self.chain,
+            self.cache,
+            self.metrics,
+            tracer=telemetry.tracer if telemetry is not None else None,
+            ledger=telemetry.ledger if telemetry is not None else None,
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="xmem-service"
         )
@@ -223,6 +235,8 @@ class EstimationService:
         depth: int,
     ) -> None:
         try:
+            if ctx.telemetry is not None:
+                ctx.telemetry.begin_estimate()
             result = invoke_estimator(
                 self.estimator, request, self._accepts_trace
             )

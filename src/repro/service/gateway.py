@@ -46,6 +46,8 @@ from ..trace.reader import Trace
 from ..workload import DeviceSpec, WorkloadConfig
 from .core import GatewayCore, aggregate_shard_stats
 from .engine import EstimationService
+from .telemetry import ledger as ledger_events
+from .telemetry.spans import GATEWAY_SPAN
 from .routing import (
     DEFAULT_VNODES,
     POLICY_NAMES,
@@ -99,6 +101,7 @@ class SyncGatewayShell:
         shards: Sequence,
         policy: Optional[RoutingPolicy],
         max_queue_depth: int,
+        telemetry=None,
     ) -> None:
         self._shard_services = tuple(shards)
         self.core = GatewayCore(
@@ -112,6 +115,42 @@ class SyncGatewayShell:
         )
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
+        # one Telemetry bundle spans the whole fleet: every shard core is
+        # stamped with its position and pointed at the shared tracer +
+        # ledger (unless the shard was pre-built with its own), so one
+        # request yields one trace across gateway and shard layers and
+        # the ledger records provenance per shard
+        self.telemetry = telemetry
+        for index, service in enumerate(self._shard_services):
+            shard_core = getattr(service, "core", None)
+            if shard_core is None:
+                continue
+            shard_core.shard_id = index
+            if telemetry is not None:
+                if shard_core.tracer is None:
+                    shard_core.tracer = telemetry.tracer
+                if shard_core.ledger is None:
+                    shard_core.ledger = telemetry.ledger
+
+    def _gateway_decision(
+        self,
+        event: str,
+        cause: str,
+        fingerprint: str,
+        seq: Optional[int],
+        shard_index: int,
+    ) -> None:
+        """Ledger one gateway-layer decision (no-op unledgered)."""
+        if self.telemetry is None:
+            return
+        self.telemetry.ledger.record(
+            event,
+            cause=cause,
+            fingerprint=fingerprint,
+            request_id=seq if seq is not None else 0,
+            shard=shard_index,
+            attributes={"layer": "gateway"},
+        )
 
     # -- substrate hooks ----------------------------------------------
     def _shutdown_substrate(self, wait: bool) -> None:
@@ -170,12 +209,44 @@ class SyncGatewayShell:
         fingerprint = self.fingerprint(workload, device)
         with self._lock:
             self.core.count_request()
+            seq = self.core.requests
             # stateful policies (the seeded RNG) rely on the driver for
             # serialization, so routing happens inside the lock too
             primary, replicas = self.core.route(fingerprint)
-        future = self._dispatch(primary, workload, device, trace, fingerprint)
+        span = None
+        metadata = None
+        if self.telemetry is not None:
+            span = self.telemetry.tracer.start_trace(
+                f"g{seq:06d}-{fingerprint[:12]}",
+                name=GATEWAY_SPAN,
+                attributes={
+                    "policy": self.core.policy.name,
+                    "shard": primary,
+                    "fingerprint": fingerprint,
+                },
+            )
+            # the shard-level request span re-parents under this one via
+            # the span context riding the metadata bag
+            metadata = {
+                "telemetry": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                }
+            }
+        future = self._dispatch(
+            primary,
+            workload,
+            device,
+            trace,
+            fingerprint,
+            metadata=metadata,
+            span=span,
+            seq=seq,
+        )
         for shard_index in replicas:
-            self._replicate(shard_index, workload, device, trace, fingerprint)
+            self._replicate(
+                shard_index, workload, device, trace, fingerprint, seq=seq
+            )
         return future
 
     def estimate(
@@ -245,31 +316,63 @@ class SyncGatewayShell:
         device: DeviceSpec,
         trace: Optional[Trace],
         fingerprint: str,
+        metadata: Optional[dict] = None,
+        span=None,
+        seq: Optional[int] = None,
     ) -> Future:
         service = self._shard_services[shard_index]
-        with self._lock:
-            # admit re-checks the gate while reserving the slot: a
-            # drain()/close() racing between submit()'s gate and here must
-            # either see our pending slot or turn us away — never report
-            # idle and then let this request hit a closed shard
-            self.core.admit(shard_index)
+        try:
+            with self._lock:
+                # admit re-checks the gate while reserving the slot: a
+                # drain()/close() racing between submit()'s gate and here
+                # must either see our pending slot or turn us away — never
+                # report idle and then let this request hit a closed shard
+                self.core.admit(shard_index)
+        except RateLimitExceededError:
+            self._gateway_decision(
+                ledger_events.SHED, "queue_full", fingerprint, seq, shard_index
+            )
+            self._close_span(span, "shed")
+            raise
+        self._gateway_decision(
+            ledger_events.ADMIT, "route", fingerprint, seq, shard_index
+        )
         try:
             future = service.submit(
-                workload, device, trace=trace, fingerprint=fingerprint
+                workload,
+                device,
+                trace=trace,
+                fingerprint=fingerprint,
+                metadata=metadata,
             )
         except RateLimitExceededError:
             self._settle(shard_index, throttled=True)
+            self._close_span(span, "throttled")
             raise
         except RequestRejectedError:
             self._settle(shard_index, rejected=True)
+            self._close_span(span, "rejected")
             raise
         except BaseException:
             self._settle(shard_index)
+            self._close_span(span, "error")
             raise
         future.add_done_callback(
-            lambda _f, index=shard_index: self._settle(index)
+            lambda f, index=shard_index: self._settle_dispatched(
+                f, index, span
+            )
         )
         return future
+
+    def _settle_dispatched(self, future: Future, shard_index: int, span) -> None:
+        self._settle(shard_index)
+        if span is not None:
+            failed = future.cancelled() or future.exception() is not None
+            self._close_span(span, "error" if failed else "ok")
+
+    def _close_span(self, span, status: str) -> None:
+        if span is not None and self.telemetry is not None:
+            self.telemetry.tracer.end(span, status=status)
 
     def _replicate(
         self,
@@ -278,12 +381,16 @@ class SyncGatewayShell:
         device: DeviceSpec,
         trace: Optional[Trace],
         fingerprint: str,
+        seq: Optional[int] = None,
     ) -> None:
         """Best-effort warm-up duplicate: never surfaces to the caller."""
         service = self._shard_services[shard_index]
         with self._lock:
             if not self.core.admit_replica(shard_index):
                 return  # warm-up never sheds real traffic
+        self._gateway_decision(
+            ledger_events.WARMUP, "replica", fingerprint, seq, shard_index
+        )
         try:
             future = service.submit(
                 workload, device, trace=trace, fingerprint=fingerprint
@@ -328,6 +435,7 @@ class ServiceGateway(SyncGatewayShell):
         policy: Optional[RoutingPolicy] = None,
         max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
         max_workers_per_shard: int = 2,
+        telemetry=None,
     ):
         if shards is None:
             if num_shards < 1:
@@ -343,4 +451,4 @@ class ServiceGateway(SyncGatewayShell):
             ]
         elif not shards:
             raise ValueError("gateway needs at least one shard")
-        self._init_shell(shards, policy, max_queue_depth)
+        self._init_shell(shards, policy, max_queue_depth, telemetry=telemetry)

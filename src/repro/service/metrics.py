@@ -12,11 +12,52 @@ from __future__ import annotations
 import json
 import threading
 import time
+from bisect import bisect_left
 from collections import deque
 from typing import Callable, Mapping, Optional, Sequence
 
 #: Latency samples kept for percentile computation (ring buffer).
 DEFAULT_LATENCY_WINDOW = 4096
+
+#: Log-scale histogram bucket upper edges (seconds): 100µs … 10s.  The
+#: final rendered bucket is the implicit overflow (> the last edge).
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def latency_histogram(
+    samples: Sequence[float],
+    bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+) -> dict:
+    """Bucketed counts for a latency reservoir.
+
+    Returns ``{"bounds": [...], "counts": [...]}`` where ``counts`` has
+    one entry per bound (samples ``<=`` that upper edge, exclusive of
+    earlier edges) plus a final overflow bucket.  This is computed once
+    here so the report renderer, ledger summaries, and fleet merges all
+    share one derivation instead of re-binning raw reservoirs.
+    """
+    edges = list(bounds)
+    counts = [0] * (len(edges) + 1)
+    for sample in samples:
+        counts[bisect_left(edges, sample)] += 1
+    return {"bounds": edges, "counts": counts}
 
 
 def percentile(samples: Sequence[float], q: float) -> Optional[float]:
@@ -158,6 +199,7 @@ class ServiceMetrics:
                     "p95": percentile(samples, 95),
                     "p99": percentile(samples, 99),
                     "max": max(samples) if samples else None,
+                    "histogram": latency_histogram(samples),
                 },
                 "stages": {
                     stage: {

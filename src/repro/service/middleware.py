@@ -30,7 +30,6 @@ nothing because its hooks all run on the event loop).
 from __future__ import annotations
 
 import time
-from collections import deque
 from typing import Any, Callable, Optional, Sequence
 
 from ..core.result import EstimationResult
@@ -48,6 +47,9 @@ from .context import (
     RequestContext,
     ServiceRequest,
 )
+from .telemetry.exporters import InMemorySpanExporter
+from .telemetry.ledger import AuditLedger
+from .telemetry.spans import MIDDLEWARE_PREFIX, Span, Tracer
 
 __all__ = [
     "AuditLogMiddleware",
@@ -122,13 +124,61 @@ class MiddlewareChain:
         result — i.e. the layers that must later see ``on_result``.  On a
         hook exception, runs ``on_error`` for the layers already entered
         and re-raises.
+
+        When the request carries a live tracing handle (the core attached
+        one) and the tracer runs at ``detail="full"``, every
+        ``on_request`` hook runs inside its own ``middleware:<name>``
+        span — the per-layer cost breakdown the span tree exists to
+        show.  Untraced (or standard-detail) requests pay one check per
+        request and nothing else.
         """
+        telemetry = ctx.telemetry
+        if telemetry is None or telemetry.tracer.detail != "full":
+            for index, middleware in enumerate(self.middlewares):
+                try:
+                    result = middleware.on_request(request, ctx)
+                except BaseException as error:
+                    self.run_error(request, error, ctx, depth=index)
+                    raise
+                if result is not None:
+                    ctx.short_circuited_by = middleware.name
+                    return result, index
+            return None, len(self.middlewares)
+        # traced path: hooks are synchronous, so each span can be built
+        # in one shot at hook exit (2 clock reads + 1 alloc per layer)
+        # instead of going through the open/close helper chain — the
+        # middleware spans sit on every request and dominate span count
+        tracer = telemetry.tracer
+        root = telemetry.root
         for index, middleware in enumerate(self.middlewares):
+            started = tracer.clock()
             try:
                 result = middleware.on_request(request, ctx)
             except BaseException as error:
+                tracer.exporter.export(
+                    Span(
+                        name=MIDDLEWARE_PREFIX + middleware.name,
+                        trace_id=root.trace_id,
+                        span_id=tracer._new_id(),
+                        parent_id=root.span_id,
+                        start=started,
+                        end=tracer.clock(),
+                        status="error",
+                        attributes={"error": type(error).__name__},
+                    )
+                )
                 self.run_error(request, error, ctx, depth=index)
                 raise
+            tracer.exporter.export(
+                Span(
+                    name=MIDDLEWARE_PREFIX + middleware.name,
+                    trace_id=root.trace_id,
+                    span_id=tracer._new_id(),
+                    parent_id=root.span_id,
+                    start=started,
+                    end=tracer.clock(),
+                )
+            )
             if result is not None:
                 ctx.short_circuited_by = middleware.name
                 return result, index
@@ -294,82 +344,112 @@ class RateLimitMiddleware(ServiceMiddleware):
 
 
 class AuditLogMiddleware(ServiceMiddleware):
-    """Keeps a bounded in-memory audit trail of requests and outcomes."""
+    """Keeps a bounded audit trail of requests and outcomes.
+
+    A thin adapter over :class:`~repro.service.telemetry.ledger.AuditLedger`
+    — the deque/lock bookkeeping it used to own lives there now, and the
+    ledger's durability and query surface come for free (``.ledger``).
+    The legacy ``records`` dict shape is preserved exactly.
+    """
 
     name = "audit_log"
 
-    def __init__(self, max_records: int = 1000, logger=None):
+    def __init__(
+        self,
+        max_records: int = 1000,
+        logger=None,
+        ledger: Optional[AuditLedger] = None,
+    ):
         self.max_records = max_records
         self.logger = logger
-        self._lock = NullLock()
-        self._records: "deque[dict[str, Any]]" = deque(maxlen=max_records)
+        self.ledger = (
+            ledger if ledger is not None else AuditLedger(max_events=max_records)
+        )
 
-    def bind_lock(self, lock_factory: LockFactory) -> None:
-        if isinstance(self._lock, NullLock):
-            self._lock = lock_factory()
-
-    def _append(self, record: dict[str, Any]) -> None:
-        with self._lock:
-            self._records.append(record)
+    def _append(
+        self, event: str, cause: str, ctx, fingerprint: str, attributes: dict
+    ) -> None:
+        entry = self.ledger.record(
+            event,
+            cause=cause,
+            fingerprint=fingerprint,
+            request_id=ctx.request_id,
+            shard=ctx.shard_hint,
+            attributes=attributes,
+        )
         if self.logger is not None:
-            self.logger.info("xmem.service %s", record)
+            self.logger.info("xmem.service %s", self._legacy(entry))
+
+    @staticmethod
+    def _legacy(entry) -> dict[str, Any]:
+        """An event in the pre-ledger record shape (kept public API)."""
+        return {
+            "event": entry.event,
+            "request_id": entry.request_id,
+            "fingerprint": entry.fingerprint,
+            **entry.attributes,
+        }
 
     def on_request(self, request, ctx):
         self._append(
+            "request",
+            "middleware",
+            ctx,
+            request.fingerprint,
             {
-                "event": "request",
-                "request_id": ctx.request_id,
-                "fingerprint": request.fingerprint,
                 "workload": request.workload.as_dict(),
                 "device": request.device.name,
-            }
+            },
         )
         return None
 
     def on_result(self, request, result, ctx):
         self._append(
+            "result",
+            "middleware",
+            ctx,
+            request.fingerprint,
             {
-                "event": "result",
-                "request_id": ctx.request_id,
-                "fingerprint": request.fingerprint,
                 "peak_bytes": result.peak_bytes,
                 "predicts_oom": result.predicts_oom(),
                 "cache_hit": ctx.cache_hit,
-            }
+            },
         )
         return None
 
     def on_error(self, request, error, ctx):
         self._append(
+            "error",
+            type(error).__name__,
+            ctx,
+            request.fingerprint,
             {
-                "event": "error",
-                "request_id": ctx.request_id,
-                "fingerprint": request.fingerprint,
                 "error": type(error).__name__,
                 "message": str(error),
-            }
+            },
         )
 
     @property
     def records(self) -> list[dict[str, Any]]:
-        with self._lock:
-            return list(self._records)
+        return [self._legacy(entry) for entry in self.ledger.events()]
 
 
 class TimingMiddleware(ServiceMiddleware):
     """Measures wall-clock time each request spends inside the service
-    (queueing + estimation; ~0 for cache hits when placed outermost)."""
+    (queueing + estimation; ~0 for cache hits when placed outermost).
+
+    A thin adapter over the telemetry span primitives: each completed
+    request becomes one ``service.request`` span in a private in-memory
+    exporter, and ``samples`` reads the span durations — the duplicated
+    timestamp/list/lock code is gone.
+    """
 
     name = "timing"
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
-        self._lock = NullLock()
-        self._samples: list[float] = []
-
-    def bind_lock(self, lock_factory: LockFactory) -> None:
-        if isinstance(self._lock, NullLock):
-            self._lock = lock_factory()
+        self._exporter = InMemorySpanExporter()
+        self._tracer = Tracer(self._exporter, clock=clock)
 
     def on_request(self, request, ctx):
         ctx.tags["timing_start"] = self._clock()
@@ -378,14 +458,18 @@ class TimingMiddleware(ServiceMiddleware):
     def on_result(self, request, result, ctx):
         started = ctx.tags.get("timing_start")
         if started is not None:
-            with self._lock:
-                self._samples.append(self._clock() - started)
+            span = self._tracer.start_span(
+                "service.request",
+                trace_id=request.fingerprint,
+                start=started,
+                attributes={"request_id": ctx.request_id},
+            )
+            self._tracer.end(span)
         return None
 
     @property
     def samples(self) -> list[float]:
-        with self._lock:
-            return list(self._samples)
+        return [span.duration for span in self._exporter.spans]
 
 
 def default_middlewares(cache: EstimateCache) -> tuple[ServiceMiddleware, ...]:

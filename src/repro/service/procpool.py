@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from functools import partial
 from typing import Callable, Optional, Sequence
@@ -85,6 +86,7 @@ from .middleware import (
     default_middlewares,
 )
 from .routing import RoutingPolicy
+from .telemetry.spans import worker_estimate_spans
 
 __all__ = [
     "DEFAULT_POOL_WORKERS",
@@ -126,13 +128,35 @@ def _worker_estimate(payload: dict, trace: Optional[Trace]):
     ``payload`` is the pickle-safe envelope
     (:meth:`ServiceRequest.as_dict`); the trace rides alongside because
     it is a large out-of-band artifact, not request identity.  Returns
-    ``(pid, result)`` so the parent can attribute work to workers.
+    ``(pid, result, span_payloads)`` so the parent can attribute work to
+    workers and re-attach the worker-side spans to the request's trace.
+
+    When the envelope's metadata bag carries a span context (the parent
+    had tracing enabled), the worker times the estimate and builds the
+    ``estimate`` span plus its ``stage:*`` children locally, shipping
+    them back as plain dicts — tracing crosses the pickle boundary the
+    same way the request does.  Without a span context this is free.
     """
     request = ServiceRequest.from_dict(payload, trace=trace)
+    span_context = request.metadata.get("telemetry")
+    started = time.perf_counter() if span_context else 0.0
     result = invoke_estimator(
         _WORKER_ESTIMATOR, request, _WORKER_ACCEPTS_TRACE
     )
-    return multiprocessing.current_process().pid, result
+    pid = multiprocessing.current_process().pid
+    span_payloads = None
+    if span_context:
+        span_payloads = [
+            span.as_dict()
+            for span in worker_estimate_spans(
+                span_context,
+                pid,
+                started,
+                time.perf_counter(),
+                stage_seconds=getattr(result, "stage_seconds", None),
+            )
+        ]
+    return pid, result, span_payloads
 
 
 def _resolve_context(mp_context: Optional[str]):
@@ -201,6 +225,7 @@ class ProcEstimationService:
         metrics: Optional[ServiceMetrics] = None,
         mp_context: Optional[str] = None,
         executor: Optional[ProcessPoolExecutor] = None,
+        telemetry=None,
     ):
         if executor is None and max_workers < 1:
             raise ValueError("service needs at least one worker")
@@ -225,7 +250,14 @@ class ProcEstimationService:
         # same regime as the thread driver
         self.cache.bind_lock(threading.Lock)
         self.chain.bind_lock(threading.Lock)
-        self.core = ServiceCore(self.chain, self.cache, self.metrics)
+        self.telemetry = telemetry
+        self.core = ServiceCore(
+            self.chain,
+            self.cache,
+            self.metrics,
+            tracer=telemetry.tracer if telemetry is not None else None,
+            ledger=telemetry.ledger if telemetry is not None else None,
+        )
         self._owns_executor = executor is None
         self._executor = (
             executor
@@ -321,12 +353,14 @@ class ProcEstimationService:
                 self._dispatched += 1
         if refused:
             # the hooks already ran for this request: unwind the entered
-            # layers and classify the outcome (mirroring the core's own
-            # mid-chain rejection path) so counters keep reconciling —
-            # outside the lock, because hooks must never run under it
+            # layers and classify the outcome (core.refuse = on_error
+            # hooks + the rejected counter + the ledger entry) so
+            # counters keep reconciling — outside the lock, because
+            # hooks must never run under it
             error = ServiceClosedError("service is closed")
-            self.chain.run_error(request, error, ctx, admission.depth)
-            self.metrics.record_rejected()
+            self.core.refuse(
+                request, ctx, error, admission.depth, cause="drain_race"
+            )
             raise error
         try:
             inner = self._executor.submit(
@@ -431,7 +465,15 @@ class ProcEstimationService:
     ) -> None:
         try:
             try:
-                worker_pid, result = inner.result()
+                worker_pid, result, span_payloads = inner.result()
+                ctx.tags["worker"] = worker_pid
+                if ctx.telemetry is not None and span_payloads:
+                    # re-attach the worker-side estimate/stage spans,
+                    # translated onto the parent clock (they arrive in
+                    # the worker's perf_counter domain)
+                    ctx.telemetry.attach_spans(
+                        span_payloads, rebase_to=self.core.clock()
+                    )
                 result = self.core.finish(request, ctx, result, depth)
                 # attribution only after finish: a result an on_result
                 # hook rejects is classified as an error, and the
@@ -475,6 +517,7 @@ class ProcServiceGateway(SyncGatewayShell):
         max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
         pool_workers: int = DEFAULT_POOL_WORKERS,
         mp_context: Optional[str] = None,
+        telemetry=None,
     ):
         if num_shards < 1:
             raise ValueError("gateway needs at least one shard")
@@ -495,7 +538,7 @@ class ProcServiceGateway(SyncGatewayShell):
         except BaseException:
             self._executor.shutdown(wait=False)
             raise
-        self._init_shell(shards, policy, max_queue_depth)
+        self._init_shell(shards, policy, max_queue_depth, telemetry=telemetry)
 
     def _shutdown_substrate(self, wait: bool) -> None:
         """The shards share the pool, so the gateway owns its shutdown."""

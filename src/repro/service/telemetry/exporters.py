@@ -1,0 +1,103 @@
+"""Span exporters: where closed spans go.
+
+OpenTelemetry-flavored but dependency-free: an exporter is anything with
+``export(span)`` and ``shutdown()``.  The tracer hands each span over
+exactly once, when it closes.  Three implementations cover the needs of
+tests (:class:`InMemorySpanExporter`), durable capture
+(:class:`JsonLinesSpanExporter`), and zero-overhead opt-out
+(:class:`NullSpanExporter`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .spans import Span
+
+__all__ = [
+    "SpanExporter",
+    "InMemorySpanExporter",
+    "JsonLinesSpanExporter",
+    "NullSpanExporter",
+]
+
+
+class SpanExporter:
+    """Protocol base: receives every closed span exactly once."""
+
+    def export(self, span: "Span") -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class InMemorySpanExporter(SpanExporter):
+    """Collects spans in a list — the test and report workhorse.
+
+    Lock-free: ``list.append`` (and the snapshot copy) are atomic under
+    the GIL, and export sits on every request's hot path.
+    """
+
+    def __init__(self):
+        self._spans: list["Span"] = []
+
+    def export(self, span: "Span") -> None:
+        self._spans.append(span)
+
+    @property
+    def spans(self) -> list["Span"]:
+        """A snapshot copy, in export (close) order."""
+        return list(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+
+class JsonLinesSpanExporter(SpanExporter):
+    """Appends one JSON object per span to a file — durable capture.
+
+    The file handle opens lazily on first export so constructing a
+    telemetry stack never touches the filesystem unless spans flow.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def export(self, span: "Span") -> None:
+        line = json.dumps(span.as_dict(), sort_keys=True)
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    @classmethod
+    def read(cls, path: str) -> list["Span"]:
+        """Load spans back from a JSON-lines capture."""
+        from .spans import Span
+
+        spans = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    spans.append(Span.from_dict(json.loads(line)))
+        return spans
+
+
+class NullSpanExporter(SpanExporter):
+    """Discards everything — tracing machinery with no capture cost."""
+
+    def export(self, span: "Span") -> None:
+        return None

@@ -144,3 +144,76 @@ def test_checked_in_baseline_parses_and_has_the_gated_metrics():
     for metric in check_regression.METRICS:
         assert isinstance(baseline[metric], (int, float)), metric
     assert baseline["peaks_byte_identical"] is True
+
+
+_RENDER_SPEC = importlib.util.spec_from_file_location(
+    "render_trend",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "render_trend.py",
+)
+render_trend = importlib.util.module_from_spec(_RENDER_SPEC)
+_RENDER_SPEC.loader.exec_module(render_trend)
+
+
+class TestRenderTrend:
+    """The human-readable face of the gate's trend artifact."""
+
+    OK_TREND = {
+        "baseline_grid": ["MnasNet/bs16"],
+        "current_grid": ["MnasNet/bs16"],
+        "metrics": {
+            "warm_speedup": {
+                "baseline": 10.0, "current": 9.0, "delta": -0.1,
+                "direction": "higher", "tolerance": 0.3, "verdict": "ok",
+            },
+        },
+        "regressions": [],
+        "ok": True,
+    }
+
+    def _write(self, tmp_path: Path, payload) -> Path:
+        path = tmp_path / "trend.json"
+        path.write_text(
+            payload if isinstance(payload, str) else json.dumps(payload)
+        )
+        return path
+
+    def test_ok_trend_renders_table_and_verdict(self, tmp_path):
+        text = render_trend.render_file(self._write(tmp_path, self.OK_TREND))
+        assert "warm_speedup" in text
+        assert "-10.0%" in text
+        assert "ok: all metrics within tolerance" in text
+
+    def test_regression_trend_names_the_metric(self, tmp_path):
+        trend = json.loads(json.dumps(self.OK_TREND))
+        trend["metrics"]["warm_speedup"]["verdict"] = "regression"
+        trend["regressions"] = ["warm_speedup"]
+        trend["ok"] = False
+        text = render_trend.render_file(self._write(tmp_path, trend))
+        assert "REGRESSIONS: warm_speedup" in text
+
+    def test_skipped_trend_says_so_instead_of_a_table(self, tmp_path):
+        trend = {"skipped": "grid mismatch: refresh the baseline"}
+        text = render_trend.render_file(self._write(tmp_path, trend))
+        assert "SKIPPED: grid mismatch" in text
+        assert "warm_speedup" not in text
+
+    def test_cli_writes_rendered_artifact(self, tmp_path):
+        trend = self._write(tmp_path, self.OK_TREND)
+        out = tmp_path / "trend.txt"
+        code = render_trend.main(["--trend", str(trend), "--out", str(out)])
+        assert code == 0
+        assert "ok: all metrics within tolerance" in out.read_text()
+
+    def test_cli_missing_input_is_exit_2(self, tmp_path):
+        code = render_trend.main(
+            ["--trend", str(tmp_path / "nope.json"),
+             "--out", str(tmp_path / "out.txt")]
+        )
+        assert code == 2
+
+    def test_cli_malformed_json_is_exit_2(self, tmp_path):
+        trend = self._write(tmp_path, "{not json")
+        out = tmp_path / "out.txt"
+        code = render_trend.main(["--trend", str(trend), "--out", str(out)])
+        assert code == 2
+        assert not out.exists()

@@ -392,3 +392,70 @@ class TestPool:
         assert first.peak_bytes == second.peak_bytes
         # the second run hit the worker's warmed stage caches
         assert second.stage_cached.get("profile", False)
+
+
+class TestProcpoolTelemetryIdentity:
+    """The process driver keeps the telemetry invariants of the others.
+
+    Worker-side stage spans cross the pickle boundary as plain dicts and
+    re-attach under the parent request span, so the canonical trees and
+    the ledger decision sequence match the thread driver exactly for a
+    deterministic trace (unique fingerprints within each wave — see
+    ``test_service_telemetry.py`` for why intra-wave duplicates are
+    excluded).
+    """
+
+    @staticmethod
+    def _trace():
+        from repro.service.traffic import TrafficRequest, TrafficTrace
+
+        workloads = [
+            WorkloadConfig("MobileNetV3Small", "sgd", size)
+            for size in (1, 2, 4, 8)
+        ]
+        requests = [
+            TrafficRequest(workload=workload, device=RTX_3060, wave=wave)
+            for wave in range(3)
+            for workload in workloads
+        ]
+        return TrafficTrace(
+            scenario="handbuilt", seed=0, requests=tuple(requests)
+        )
+
+    def test_span_trees_and_decisions_match_thread_driver(self):
+        from repro.service import (
+            Telemetry,
+            canonical_trace_trees,
+            make_policy,
+            replay,
+        )
+
+        trace = self._trace()
+        proc_telemetry = Telemetry(detail="full")
+        with ProcServiceGateway(
+            num_shards=2,
+            estimator_factory=fast_synthetic,
+            policy=make_policy("hash", 2, seed=0),
+            pool_workers=2,
+            telemetry=proc_telemetry,
+        ) as gateway:
+            proc_report = replay(trace, gateway)
+        thread_telemetry = Telemetry(detail="full")
+        with ServiceGateway(
+            num_shards=2,
+            estimator_factory=fast_synthetic,
+            policy=make_policy("hash", 2, seed=0),
+            telemetry=thread_telemetry,
+        ) as gateway:
+            thread_report = replay(trace, gateway)
+        assert proc_report.answered == thread_report.answered == len(trace)
+        assert canonical_trace_trees(
+            proc_telemetry.spans()
+        ) == canonical_trace_trees(thread_telemetry.spans())
+        assert (
+            proc_telemetry.ledger.decision_sequence()
+            == thread_telemetry.ledger.decision_sequence()
+        )
+        # computed decisions carry worker provenance only on this driver
+        computed = proc_telemetry.ledger.events(event="computed")
+        assert computed and all(e.worker for e in computed)
