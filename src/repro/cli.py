@@ -312,6 +312,32 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
                 await gateway.aclose()
 
         return asyncio.run(_go())
+    if driver == "tcp":
+        from .service.tcp import TcpServerThread, TcpServiceClient
+
+        if getattr(args, "connect", None):
+            # drive an already-running server: its own policy/estimator
+            # apply, ours are ignored (stats in the report come from the
+            # remote gateway via the stats op)
+            host, _, port = args.connect.rpartition(":")
+            with TcpServiceClient(host or "127.0.0.1", int(port)) as client:
+                return replay(trace, client)
+        # in-process: gateway + server on a private loop thread, driven
+        # through a real socket — the gateway is built *inside* the loop
+        # thread, so the factory closes over the config here
+        gateway_factory = partial(
+            AsyncServiceGateway,
+            num_shards=args.shards,
+            estimator_factory=factory,
+            policy=policy,
+            max_queue_depth=args.max_queue_depth,
+            max_workers_per_shard=args.workers_per_shard,
+            telemetry=telemetry,
+        )
+        with TcpServerThread(gateway_factory) as server:
+            host, port = server.address
+            with TcpServiceClient(host, port) as client:
+                return replay(trace, client)
     with ServiceGateway(
         num_shards=args.shards,
         estimator_factory=factory,
@@ -626,10 +652,17 @@ def build_parser() -> argparse.ArgumentParser:
         "per-shard cache locality); several values print a comparison",
     )
     loadtest.add_argument(
-        "--driver", choices=("threads", "asyncio", "processes"),
+        "--driver", choices=("threads", "asyncio", "processes", "tcp"),
         action="append", default=None,
         help="execution driver over the sans-IO core, repeatable "
-        "(default threads); several values print a comparison",
+        "(default threads); several values print a comparison; tcp "
+        "spawns an in-process socket server unless --connect is given",
+    )
+    loadtest.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="with --driver tcp: replay against an already-running "
+        "server instead of spawning one in-process (the remote "
+        "gateway's policy/estimator apply; local telemetry is empty)",
     )
     loadtest.add_argument("--max-queue-depth", type=int, default=64)
     loadtest.add_argument("--workers-per-shard", type=int, default=2)

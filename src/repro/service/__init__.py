@@ -85,6 +85,19 @@ from .procpool import (
     ProcServiceGateway,
     default_estimator_factory,
 )
+from .wire import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    RemoteServiceError,
+    WireProtocolError,
+    encode_frame,
+)
+from .tcp import (
+    AsyncTcpServiceClient,
+    TcpEstimationServer,
+    TcpServerThread,
+    TcpServiceClient,
+)
 from .middleware import (
     AuditLogMiddleware,
     CacheMiddleware,
@@ -100,6 +113,7 @@ __all__ = [
     "Admission",
     "AsyncEstimationService",
     "AsyncServiceGateway",
+    "AsyncTcpServiceClient",
     "AuditLedger",
     "AuditLogMiddleware",
     "BroadcastWarmupRouting",
@@ -110,11 +124,13 @@ __all__ = [
     "EstimateCache",
     "EstimationService",
     "FINGERPRINT_VERSION",
+    "FrameDecoder",
     "GatewayCore",
     "InMemorySpanExporter",
     "JsonLinesSpanExporter",
     "LeastLoadedRouting",
     "LedgerEvent",
+    "MAX_FRAME_BYTES",
     "MiddlewareChain",
     "NullLock",
     "NullSpanExporter",
@@ -123,6 +139,7 @@ __all__ = [
     "ProcServiceGateway",
     "RandomRouting",
     "RateLimitMiddleware",
+    "RemoteServiceError",
     "ReplayReport",
     "RequestContext",
     "RoutingPolicy",
@@ -137,16 +154,21 @@ __all__ = [
     "SpanExporter",
     "SweepCell",
     "SyntheticEstimator",
+    "TcpEstimationServer",
+    "TcpServerThread",
+    "TcpServiceClient",
     "Telemetry",
     "TimingMiddleware",
     "Tracer",
     "TrafficRequest",
     "TrafficTrace",
     "ValidationMiddleware",
+    "WireProtocolError",
     "aggregate_shard_stats",
     "canonical_trace_trees",
     "default_estimator_factory",
     "default_middlewares",
+    "encode_frame",
     "estimate_many",
     "estimate_many_async",
     "fingerprint_request",

@@ -456,20 +456,26 @@ class AsyncServiceGateway:
         workload: WorkloadConfig,
         device: DeviceSpec,
         trace: Optional[Trace] = None,
+        deadline: Optional[float] = None,
+        metadata: Optional[dict] = None,
     ) -> "asyncio.Future":
         """Route one request to its shard; returns the shard's future.
 
         Raises :class:`ServiceClosedError` after ``drain()``/``aclose()``,
         :class:`RateLimitExceededError` when the target shard's queue is
         full (shed — nothing was enqueued), and passes through the shard
-        middleware's own synchronous rejections.
+        middleware's own synchronous rejections.  ``deadline`` and
+        ``metadata`` are forwarded to the shard service untouched (the
+        TCP transport uses them to carry rebased client deadlines and
+        caller annotations); a telemetry span context is merged into
+        ``metadata`` rather than replacing it.
         """
         self.core.count_request()
         seq = self.core.requests
         fingerprint = self.fingerprint(workload, device)
         primary, replicas = self.core.route(fingerprint)
         span = None
-        metadata = None
+        metadata = dict(metadata) if metadata else None
         if self.telemetry is not None:
             span = self.telemetry.tracer.start_trace(
                 f"g{seq:06d}-{fingerprint[:12]}",
@@ -481,10 +487,11 @@ class AsyncServiceGateway:
                 },
             )
             metadata = {
+                **(metadata or {}),
                 "telemetry": {
                     "trace_id": span.trace_id,
                     "span_id": span.span_id,
-                }
+                },
             }
         future = self._dispatch(
             primary,
@@ -492,6 +499,7 @@ class AsyncServiceGateway:
             device,
             trace,
             fingerprint,
+            deadline=deadline,
             metadata=metadata,
             span=span,
             seq=seq,
@@ -572,6 +580,7 @@ class AsyncServiceGateway:
         device: DeviceSpec,
         trace: Optional[Trace],
         fingerprint: str,
+        deadline: Optional[float] = None,
         metadata: Optional[dict] = None,
         span=None,
         seq: Optional[int] = None,
@@ -595,6 +604,7 @@ class AsyncServiceGateway:
                 device,
                 trace=trace,
                 fingerprint=fingerprint,
+                deadline=deadline,
                 metadata=metadata,
             )
         except RateLimitExceededError:
@@ -738,6 +748,12 @@ async def replay_async(trace: TrafficTrace, target) -> ReplayReport:
     let caches matter.  Sheds and validation rejections are counted, not
     raised, with accounting identical to the sync replayer so driver
     comparisons are apples-to-apples.
+
+    Sheds are counted wherever they surface: in-process drivers raise
+    :class:`RateLimitExceededError` synchronously from ``submit``, while
+    a network client only learns of a shed from the response frame — its
+    future fails with the same exception instead.  ``target.stats()`` may
+    likewise be a coroutine on network clients (one more round trip).
     """
     report = ReplayReport(scenario=trace.scenario, num_requests=len(trace))
     started = time.perf_counter()
@@ -756,10 +772,15 @@ async def replay_async(trace: TrafficTrace, target) -> ReplayReport:
             try:
                 await future
                 report.answered += 1
+            except RateLimitExceededError:
+                report.shed += 1
             except RequestRejectedError:
                 report.rejected += 1
             except Exception:
                 report.errors += 1
     report.elapsed_seconds = time.perf_counter() - started
-    report.stats = target.stats()
+    stats = target.stats()
+    if asyncio.iscoroutine(stats):
+        stats = await stats
+    report.stats = stats
     return report

@@ -110,12 +110,17 @@ class EstimateCache:
         """
         if self.max_entries == 0:
             return
-        expires_at = (
-            None
-            if self.ttl_seconds is None
-            else self._clock() + self.ttl_seconds
-        )
         with self._lock:
+            # the timestamp is read under the lock: with an injectable
+            # test clock (or concurrent put/get interleavings) a clock
+            # read outside it could stamp an *earlier* time than an
+            # already-completed expiry check, making entries appear to
+            # expire out of insertion order
+            expires_at = (
+                None
+                if self.ttl_seconds is None
+                else self._clock() + self.ttl_seconds
+            )
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = (value, expires_at)
@@ -127,21 +132,49 @@ class EstimateCache:
         with self._lock:
             self._entries.clear()
 
+    def _reap_expired_locked(self) -> None:
+        """Drop every past-TTL entry (and count it); caller holds the lock.
+
+        ``len()`` and ``stats()`` report *live* entries: without this,
+        dead entries linger in the count until a ``get`` happens to
+        touch them, so a dashboard would see a "full" cache that serves
+        nothing but misses.
+        """
+        if self.ttl_seconds is None or not self._entries:
+            return
+        now = self._clock()
+        expired = [
+            key
+            for key, (_, expires_at) in self._entries.items()
+            if expires_at is not None and now >= expires_at
+        ]
+        for key in expired:
+            del self._entries[key]
+        self._expirations += len(expired)
+
     def __len__(self) -> int:
         with self._lock:
+            self._reap_expired_locked()
             return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        # peek without disturbing LRU order or counters
+        # peek without disturbing LRU order or hit/miss counters — but a
+        # past-TTL entry found here is reaped and counted, not left to
+        # inflate len()/stats() until a get happens to touch it
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 return False
             _, expires_at = entry
-            return expires_at is None or self._clock() < expires_at
+            if expires_at is not None and self._clock() >= expires_at:
+                del self._entries[key]
+                self._expirations += 1
+                return False
+            return True
 
     def stats(self) -> CacheStats:
         with self._lock:
+            self._reap_expired_locked()
             return CacheStats(
                 hits=self._hits,
                 misses=self._misses,

@@ -140,7 +140,7 @@ class RequestContext:
         """Whether the deadline has passed at clock value ``now``."""
         return self.deadline is not None and now >= self.deadline
 
-    def as_dict(self) -> dict:
+    def as_dict(self, now: Optional[float] = None) -> dict:
         """JSON-ready snapshot of the per-request state.
 
         The envelope's wire-format contract (paired with
@@ -151,12 +151,21 @@ class RequestContext:
         round-trip, and the property tests pin that both halves do.
         ``tags`` is deliberately shallow-copied: middlewares only ever
         store scalars there (timestamps, flags), never live objects.
+
+        ``submitted_at`` and ``deadline`` are values of the *sender's*
+        monotonic clock, which means nothing on another host (or even
+        another process after a reboot).  Passing ``now`` — the sender's
+        current clock reading — switches to the **wire form**: the
+        absolute stamps are replaced by ``age_seconds`` (how long the
+        request has been alive) and ``deadline_remaining`` (budget left,
+        None for no deadline), which any receiver can rebase onto its
+        own clock via ``from_dict(payload, now=receiver_clock())``.
+        Leave ``now`` unset only when the payload stays inside one clock
+        domain (the procpool pickle boundary on a single host).
         """
-        return {
+        payload = {
             "request_id": self.request_id,
-            "submitted_at": self.submitted_at,
             "fingerprint": self.fingerprint,
-            "deadline": self.deadline,
             "attempt": self.attempt,
             "shard_hint": self.shard_hint,
             "cache_hit": self.cache_hit,
@@ -165,15 +174,45 @@ class RequestContext:
             "tags": dict(self.tags),
             "metadata": dict(self.metadata),
         }
+        if now is None:
+            payload["submitted_at"] = self.submitted_at
+            payload["deadline"] = self.deadline
+        else:
+            payload["age_seconds"] = now - self.submitted_at
+            payload["deadline_remaining"] = self.remaining(now)
+        return payload
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "RequestContext":
-        """Inverse of :meth:`as_dict` (round-trips exactly)."""
+    def from_dict(
+        cls, payload: dict, now: Optional[float] = None
+    ) -> "RequestContext":
+        """Inverse of :meth:`as_dict` (round-trips exactly).
+
+        A wire-form payload (``age_seconds`` / ``deadline_remaining``)
+        requires ``now`` — the *receiver's* current clock reading — and
+        rebases both stamps into the receiver's clock domain, preserving
+        the request's age and remaining budget regardless of clock skew
+        between the two hosts.  An absolute-form payload is taken as-is
+        (same clock domain).
+        """
+        if "age_seconds" in payload or "deadline_remaining" in payload:
+            if now is None:
+                raise ValueError(
+                    "wire-form context payload (age_seconds/"
+                    "deadline_remaining) needs the receiver clock: pass "
+                    "from_dict(payload, now=clock())"
+                )
+            submitted_at = now - payload.get("age_seconds", 0.0)
+            remaining = payload.get("deadline_remaining")
+            deadline = None if remaining is None else now + remaining
+        else:
+            submitted_at = payload["submitted_at"]
+            deadline = payload.get("deadline")
         return cls(
             request_id=payload["request_id"],
-            submitted_at=payload["submitted_at"],
+            submitted_at=submitted_at,
             fingerprint=payload.get("fingerprint", ""),
-            deadline=payload.get("deadline"),
+            deadline=deadline,
             attempt=payload.get("attempt", 1),
             shard_hint=payload.get("shard_hint"),
             cache_hit=payload.get("cache_hit", False),

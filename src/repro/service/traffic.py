@@ -416,6 +416,12 @@ def replay(trace: TrafficTrace, target) -> ReplayReport:
     boundaries let caches matter.  Sheds (``RateLimitExceededError``)
     and validation rejections are *expected* outcomes under adversarial
     scenarios; they are counted, not raised.
+
+    Sheds are counted wherever they surface: in-process drivers raise
+    synchronously from ``submit`` (nothing was enqueued), while a network
+    client only learns of a shed from the server's response frame — its
+    future fails with the same typed exception instead.  Both paths land
+    in ``report.shed``, so driver comparisons stay apples-to-apples.
     """
     report = ReplayReport(scenario=trace.scenario, num_requests=len(trace))
     started = time.perf_counter()
@@ -434,6 +440,8 @@ def replay(trace: TrafficTrace, target) -> ReplayReport:
             try:
                 future.result()
                 report.answered += 1
+            except RateLimitExceededError:
+                report.shed += 1
             except RequestRejectedError:
                 report.rejected += 1
             except Exception:

@@ -1,0 +1,440 @@
+"""Framed wire codec for the service envelope (sans-IO).
+
+The byte-level contract of the TCP transport (:mod:`repro.service.tcp`)
+— and of any future transport that ships the envelope between hosts.
+Like the rest of the policy core this module is sans-IO: it converts
+between bytes and messages and never touches a socket; the transport
+owns reading, writing, and connection lifecycle.
+
+Frame format (see docs/wire.md for the full spec)::
+
+    +----------------------+----------------------------+
+    | 4-byte big-endian    | UTF-8 JSON object,         |
+    | unsigned body length | exactly `length` bytes     |
+    +----------------------+----------------------------+
+
+Strictness is the point: a frame longer than ``max_frame_bytes``, a
+zero-length frame, a body that is not valid UTF-8 JSON, or a body that
+is not a JSON *object* all raise :class:`WireProtocolError` — the
+transport answers with a protocol-error frame and closes the connection
+rather than guessing.  :class:`FrameDecoder` handles the TCP reality
+that frames arrive split and coalesced arbitrarily: feed it whatever
+``recv`` returned and it yields exactly the completed messages.
+
+What travels inside frames:
+
+* **request messages** — an ``op`` from :data:`OPS` plus op-specific
+  fields, validated by :func:`validate_request_message` (unknown ops
+  are rejected);
+* **responses** — ``{"id": ..., "ok": true, ...}`` payloads or
+  ``{"id": ..., "ok": false, "error": {...}}`` built by
+  :func:`ok_response` / :func:`error_response`;
+* **results** — :class:`~repro.core.result.EstimationResult` via
+  :func:`result_to_wire` / :func:`result_from_wire`.  Memory-usage
+  curves are *not* transported (a curve is a large diagnostic artifact;
+  serving-tier estimators run ``curve=False``) — everything else,
+  including the ``compare=False`` stage diagnostics, round-trips
+  exactly;
+* **errors** — the service exception taxonomy via
+  :func:`error_to_wire` / :func:`error_from_wire`, so a client-side
+  replay classifies remote rejections/sheds/deadline misses exactly
+  like local ones;
+* **forwarded envelopes** — ``(ServiceRequest, RequestContext)`` via
+  :func:`envelope_to_wire` / :func:`envelope_from_wire`.  Time fields
+  cross the wire as *relative* budgets (age, remaining deadline) and
+  are rebased onto the receiver's clock on decode — absolute
+  ``time.monotonic`` values from another host are meaningless (see
+  :meth:`~repro.service.context.RequestContext.as_dict`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Optional
+
+from ..core.result import EstimationResult
+from ..errors import (
+    DeadlineExceededError,
+    RateLimitExceededError,
+    RequestRejectedError,
+    ServiceClosedError,
+    ServiceError,
+)
+from ..trace.reader import Trace
+from ..workload import DeviceSpec, WorkloadConfig
+from .context import RequestContext, ServiceRequest
+
+__all__ = [
+    "HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "FrameDecoder",
+    "RemoteServiceError",
+    "WireProtocolError",
+    "encode_frame",
+    "envelope_from_wire",
+    "envelope_to_wire",
+    "error_from_wire",
+    "error_response",
+    "error_to_wire",
+    "ok_response",
+    "result_from_wire",
+    "result_to_wire",
+    "validate_request_message",
+]
+
+#: Frame header: 4-byte big-endian unsigned body length.
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = _HEADER.size
+
+#: Default ceiling on one frame's JSON body.  Generous for any envelope
+#: (requests are a few hundred bytes, results a few KiB) while bounding
+#: what a hostile peer can make the server buffer.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: The closed vocabulary of request operations.
+OP_PING = "ping"
+OP_ESTIMATE = "estimate"
+OP_ESTIMATE_MANY = "estimate_many"
+OP_STATS = "stats"
+OP_DRAIN = "drain"
+OPS = (OP_PING, OP_ESTIMATE, OP_ESTIMATE_MANY, OP_STATS, OP_DRAIN)
+
+#: Wire error codes — the response-side taxonomy.
+ERROR_REJECTED = "rejected"
+ERROR_RATE_LIMITED = "rate_limited"
+ERROR_DEADLINE = "deadline"
+ERROR_CLOSED = "closed"
+ERROR_PROTOCOL = "protocol"
+ERROR_INTERNAL = "internal"
+
+
+class WireProtocolError(ServiceError):
+    """A peer violated the framing or message schema.
+
+    Transports treat this as fatal for the connection: answer with a
+    protocol-error frame when the socket still works, then close.
+    """
+
+
+class RemoteServiceError(ServiceError):
+    """A server-side failure with no more specific local exception type.
+
+    ``remote_type`` preserves the server's exception class name so logs
+    on the client side still say what actually went wrong over there.
+    """
+
+    def __init__(self, message: str, remote_type: str = "Exception"):
+        self.remote_type = remote_type
+        super().__init__(message)
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def encode_frame(
+    payload: dict, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """One wire frame: length prefix + canonical JSON body.
+
+    Canonical means sorted keys and minimal separators, so identical
+    messages are identical bytes — which is what lets the benchmarks
+    assert byte-level identity across transports.  ``allow_nan=False``:
+    NaN/Infinity are not JSON, and a strict decoder on the other side
+    would (rightly) drop the connection.
+    """
+    if not isinstance(payload, dict):
+        raise WireProtocolError(
+            f"frame payload must be a dict, got {type(payload).__name__}"
+        )
+    try:
+        body = json.dumps(
+            payload,
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=False,
+            allow_nan=False,
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise WireProtocolError(
+            f"payload is not JSON-encodable: {error}"
+        ) from error
+    if len(body) > max_frame_bytes:
+        raise WireProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame reassembler for a TCP byte stream.
+
+    Feed it every chunk the socket yields; it buffers partial frames and
+    returns each completed message exactly once, in order.  Any protocol
+    violation — oversized or zero-length header, non-JSON body, non-object
+    body — raises :class:`WireProtocolError`; the decoder is then
+    poisoned and the connection must be closed (there is no way to
+    resynchronize a length-prefixed stream after a bad header).
+    """
+
+    __slots__ = ("max_frame_bytes", "_buffer")
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes held back waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb ``data``; return every message it completed."""
+        self._buffer.extend(data)
+        messages: list[dict] = []
+        while True:
+            message = self._next_message()
+            if message is None:
+                return messages
+            messages.append(message)
+
+    def _next_message(self) -> Optional[dict]:
+        if len(self._buffer) < HEADER_BYTES:
+            return None
+        (length,) = _HEADER.unpack_from(self._buffer)
+        if length == 0:
+            raise WireProtocolError("zero-length frame")
+        if length > self.max_frame_bytes:
+            raise WireProtocolError(
+                f"frame header announces {length} bytes, over the "
+                f"{self.max_frame_bytes}-byte limit"
+            )
+        end = HEADER_BYTES + length
+        if len(self._buffer) < end:
+            return None
+        body = bytes(self._buffer[HEADER_BYTES:end])
+        del self._buffer[:end]
+        try:
+            message = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WireProtocolError(
+                f"frame body is not valid JSON: {error}"
+            ) from error
+        if not isinstance(message, dict):
+            raise WireProtocolError(
+                f"frame body must be a JSON object, got "
+                f"{type(message).__name__}"
+            )
+        return message
+
+
+# ----------------------------------------------------------------------
+# request messages
+# ----------------------------------------------------------------------
+
+
+def _require(message: dict, field: str, kinds: tuple, op: str) -> Any:
+    value = message.get(field)
+    if not isinstance(value, kinds):
+        raise WireProtocolError(
+            f"op {op!r} needs {field!r} of type "
+            f"{'/'.join(k.__name__ for k in kinds)}, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def validate_request_message(message: dict) -> tuple[str, int]:
+    """Schema-check one client→server message; returns ``(op, id)``.
+
+    Raises :class:`WireProtocolError` for an unknown op, a missing or
+    non-integer ``id``, or op-specific fields of the wrong shape — all
+    fatal for the connection, matching the strict-decode contract.
+    """
+    op = message.get("op")
+    if op not in OPS:
+        raise WireProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+        )
+    msg_id = message.get("id")
+    # bool is an int subclass; a boolean id is a schema violation
+    if not isinstance(msg_id, int) or isinstance(msg_id, bool):
+        raise WireProtocolError(f"op {op!r} needs an integer 'id'")
+    if op == OP_ESTIMATE:
+        _require(message, "request", (dict,), op)
+        remaining = message.get("deadline_remaining")
+        if remaining is not None and not isinstance(
+            remaining, (int, float)
+        ):
+            raise WireProtocolError(
+                "'deadline_remaining' must be a number or null"
+            )
+    elif op == OP_ESTIMATE_MANY:
+        requests = _require(message, "requests", (list,), op)
+        for index, item in enumerate(requests):
+            if not isinstance(item, dict):
+                raise WireProtocolError(
+                    f"op {op!r} request #{index} must be an object, "
+                    f"got {type(item).__name__}"
+                )
+    elif op == OP_DRAIN:
+        timeout = message.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise WireProtocolError("'timeout' must be a number or null")
+    return op, msg_id
+
+
+def ok_response(msg_id: int, **fields: Any) -> dict:
+    """A success response frame payload."""
+    return {"id": msg_id, "ok": True, **fields}
+
+
+def error_response(msg_id: Optional[int], error: BaseException) -> dict:
+    """A failure response frame payload (``id`` None = connection-level)."""
+    return {"id": msg_id, "ok": False, "error": error_to_wire(error)}
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+
+def result_to_wire(result: EstimationResult) -> dict:
+    """JSON-ready form of one estimation result (curve excluded)."""
+    return {
+        "estimator": result.estimator,
+        "workload": result.workload.as_dict(),
+        "device": result.device.as_dict(),
+        "peak_bytes": result.peak_bytes,
+        "runtime_seconds": result.runtime_seconds,
+        "supported": result.supported,
+        "detail": dict(result.detail),
+        "stage_seconds": dict(result.stage_seconds),
+        "stage_cached": dict(result.stage_cached),
+    }
+
+
+def result_from_wire(payload: dict) -> EstimationResult:
+    """Inverse of :func:`result_to_wire` (``curve`` is always None)."""
+    try:
+        return EstimationResult(
+            estimator=payload["estimator"],
+            workload=WorkloadConfig.from_dict(payload["workload"]),
+            device=DeviceSpec.from_dict(payload["device"]),
+            peak_bytes=payload["peak_bytes"],
+            runtime_seconds=payload["runtime_seconds"],
+            supported=payload.get("supported", True),
+            curve=None,
+            detail=dict(payload.get("detail", {})),
+            stage_seconds=dict(payload.get("stage_seconds", {})),
+            stage_cached=dict(payload.get("stage_cached", {})),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireProtocolError(
+            f"malformed result payload: {error!r}"
+        ) from error
+
+
+# ----------------------------------------------------------------------
+# errors
+# ----------------------------------------------------------------------
+
+
+def error_to_wire(error: BaseException) -> dict:
+    """Map one service exception onto the wire error taxonomy.
+
+    Ordering matters: :class:`DeadlineExceededError` *is a*
+    :class:`RequestRejectedError`, so the more specific code is chosen
+    first and the client reconstructs the exact class — replay
+    accounting must classify remote outcomes like local ones.
+    """
+    payload: dict[str, Any] = {"message": str(error)}
+    if isinstance(error, DeadlineExceededError):
+        payload["type"] = ERROR_DEADLINE
+        payload["late_by_seconds"] = error.late_by_seconds
+    elif isinstance(error, RequestRejectedError):
+        payload["type"] = ERROR_REJECTED
+    elif isinstance(error, RateLimitExceededError):
+        payload["type"] = ERROR_RATE_LIMITED
+        payload["retry_after_seconds"] = error.retry_after_seconds
+    elif isinstance(error, ServiceClosedError):
+        payload["type"] = ERROR_CLOSED
+    elif isinstance(error, WireProtocolError):
+        payload["type"] = ERROR_PROTOCOL
+    else:
+        payload["type"] = ERROR_INTERNAL
+        payload["remote_type"] = type(error).__name__
+    return payload
+
+
+def error_from_wire(payload: dict) -> Exception:
+    """Reconstruct the typed exception a wire error payload describes."""
+    if not isinstance(payload, dict):
+        return RemoteServiceError(f"malformed error payload: {payload!r}")
+    kind = payload.get("type")
+    message = payload.get("message", "")
+    if kind == ERROR_DEADLINE:
+        error: Exception = DeadlineExceededError(
+            payload.get("late_by_seconds", 0.0)
+        )
+    elif kind == ERROR_REJECTED:
+        error = RequestRejectedError(message)
+    elif kind == ERROR_RATE_LIMITED:
+        error = RateLimitExceededError(
+            payload.get("retry_after_seconds", 0.0)
+        )
+    elif kind == ERROR_CLOSED:
+        error = ServiceClosedError(message)
+    elif kind == ERROR_PROTOCOL:
+        error = WireProtocolError(message)
+    else:
+        error = RemoteServiceError(
+            message, remote_type=payload.get("remote_type", "Exception")
+        )
+    return error
+
+
+# ----------------------------------------------------------------------
+# forwarded envelopes
+# ----------------------------------------------------------------------
+
+
+def envelope_to_wire(
+    request: ServiceRequest, ctx: RequestContext, now: float
+) -> dict:
+    """One in-progress request as a forwardable wire payload.
+
+    ``now`` is the sender's current clock reading; the context's time
+    fields cross the wire as relative budgets (age, remaining deadline)
+    so the receiver can rebase them — never as absolute monotonic
+    values, which do not survive a host boundary.
+    """
+    return {
+        "request": request.as_dict(),
+        "context": ctx.as_dict(now=now),
+    }
+
+
+def envelope_from_wire(
+    payload: dict, now: float, trace: Optional[Trace] = None
+) -> tuple[ServiceRequest, RequestContext]:
+    """Inverse of :func:`envelope_to_wire`, rebased onto the receiver.
+
+    ``now`` is the *receiver's* clock reading; the reconstructed
+    context's ``submitted_at``/``deadline`` live in the receiver's
+    clock domain with the sender's age and budget preserved.
+    """
+    try:
+        request = ServiceRequest.from_dict(
+            payload["request"], trace=trace
+        )
+        ctx = RequestContext.from_dict(payload["context"], now=now)
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireProtocolError(
+            f"malformed envelope payload: {error!r}"
+        ) from error
+    return request, ctx

@@ -1,0 +1,353 @@
+"""TCP transport: the sans-IO core behind a real socket.
+
+The server is a thin shell over :class:`AsyncServiceGateway` — these
+tests pin that the shell adds nothing and loses nothing: results are
+byte-identical to in-process drivers, the full exception taxonomy
+crosses the wire as typed errors, deadlines rebase across arbitrarily
+skewed client clocks, and malformed or vanishing peers never take the
+server down.  Each test boots its own in-process server thread
+(:class:`TcpServerThread`), so tests are independent and loop-clean.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import socket
+import struct
+import time
+from functools import partial
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    RequestRejectedError,
+    ServiceClosedError,
+)
+from repro.service import (
+    AsyncServiceGateway,
+    AsyncTcpServiceClient,
+    ServiceGateway,
+    SyntheticEstimator,
+    TcpServerThread,
+    TcpServiceClient,
+    generate_traffic,
+    replay,
+)
+from repro.service.wire import FrameDecoder, encode_frame
+from repro.workload import RTX_3060, RTX_4060, WorkloadConfig
+
+WORKLOAD = WorkloadConfig("MobileNetV2", "sgd", 8)
+OTHER = WorkloadConfig("MobileNetV2", "adam", 16)
+
+
+@contextlib.contextmanager
+def tcp_server(**gateway_kwargs):
+    gateway_kwargs.setdefault("num_shards", 2)
+    gateway_kwargs.setdefault(
+        "estimator_factory", partial(SyntheticEstimator)
+    )
+    factory = partial(AsyncServiceGateway, **gateway_kwargs)
+    with TcpServerThread(factory) as server:
+        yield server
+
+
+def _recv_frames(sock, count, timeout=10.0):
+    """Read ``count`` frames off a raw socket (or fewer on EOF)."""
+    sock.settimeout(timeout)
+    decoder = FrameDecoder()
+    messages = []
+    while len(messages) < count:
+        data = sock.recv(65536)
+        if not data:
+            break
+        messages.extend(decoder.feed(data))
+    return messages
+
+
+class TestBlockingClient:
+    def test_estimate_byte_identical_to_direct_call(self):
+        direct = SyntheticEstimator().estimate(WORKLOAD, RTX_3060)
+        with tcp_server() as server:
+            with TcpServiceClient(*server.address) as client:
+                over_wire = client.estimate(WORKLOAD, RTX_3060)
+        assert over_wire == direct
+        assert over_wire.peak_bytes == direct.peak_bytes
+        assert over_wire.detail == direct.detail
+
+    def test_estimate_many_preserves_request_order(self):
+        pairs = [(WORKLOAD, RTX_3060), (OTHER, RTX_4060), (WORKLOAD, RTX_3060)]
+        expected = [SyntheticEstimator().estimate(w, d) for w, d in pairs]
+        with tcp_server() as server:
+            with TcpServiceClient(*server.address) as client:
+                results = client.estimate_many(pairs)
+        assert results == expected
+
+    def test_estimate_many_surfaces_per_request_errors(self):
+        bad = WorkloadConfig("no-such-model", "sgd", 8)
+        with tcp_server() as server:
+            with TcpServiceClient(*server.address) as client:
+                with pytest.raises(RequestRejectedError):
+                    client.estimate_many([(WORKLOAD, RTX_3060), (bad, RTX_3060)])
+                mixed = client.estimate_many(
+                    [(WORKLOAD, RTX_3060), (bad, RTX_3060)],
+                    return_exceptions=True,
+                )
+        assert mixed[0].peak_bytes > 0
+        assert isinstance(mixed[1], RequestRejectedError)
+
+    def test_ping_stats_drain(self):
+        with tcp_server() as server:
+            with TcpServiceClient(*server.address) as client:
+                assert client.ping() < 5.0
+                client.estimate(WORKLOAD, RTX_3060)
+                stats = client.stats()
+                assert stats["gateway"]["requests"] == 1
+                assert stats["aggregate"]["requests"] >= 1
+                assert client.drain(timeout=5.0) is True
+                # post-drain the gateway refuses — as a typed wire error
+                future = client.submit(OTHER, RTX_4060)
+                with pytest.raises(ServiceClosedError):
+                    future.result(5.0)
+
+    def test_validation_rejection_crosses_the_wire_typed(self):
+        bad = WorkloadConfig("no-such-model", "sgd", 8)
+        with tcp_server() as server:
+            with TcpServiceClient(*server.address) as client:
+                future = client.submit(bad, RTX_3060)
+                with pytest.raises(RequestRejectedError):
+                    future.result(5.0)
+                # the connection survived the rejection
+                assert client.estimate(WORKLOAD, RTX_3060).peak_bytes > 0
+
+    def test_traces_are_refused_client_side(self):
+        with tcp_server() as server:
+            with TcpServiceClient(*server.address) as client:
+                with pytest.raises(ValueError, match="host-local"):
+                    client.submit(WORKLOAD, RTX_3060, trace=object())
+
+    def test_replay_accounting_matches_threads_driver(self):
+        trace = generate_traffic(
+            "adversarial", 60, seed=3, unique_workloads=6
+        )
+        with ServiceGateway(
+            num_shards=2, estimator_factory=partial(SyntheticEstimator)
+        ) as gateway:
+            reference = replay(trace, gateway)
+        with tcp_server() as server:
+            with TcpServiceClient(*server.address) as client:
+                networked = replay(trace, client)
+        assert networked.answered == reference.answered
+        assert networked.rejected == reference.rejected
+        assert networked.shed == reference.shed
+        assert networked.errors == reference.errors == 0
+
+
+class TestDeadlinesOverTheWire:
+    def test_deadline_rebases_across_a_skewed_client_clock(self):
+        """A client whose monotonic epoch is hours away from the server's
+        must still get correct deadline semantics — only *budget* crosses
+        the wire.  (With absolute stamps on the wire, the +10000s skew
+        below would make every deadline look infinitely generous.)"""
+        skewed = lambda: time.perf_counter() + 10_000.0  # noqa: E731
+        with tcp_server() as server:
+            with TcpServiceClient(*server.address, clock=skewed) as client:
+                # plenty of budget: served normally despite the skew
+                result = client.estimate(
+                    WORKLOAD, RTX_3060, deadline=skewed() + 30.0
+                )
+                assert result.peak_bytes > 0
+                # already-blown budget: typed deadline error, not a serve
+                future = client.submit(
+                    OTHER, RTX_4060, deadline=skewed() - 0.5
+                )
+                with pytest.raises(DeadlineExceededError) as excinfo:
+                    future.result(5.0)
+        assert excinfo.value.late_by_seconds >= 0.5 - 1e-3
+
+    def test_negative_skew_is_equally_harmless(self):
+        skewed = lambda: time.perf_counter() - 10_000.0  # noqa: E731
+        with tcp_server() as server:
+            with TcpServiceClient(*server.address, clock=skewed) as client:
+                result = client.estimate(
+                    WORKLOAD, RTX_3060, deadline=skewed() + 30.0
+                )
+                assert result.peak_bytes > 0
+
+
+class TestProtocolViolations:
+    """Malformed peers get an error frame and a clean close — never a
+    crashed or wedged server."""
+
+    def _raw(self, address):
+        return socket.create_connection(address, timeout=10.0)
+
+    def test_garbage_body_answered_and_closed(self):
+        with tcp_server() as server:
+            with self._raw(server.address) as sock:
+                body = b"this is not json"
+                sock.sendall(struct.pack(">I", len(body)) + body)
+                frames = _recv_frames(sock, 1)
+                assert frames and frames[0]["ok"] is False
+                assert frames[0]["id"] is None
+                assert frames[0]["error"]["type"] == "protocol"
+                assert sock.recv(1) == b""  # server closed the connection
+            # and the server is still serving fresh connections
+            with TcpServiceClient(*server.address) as client:
+                assert client.estimate(WORKLOAD, RTX_3060).peak_bytes > 0
+            assert server.server.protocol_errors == 1
+
+    def test_oversized_header_answered_and_closed(self):
+        with tcp_server() as server:
+            with self._raw(server.address) as sock:
+                sock.sendall(struct.pack(">I", 2**31))
+                frames = _recv_frames(sock, 1)
+                assert frames[0]["error"]["type"] == "protocol"
+                assert sock.recv(1) == b""
+            with TcpServiceClient(*server.address) as client:
+                assert client.ping() < 5.0
+
+    def test_unknown_op_answered_and_closed(self):
+        with tcp_server() as server:
+            with self._raw(server.address) as sock:
+                sock.sendall(encode_frame({"op": "transmogrify", "id": 1}))
+                frames = _recv_frames(sock, 1)
+                assert frames[0]["id"] is None
+                assert frames[0]["error"]["type"] == "protocol"
+                assert sock.recv(1) == b""
+
+    def test_bad_payload_in_valid_frame_keeps_connection_open(self):
+        """A structurally bad *request* inside a well-formed frame is a
+        per-request failure, not a connection failure."""
+        with tcp_server() as server:
+            with self._raw(server.address) as sock:
+                sock.sendall(
+                    encode_frame(
+                        {
+                            "op": "estimate",
+                            "id": 0,
+                            "request": {"workload": {"model": 7}},
+                        }
+                    )
+                )
+                sock.sendall(encode_frame({"op": "ping", "id": 1}))
+                frames = _recv_frames(sock, 2)
+                by_id = {frame["id"]: frame for frame in frames}
+                assert by_id[0]["ok"] is False
+                assert by_id[0]["error"]["type"] == "protocol"
+                assert by_id[1]["ok"] is True  # still talking
+
+    def test_frame_split_across_many_sends_still_parses(self):
+        frame = encode_frame({"op": "ping", "id": 9})
+        with tcp_server() as server:
+            with self._raw(server.address) as sock:
+                for index in range(len(frame)):
+                    sock.sendall(frame[index : index + 1])
+                frames = _recv_frames(sock, 1)
+                assert frames[0] == {"id": 9, "ok": True}
+
+    def test_mid_request_disconnect_leaves_server_healthy(self):
+        with tcp_server(
+            estimator_factory=partial(SyntheticEstimator, work_seconds=0.05)
+        ) as server:
+            client = TcpServiceClient(*server.address)
+            client.submit(WORKLOAD, RTX_3060)  # in flight...
+            client.close()  # ...and the caller vanishes
+            # the abandoned estimate settles; accounting stays coherent
+            with TcpServiceClient(*server.address) as fresh:
+                assert fresh.drain(timeout=10.0) is True
+                stats = fresh.stats()
+        assert stats["gateway"]["requests"] >= 1
+        assert stats["gateway"]["pending"] == 0
+
+
+class TestAsyncClient:
+    def test_estimate_and_stats(self):
+        direct = SyntheticEstimator().estimate(WORKLOAD, RTX_3060)
+        with tcp_server() as server:
+            host, port = server.address
+
+            async def main():
+                async with await AsyncTcpServiceClient.connect(
+                    host, port
+                ) as client:
+                    result = await client.estimate(WORKLOAD, RTX_3060)
+                    rtt = await client.ping()
+                    stats = await client.stats()
+                    return result, rtt, stats
+
+            result, rtt, stats = asyncio.run(main())
+        assert result == direct
+        assert rtt < 5.0
+        assert stats["gateway"]["requests"] == 1
+
+    def test_replay_async_drives_the_wire_client(self):
+        from repro.service import replay_async
+
+        trace = generate_traffic("zipf", 40, seed=5, unique_workloads=6)
+        with tcp_server() as server:
+            host, port = server.address
+
+            async def main():
+                async with await AsyncTcpServiceClient.connect(
+                    host, port
+                ) as client:
+                    return await replay_async(trace, client)
+
+            report = asyncio.run(main())
+        assert report.answered == 40
+        assert report.errors == 0
+        assert report.stats["gateway"]["requests"] == 40
+
+    def test_typed_errors_cross_the_wire(self):
+        bad = WorkloadConfig("no-such-model", "sgd", 8)
+        with tcp_server() as server:
+            host, port = server.address
+
+            async def main():
+                async with await AsyncTcpServiceClient.connect(
+                    host, port
+                ) as client:
+                    with pytest.raises(RequestRejectedError):
+                        await client.estimate(bad, RTX_3060)
+                    return await client.estimate(WORKLOAD, RTX_3060)
+
+            result = asyncio.run(main())
+        assert result.peak_bytes > 0
+
+
+class TestServerLifecycle:
+    def test_startup_failure_is_reported(self):
+        def exploding_factory():
+            raise RuntimeError("no gateway for you")
+
+        server = TcpServerThread(exploding_factory)
+        with pytest.raises(RuntimeError, match="failed to start"):
+            server.start()
+
+    def test_stop_is_idempotent(self):
+        with tcp_server() as server:
+            pass
+        server.stop()  # second stop: no-op, no error
+
+    def test_connections_served_counter(self):
+        with tcp_server() as server:
+            with TcpServiceClient(*server.address) as a:
+                a.ping()
+            with TcpServiceClient(*server.address) as b:
+                b.ping()
+            # handler bookkeeping lives on the loop thread; the counter
+            # increments at accept, which both pings have forced already
+            assert server.server.connections_served == 2
+
+    def test_stats_round_trip_preserves_json_shape(self):
+        with tcp_server() as server:
+            with TcpServiceClient(*server.address) as client:
+                client.estimate(WORKLOAD, RTX_3060)
+                stats = client.stats()
+                # wire stats are the gateway's stats dict, JSON-round-tripped
+                assert json.loads(json.dumps(stats)) == stats
+                gateway_stats = server.gateway.stats()
+        assert stats["gateway"]["requests"] == gateway_stats["gateway"]["requests"]

@@ -1,0 +1,453 @@
+"""Wire codec properties: framing, envelope round trips, strict decode.
+
+The TCP transport's correctness rests on the same invariant the pickle
+properties pin for the process driver: everything that crosses the wire
+survives serialization exactly.  Here the codec is the framed JSON one
+(:mod:`repro.service.wire`), so three more things need pinning — frames
+reassemble correctly from arbitrary TCP chunkings, time fields rebase
+correctly across *skewed* clocks (the cross-host bug this PR fixes), and
+malformed input of any shape is rejected with ``WireProtocolError``
+rather than crashing or desynchronizing the stream.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.result import EstimationResult
+from repro.errors import (
+    DeadlineExceededError,
+    RateLimitExceededError,
+    RequestRejectedError,
+    ServiceClosedError,
+)
+from repro.runtime.loop import POS0, POS1
+from repro.service import RequestContext, ServiceRequest
+from repro.service.wire import (
+    HEADER_BYTES,
+    FrameDecoder,
+    RemoteServiceError,
+    WireProtocolError,
+    encode_frame,
+    envelope_from_wire,
+    envelope_to_wire,
+    error_from_wire,
+    error_response,
+    error_to_wire,
+    ok_response,
+    result_from_wire,
+    result_to_wire,
+    validate_request_message,
+)
+from repro.workload import DeviceSpec, WorkloadConfig
+
+# strategies mirror tests/test_service_pickle.py (tests are not a
+# package, so sibling imports are off the table — keep these in sync)
+names = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+    min_size=1,
+    max_size=24,
+)
+
+workloads = st.builds(
+    WorkloadConfig,
+    model=names,
+    optimizer=names,
+    batch_size=st.integers(1, 65536),
+    zero_grad_position=st.sampled_from((POS0, POS1)),
+    set_to_none=st.booleans(),
+)
+
+devices = st.builds(
+    DeviceSpec,
+    name=names,
+    capacity_bytes=st.integers(1, 2**48),
+    init_bytes=st.integers(0, 2**40),
+    framework_bytes=st.integers(0, 2**32),
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    names,
+)
+bags = st.dictionaries(names, scalars, max_size=4)
+#: nested annotation bags — callers attach structured metadata too
+nested_bags = st.dictionaries(
+    names, st.one_of(scalars, bags, st.lists(scalars, max_size=3)), max_size=4
+)
+
+requests = st.builds(
+    ServiceRequest,
+    workload=workloads,
+    device=devices,
+    fingerprint=names,
+    metadata=nested_bags,
+)
+
+stage_maps = st.dictionaries(
+    st.sampled_from(("profile", "analyze", "orchestrate", "simulate")),
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    max_size=4,
+)
+
+results = st.builds(
+    EstimationResult,
+    estimator=names,
+    workload=workloads,
+    device=devices,
+    peak_bytes=st.integers(0, 2**48),
+    runtime_seconds=st.floats(
+        min_value=0.0, max_value=1e6, allow_nan=False
+    ),
+    supported=st.booleans(),
+    detail=bags,
+    stage_seconds=stage_maps,
+    stage_cached=st.dictionaries(
+        st.sampled_from(("profile", "analyze", "orchestrate", "simulate")),
+        st.booleans(),
+        max_size=4,
+    ),
+)
+
+contexts = st.builds(
+    RequestContext,
+    request_id=st.integers(1, 2**31),
+    submitted_at=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    fingerprint=names,
+    deadline=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+    ),
+    attempt=st.integers(1, 16),
+    shard_hint=st.one_of(st.none(), st.integers(0, 63)),
+    cache_hit=st.booleans(),
+    deduplicated=st.booleans(),
+    tags=bags,
+    metadata=bags,
+)
+
+
+# ----------------------------------------------------------------------
+# framing + reassembly
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(payload=nested_bags)
+def test_frame_round_trips(payload):
+    decoder = FrameDecoder()
+    messages = decoder.feed(encode_frame(payload))
+    assert messages == [json.loads(json.dumps(payload))]
+    assert decoder.buffered_bytes == 0
+
+
+@settings(max_examples=50)
+@given(
+    payloads=st.lists(nested_bags, min_size=1, max_size=5),
+    chunk_size=st.integers(1, 40),
+)
+def test_frames_reassemble_from_arbitrary_chunking(payloads, chunk_size):
+    """TCP may split/coalesce frames anywhere; the decoder must not care."""
+    stream = b"".join(encode_frame(p) for p in payloads)
+    decoder = FrameDecoder()
+    received = []
+    for start in range(0, len(stream), chunk_size):
+        received.extend(decoder.feed(stream[start : start + chunk_size]))
+    expected = [json.loads(json.dumps(p)) for p in payloads]
+    assert received == expected
+    assert decoder.buffered_bytes == 0
+
+
+def test_truncated_frame_stays_buffered_without_error():
+    frame = encode_frame({"op": "ping", "id": 1})
+    decoder = FrameDecoder()
+    assert decoder.feed(frame[:-3]) == []
+    assert decoder.buffered_bytes == len(frame) - 3
+    assert decoder.feed(frame[-3:]) == [{"op": "ping", "id": 1}]
+
+
+def test_oversized_frame_header_is_rejected():
+    decoder = FrameDecoder(max_frame_bytes=1024)
+    header = struct.pack(">I", 1025)
+    with pytest.raises(WireProtocolError, match="over the"):
+        decoder.feed(header)
+
+
+def test_oversized_payload_is_rejected_at_encode_time():
+    with pytest.raises(WireProtocolError, match="exceeds"):
+        encode_frame({"blob": "x" * 2048}, max_frame_bytes=1024)
+
+
+def test_zero_length_frame_is_rejected():
+    decoder = FrameDecoder()
+    with pytest.raises(WireProtocolError, match="zero-length"):
+        decoder.feed(struct.pack(">I", 0))
+
+
+def test_garbage_body_is_rejected():
+    body = b"\xff\xfenot json"
+    decoder = FrameDecoder()
+    with pytest.raises(WireProtocolError, match="not valid JSON"):
+        decoder.feed(struct.pack(">I", len(body)) + body)
+
+
+def test_non_object_body_is_rejected():
+    body = json.dumps([1, 2, 3]).encode()
+    decoder = FrameDecoder()
+    with pytest.raises(WireProtocolError, match="JSON object"):
+        decoder.feed(struct.pack(">I", len(body)) + body)
+
+
+def test_unencodable_payload_is_rejected():
+    with pytest.raises(WireProtocolError, match="not JSON-encodable"):
+        encode_frame({"clock": object()})
+    with pytest.raises(WireProtocolError):
+        encode_frame({"bad": float("nan")})
+
+
+@settings(max_examples=100)
+@given(blob=st.binary(max_size=256))
+def test_fuzzed_bytes_never_raise_anything_but_wire_errors(blob):
+    """The strict-decode contract: garbage in, WireProtocolError or
+    silence out — never an unhandled exception type."""
+    decoder = FrameDecoder(max_frame_bytes=4096)
+    try:
+        for message in decoder.feed(blob):
+            assert isinstance(message, dict)
+    except WireProtocolError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# request-message schema
+# ----------------------------------------------------------------------
+
+
+def test_valid_ops_pass_validation():
+    assert validate_request_message({"op": "ping", "id": 0}) == ("ping", 0)
+    assert validate_request_message(
+        {"op": "estimate", "id": 3, "request": {}, "deadline_remaining": 1.5}
+    ) == ("estimate", 3)
+    assert validate_request_message(
+        {"op": "estimate_many", "id": 4, "requests": [{}, {}]}
+    ) == ("estimate_many", 4)
+    assert validate_request_message({"op": "stats", "id": 5}) == ("stats", 5)
+    assert validate_request_message(
+        {"op": "drain", "id": 6, "timeout": None}
+    ) == ("drain", 6)
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        {"op": "transmogrify", "id": 1},  # unknown op
+        {"op": "estimate", "request": {}},  # missing id
+        {"op": "estimate", "id": "7", "request": {}},  # string id
+        {"op": "estimate", "id": True, "request": {}},  # bool id
+        {"op": "estimate", "id": 1},  # missing request
+        {"op": "estimate", "id": 1, "request": []},  # non-object request
+        {  # non-numeric deadline
+            "op": "estimate",
+            "id": 1,
+            "request": {},
+            "deadline_remaining": "soon",
+        },
+        {"op": "estimate_many", "id": 1},  # missing requests
+        {"op": "estimate_many", "id": 1, "requests": [{}, 7]},
+        {"op": "drain", "id": 1, "timeout": "later"},
+        {},  # empty message
+    ],
+)
+def test_malformed_request_messages_are_rejected(message):
+    with pytest.raises(WireProtocolError):
+        validate_request_message(message)
+
+
+# ----------------------------------------------------------------------
+# result + error codecs
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(result=results)
+def test_result_round_trips_through_json(result):
+    clone = result_from_wire(json.loads(json.dumps(result_to_wire(result))))
+    assert clone == result
+    # equality excludes the stage diagnostics (compare=False) — the wire
+    # trip must preserve them anyway for the client's metrics view
+    assert clone.stage_seconds == result.stage_seconds
+    assert clone.stage_cached == result.stage_cached
+    assert clone.detail == result.detail
+    assert clone.curve is None  # curves never cross the wire
+
+
+def test_malformed_result_payload_raises_wire_error():
+    with pytest.raises(WireProtocolError):
+        result_from_wire({"estimator": "x"})  # missing everything else
+
+
+@pytest.mark.parametrize(
+    "error, wire_type",
+    [
+        (RequestRejectedError("unknown model"), "rejected"),
+        (RateLimitExceededError(1.25), "rate_limited"),
+        (DeadlineExceededError(0.75), "deadline"),
+        (ServiceClosedError("closed"), "closed"),
+        (WireProtocolError("bad frame"), "protocol"),
+        (RuntimeError("boom"), "internal"),
+    ],
+)
+def test_error_round_trips_preserve_type(error, wire_type):
+    payload = json.loads(json.dumps(error_to_wire(error)))
+    assert payload["type"] == wire_type
+    clone = error_from_wire(payload)
+    if wire_type == "internal":
+        assert isinstance(clone, RemoteServiceError)
+        assert clone.remote_type == "RuntimeError"
+        assert "boom" in str(clone)
+    else:
+        assert type(clone) is type(error)
+    if isinstance(error, RateLimitExceededError):
+        assert clone.retry_after_seconds == error.retry_after_seconds
+    if isinstance(error, DeadlineExceededError):
+        assert clone.late_by_seconds == error.late_by_seconds
+
+
+def test_deadline_beats_rejected_in_the_taxonomy():
+    """DeadlineExceededError *is a* RequestRejectedError — the wire code
+    must keep the more specific class or replay accounting drifts."""
+    payload = error_to_wire(DeadlineExceededError(0.5))
+    assert payload["type"] == "deadline"
+    assert isinstance(error_from_wire(payload), DeadlineExceededError)
+
+
+def test_error_from_wire_tolerates_junk():
+    assert isinstance(error_from_wire({}), RemoteServiceError)
+    assert isinstance(error_from_wire("nope"), RemoteServiceError)
+    assert isinstance(
+        error_from_wire({"type": "unheard-of", "message": "?"}),
+        RemoteServiceError,
+    )
+
+
+def test_response_builders():
+    ok = ok_response(7, result={"peak": 1})
+    assert ok == {"id": 7, "ok": True, "result": {"peak": 1}}
+    err = error_response(None, WireProtocolError("bad"))
+    assert err["id"] is None and err["ok"] is False
+    assert err["error"]["type"] == "protocol"
+
+
+# ----------------------------------------------------------------------
+# envelope round trips across skewed clocks (the cross-host bugfix)
+# ----------------------------------------------------------------------
+
+
+class SkewedClock:
+    """Injectable clock with its own epoch — models a peer host."""
+
+    def __init__(self, now: float):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_deadline_rebases_across_skewed_clocks():
+    """The regression this PR fixes: an absolute ``time.monotonic``
+    deadline from host A is meaningless on host B.  The wire form ships
+    *remaining budget*, so the rebased deadline must grant the same
+    budget on B's clock no matter how far the two epochs disagree."""
+    client = SkewedClock(1_000.0)
+    server = SkewedClock(5.0)  # e.g. freshly booted: monotonic near zero
+    ctx = RequestContext(
+        request_id=1,
+        submitted_at=client() - 2.0,  # two seconds old
+        fingerprint="fp",
+        deadline=client() + 3.0,  # three seconds of budget left
+    )
+    payload = json.loads(json.dumps(ctx.as_dict(now=client())))
+    assert payload["age_seconds"] == pytest.approx(2.0)
+    assert payload["deadline_remaining"] == pytest.approx(3.0)
+    assert "submitted_at" not in payload and "deadline" not in payload
+    rebased = RequestContext.from_dict(payload, now=server())
+    assert rebased.remaining(server()) == pytest.approx(3.0)
+    assert server() - rebased.submitted_at == pytest.approx(2.0)
+    # the budget then burns down on the server's clock
+    server.advance(3.5)
+    assert rebased.expired(server())
+
+
+def test_no_deadline_stays_none_across_the_wire():
+    ctx = RequestContext(request_id=1, submitted_at=10.0)
+    payload = json.loads(json.dumps(ctx.as_dict(now=12.0)))
+    assert payload["deadline_remaining"] is None
+    rebased = RequestContext.from_dict(payload, now=99.0)
+    assert rebased.deadline is None
+    assert rebased.remaining(99.0) is None
+
+
+def test_wire_form_requires_receiver_clock():
+    ctx = RequestContext(request_id=1, submitted_at=0.0, deadline=5.0)
+    payload = ctx.as_dict(now=1.0)
+    with pytest.raises(ValueError, match="receiver clock"):
+        RequestContext.from_dict(payload)
+
+
+def test_absolute_form_still_round_trips_without_a_clock():
+    # the same-clock-domain form (procpool pickle boundary) is unchanged
+    ctx = RequestContext(request_id=1, submitted_at=7.0, deadline=9.0)
+    clone = RequestContext.from_dict(json.loads(json.dumps(ctx.as_dict())))
+    assert clone == ctx
+
+
+@settings(max_examples=50)
+@given(
+    request=requests,
+    ctx=contexts,
+    sender_now=st.floats(min_value=1e9, max_value=2e9, allow_nan=False),
+    receiver_now=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+)
+def test_envelope_round_trips_across_skewed_clocks(
+    request, ctx, sender_now, receiver_now
+):
+    payload = json.loads(
+        json.dumps(envelope_to_wire(request, ctx, now=sender_now))
+    )
+    clone_request, clone_ctx = envelope_from_wire(payload, now=receiver_now)
+    assert clone_request == request
+    # identity/outcome fields are exact; time fields are *rebased*, so
+    # compare ages and budgets, not absolute stamps
+    assert clone_ctx.request_id == ctx.request_id
+    assert clone_ctx.fingerprint == ctx.fingerprint
+    assert clone_ctx.attempt == ctx.attempt
+    assert clone_ctx.shard_hint == ctx.shard_hint
+    assert clone_ctx.cache_hit == ctx.cache_hit
+    assert clone_ctx.deduplicated == ctx.deduplicated
+    assert clone_ctx.tags == ctx.tags
+    assert clone_ctx.metadata == ctx.metadata
+    age = sender_now - ctx.submitted_at
+    assert receiver_now - clone_ctx.submitted_at == pytest.approx(
+        age, rel=1e-6, abs=1e-6
+    )
+    if ctx.deadline is None:
+        assert clone_ctx.deadline is None
+    else:
+        assert clone_ctx.remaining(receiver_now) == pytest.approx(
+            ctx.remaining(sender_now), rel=1e-6, abs=1e-6
+        )
+
+
+def test_malformed_envelope_raises_wire_error():
+    with pytest.raises(WireProtocolError):
+        envelope_from_wire({"request": {}}, now=0.0)
