@@ -1,0 +1,225 @@
+"""Chaos benchmark: resilience under a seeded shard blackout.
+
+Replays the zipf hot-key trace twice against a 4-shard thread-driver
+gateway — once fault-free, once with a :class:`repro.service.faults.FaultPlan`
+that blacks out the busiest shard for the middle half of the trace — and
+holds the resilience plane (retry/backoff, circuit breaking, re-routing;
+see ``docs/resilience.md``) to four acceptance properties:
+
+* **exactly-once settle** — every submitted request resolves exactly
+  once, fault plan or not; nothing is lost or double-answered;
+* **byte identity** — every answer served during chaos equals the
+  fault-free answer for the same request, byte for byte (retries and
+  re-routes must never change *what* is served, only *where from*);
+* **goodput floor** — during the blackout window, at least 50% of the
+  fault-free goodput survives (re-routing around the dead shard, not
+  erroring through it);
+* **determinism** — two runs of the same seeded plan produce the
+  identical resilience decision sequence
+  (:meth:`~repro.service.telemetry.AuditLedger.resilience_sequence`).
+
+``python bench_chaos.py [--quick]`` runs standalone (``--quick`` shrinks
+the trace for CI); under pytest the quick size is used.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import Counter
+
+from repro.errors import RateLimitExceededError, RequestRejectedError
+from repro.service import (
+    FaultPlan,
+    FaultSpec,
+    ServiceGateway,
+    SyntheticEstimator,
+    Telemetry,
+    default_resilience,
+    generate_traffic,
+)
+
+from _common import emit
+
+NUM_SHARDS = 4
+#: simulated per-estimate cost; nonzero so retries/hedges have a window
+WORK_SECONDS = 0.001
+GOODPUT_FLOOR = 0.5
+
+
+def _make_gateway(fault_plan=None, telemetry=None):
+    return ServiceGateway(
+        num_shards=NUM_SHARDS,
+        estimator_factory=lambda: SyntheticEstimator(
+            work_seconds=WORK_SECONDS
+        ),
+        max_queue_depth=256,
+        telemetry=telemetry,
+        resilience=default_resilience(),
+        fault_plan=fault_plan,
+    )
+
+
+def plan_blackout(trace, seed: int) -> FaultPlan:
+    """Black out the shard that takes the most traffic mid-trace.
+
+    The window covers the middle half of the submission-index stream;
+    the victim is whichever shard hash routing sends the most in-window
+    requests to (probed on a throwaway gateway — routing is a pure
+    function of the fingerprint and shard count), so the blackout is
+    guaranteed to collide with real traffic.
+    """
+    lo, hi = len(trace) // 4, len(trace) // 4 + len(trace) // 2
+    ordered = [request for wave in trace.waves() for request in wave]
+    with _make_gateway() as probe:
+        routed = [
+            probe.shard_for(req.workload, req.device) for req in ordered
+        ]
+    victim = Counter(routed[lo:hi]).most_common(1)[0][0]
+    return FaultPlan(
+        specs=(
+            FaultSpec(
+                kind="shard_blackout", start=lo, stop=hi, shard=victim
+            ),
+        ),
+        seed=seed,
+    )
+
+
+def run_once(trace, fault_plan=None) -> dict:
+    """Replay wave by wave, keeping the outcome of every trace index.
+
+    Mirrors :func:`repro.service.traffic.replay` (submit a wave, join
+    it, next wave) but records per-index outcomes so the identity and
+    goodput checks can compare runs request by request.
+    """
+    telemetry = Telemetry()
+    outcomes: dict[int, tuple] = {}
+    with _make_gateway(fault_plan, telemetry) as gateway:
+        index = 0
+        for wave in trace.waves():
+            pending = []
+            for request in wave:
+                try:
+                    future = gateway.submit(request.workload, request.device)
+                except (RateLimitExceededError, RequestRejectedError) as err:
+                    outcomes[index] = ("shed", type(err).__name__)
+                else:
+                    pending.append((index, future))
+                index += 1
+            for request_index, future in pending:
+                try:
+                    result = future.result(timeout=30.0)
+                except (RateLimitExceededError, RequestRejectedError) as err:
+                    outcomes[request_index] = ("shed", type(err).__name__)
+                except Exception as err:  # noqa: BLE001 - outcome capture
+                    outcomes[request_index] = ("error", type(err).__name__)
+                else:
+                    outcomes[request_index] = (
+                        "answered",
+                        (result.peak_bytes, json.dumps(result.detail)),
+                    )
+        stats = gateway.stats()
+    return {
+        "outcomes": outcomes,
+        "stats": stats,
+        "sequence": telemetry.ledger.resilience_sequence(),
+    }
+
+
+def _answered_in(outcomes, lo: int, hi: int) -> int:
+    return sum(
+        1
+        for index, (status, _) in outcomes.items()
+        if lo <= index < hi and status == "answered"
+    )
+
+
+def run_chaos_bench(num_requests: int = 240, seed: int = 0) -> dict:
+    trace = generate_traffic("zipf", num_requests, seed=seed)
+    plan = plan_blackout(trace, seed)
+    blackout = plan.specs[0]
+
+    baseline = run_once(trace)
+    chaotic = run_once(trace, plan)
+    repeat = run_once(trace, plan)
+
+    # --- exactly-once settle: nothing lost, nothing double-counted ----
+    for name, run in (("baseline", baseline), ("chaos", chaotic)):
+        assert len(run["outcomes"]) == len(trace), (
+            f"{name}: {len(run['outcomes'])} outcomes for "
+            f"{len(trace)} submissions — a future was lost"
+        )
+
+    # --- byte identity: chaos never changes what is served ------------
+    mismatched = [
+        index
+        for index, (status, payload) in chaotic["outcomes"].items()
+        if status == "answered"
+        and baseline["outcomes"][index] != ("answered", payload)
+    ]
+    assert not mismatched, (
+        f"answers diverged from fault-free run at indices {mismatched[:5]}"
+    )
+
+    # --- goodput floor inside the blackout window ---------------------
+    base_goodput = _answered_in(
+        baseline["outcomes"], blackout.start, blackout.stop
+    )
+    chaos_goodput = _answered_in(
+        chaotic["outcomes"], blackout.start, blackout.stop
+    )
+    assert base_goodput > 0, "blackout window saw no baseline traffic"
+    ratio = chaos_goodput / base_goodput
+    assert ratio >= GOODPUT_FLOOR, (
+        f"goodput during blackout {chaos_goodput}/{base_goodput} "
+        f"({ratio:.2f}) fell below the {GOODPUT_FLOOR:.0%} floor"
+    )
+
+    # --- determinism: same seed, same decision sequence ---------------
+    assert chaotic["sequence"], "seeded blackout produced no decisions"
+    assert chaotic["sequence"] == repeat["sequence"], (
+        "resilience decision sequence diverged across same-seed runs"
+    )
+
+    faults = chaotic["stats"]["gateway"]["faults"]
+    resilience = chaotic["stats"]["gateway"]["resilience"]
+    return {
+        "num_requests": num_requests,
+        "num_shards": NUM_SHARDS,
+        "blackout": blackout.as_dict(),
+        "baseline_answered": _answered_in(
+            baseline["outcomes"], 0, len(trace)
+        ),
+        "chaos_answered": _answered_in(chaotic["outcomes"], 0, len(trace)),
+        "window_goodput": {
+            "baseline": base_goodput,
+            "chaos": chaos_goodput,
+            "ratio": ratio,
+        },
+        "faults_injected": faults["injected"],
+        "retries": resilience["retries"],
+        "reroutes": resilience["reroutes"],
+        "breaker_opens": resilience["breaker_opens"],
+        "decision_events": len(chaotic["sequence"]),
+        "deterministic": True,
+    }
+
+
+def _check(report: dict) -> None:
+    assert report["deterministic"]
+    assert report["faults_injected"].get("shard_blackout", 0) > 0
+    assert report["window_goodput"]["ratio"] >= GOODPUT_FLOOR
+
+
+def test_chaos_blackout(capsys):
+    report = run_chaos_bench(num_requests=96)
+    emit("chaos_blackout", json.dumps(report, indent=2), capsys)
+    _check(report)
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv[1:]
+    bench_report = run_chaos_bench(num_requests=96 if quick else 240)
+    _check(bench_report)
+    emit("chaos_blackout", json.dumps(bench_report, indent=2))

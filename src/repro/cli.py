@@ -284,6 +284,17 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
             XMemEstimator, iterations=args.iterations, curve=False
         )
     policy = make_policy(policy_name, args.shards, seed=args.seed)
+    # chaos mode: a seeded fault plan breaks things on schedule while the
+    # default resilience policy (retries + per-shard breakers) absorbs it
+    resilience = None
+    fault_plan = None
+    if getattr(args, "chaos", None):
+        from .service import chaos_plan, default_resilience
+
+        fault_plan = chaos_plan(
+            args.chaos, len(trace), args.shards, seed=args.seed
+        )
+        resilience = default_resilience()
     if driver == "processes":
         with ProcServiceGateway(
             num_shards=args.shards,
@@ -292,6 +303,8 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
             max_queue_depth=args.max_queue_depth,
             pool_workers=args.pool_workers,
             telemetry=telemetry,
+            resilience=resilience,
+            fault_plan=fault_plan,
         ) as gateway:
             return replay(trace, gateway)
     if driver == "asyncio":
@@ -305,6 +318,8 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
                 max_queue_depth=args.max_queue_depth,
                 max_workers_per_shard=args.workers_per_shard,
                 telemetry=telemetry,
+                resilience=resilience,
+                fault_plan=fault_plan,
             )
             try:
                 return await replay_async(trace, gateway)
@@ -333,10 +348,16 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
             max_queue_depth=args.max_queue_depth,
             max_workers_per_shard=args.workers_per_shard,
             telemetry=telemetry,
+            resilience=resilience,
+            fault_plan=fault_plan,
         )
         with TcpServerThread(gateway_factory) as server:
             host, port = server.address
-            with TcpServiceClient(host, port) as client:
+            # under chaos the server aborts connections on schedule; the
+            # client must re-dial to keep driving the rest of the trace
+            with TcpServiceClient(
+                host, port, reconnect=fault_plan is not None
+            ) as client:
                 return replay(trace, client)
     with ServiceGateway(
         num_shards=args.shards,
@@ -345,6 +366,8 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
         max_queue_depth=args.max_queue_depth,
         max_workers_per_shard=args.workers_per_shard,
         telemetry=telemetry,
+        resilience=resilience,
+        fault_plan=fault_plan,
     ) as gateway:
         return replay(trace, gateway)
 
@@ -372,6 +395,21 @@ def _print_loadtest_report(trace, args, report) -> None:
     p95 = aggregate["latency_seconds"]["p95"]
     if p95 is not None:
         print(f"latency p95     : {p95 * 1e3:.2f} ms")
+    faults = gateway_stats.get("faults")
+    if faults:
+        print(
+            f"faults injected : {faults['injected']} "
+            f"(seed {faults['seed']}, {faults['planned']} planned)"
+        )
+    resilience = gateway_stats.get("resilience")
+    if resilience:
+        print(
+            f"resilience      : retries {resilience['retries']}  "
+            f"reroutes {resilience['reroutes']}  "
+            f"breaker opens {resilience['breaker_opens']}  "
+            f"shed on drain {resilience['shed_on_drain']}"
+        )
+        print(f"breaker states  : {resilience['breaker_states']}")
 
 
 def _print_loadtest_comparison(runs) -> None:
@@ -416,6 +454,14 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     scenarios = args.scenario or ["zipf"]
     policies = args.policy or ["hash"]
     drivers = args.driver or ["threads"]
+    if args.chaos and getattr(args, "connect", None):
+        print(
+            "error: --chaos configures the gateway at construction time "
+            "and cannot be applied to an already-running server "
+            "(--connect)",
+            file=sys.stderr,
+        )
+        return 2
     capture = args.report or args.spans_out or args.ledger_out
     runs = []
     for scenario in scenarios:
@@ -633,11 +679,17 @@ def build_parser() -> argparse.ArgumentParser:
         "loadtest",
         help="replay a deterministic traffic scenario at a sharded gateway",
     )
-    from .service import POLICY_NAMES, SCENARIO_NAMES
+    from .service import CHAOS_SCENARIOS, POLICY_NAMES, SCENARIO_NAMES
 
     loadtest.add_argument(
         "--scenario", choices=SCENARIO_NAMES, action="append", default=None,
         help="traffic shape, repeatable (default zipf; see docs/service.md)",
+    )
+    loadtest.add_argument(
+        "--chaos", choices=CHAOS_SCENARIOS, default=None,
+        help="inject a seeded fault scenario while the trace replays, "
+        "with the default resilience policy (retries + per-shard "
+        "circuit breakers) absorbing it; see docs/resilience.md",
     )
     loadtest.add_argument("--requests", type=int, default=200)
     loadtest.add_argument(

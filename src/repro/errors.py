@@ -133,5 +133,67 @@ class DeadlineExceededError(RequestRejectedError):
         )
 
 
+class InjectedFaultError(ServiceError):
+    """A planned fault from a :class:`~repro.service.faults.FaultPlan` fired.
+
+    Deterministic chaos: the fault-injection plane raises this (or a
+    subclass) at planned request indices so resilience policies can be
+    exercised reproducibly.  Carries the fault ``kind`` so retry
+    classification and the audit ledger can name the cause.
+    """
+
+    def __init__(self, kind: str, message: str | None = None):
+        self.kind = kind
+        super().__init__(message or f"injected fault: {kind}")
+
+
+class ShardBlackoutError(InjectedFaultError):
+    """A shard is inside a planned blackout window and refuses all work.
+
+    Raised by the injection plane for every request dispatched to the
+    blacked-out shard while the window is active.  Retryable: the
+    resilience layer re-routes around it once the shard's circuit opens.
+    """
+
+    def __init__(self, shard_index: int):
+        self.shard_index = shard_index
+        super().__init__(
+            "shard_blackout", f"shard {shard_index} is blacked out"
+        )
+
+
+class CircuitOpenError(RateLimitExceededError):
+    """Every candidate shard's circuit breaker is open; request shed.
+
+    A subclass of :class:`RateLimitExceededError` so every existing
+    classification site (gateway shed accounting, traffic replays, wire
+    error mapping) treats an open circuit as the load-shedding event it
+    is, while callers who care can still catch the narrower type.
+    """
+
+    def __init__(self, reason: str, retry_after_seconds: float = 0.05):
+        self.reason = reason
+        RateLimitExceededError.__init__(self, retry_after_seconds)
+        # Overwrite the generic rate-limit message with the breaker cause.
+        self.args = (f"circuit open: {reason}",)
+
+
+class ConnectionLostError(ServiceClosedError):
+    """A transport connection died with requests still in flight.
+
+    Raised by :class:`~repro.service.tcp.TcpServiceClient` (and its async
+    sibling) instead of a raw ``OSError`` when the server drops the
+    connection mid-call.  Carries the message ids that were pending so
+    callers know exactly which requests never received a response.
+    """
+
+    def __init__(self, pending_request_ids: tuple[int, ...], detail: str):
+        self.pending_request_ids = tuple(pending_request_ids)
+        super().__init__(
+            f"connection lost with {len(self.pending_request_ids)} "
+            f"request(s) in flight: {detail}"
+        )
+
+
 class ValidationError(ReproError):
     """The two-round validation protocol was driven with inconsistent inputs."""

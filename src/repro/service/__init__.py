@@ -33,6 +33,24 @@ from .core import (
     aggregate_shard_stats,
 )
 from .engine import EstimationService, default_middlewares
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    apply_fault_directive,
+)
+from .resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    HedgePolicy,
+    ResilienceCore,
+    ResiliencePolicy,
+    RetryBudget,
+    RetryPolicy,
+    default_resilience,
+    is_transient,
+)
 from .fingerprint import (
     FINGERPRINT_VERSION,
     fingerprint_request,
@@ -65,11 +83,13 @@ from .telemetry import (
     render_trend_summary,
 )
 from .traffic import (
+    CHAOS_SCENARIOS,
     SCENARIO_NAMES,
     ReplayReport,
     SyntheticEstimator,
     TrafficRequest,
     TrafficTrace,
+    chaos_plan,
     generate_traffic,
     replay,
     workload_catalog,
@@ -81,6 +101,8 @@ from .aio import (
     replay_async,
 )
 from .procpool import (
+    MAX_WORKER_REDISPATCHES,
+    PoolSupervisor,
     ProcEstimationService,
     ProcServiceGateway,
     default_estimator_factory,
@@ -116,25 +138,35 @@ __all__ = [
     "AsyncTcpServiceClient",
     "AuditLedger",
     "AuditLogMiddleware",
+    "BreakerConfig",
     "BroadcastWarmupRouting",
+    "CHAOS_SCENARIOS",
     "CacheMiddleware",
     "CacheStats",
+    "CircuitBreaker",
     "ConsistentHashRouting",
     "DeadlineMiddleware",
     "EstimateCache",
     "EstimationService",
+    "FAULT_KINDS",
     "FINGERPRINT_VERSION",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "FrameDecoder",
     "GatewayCore",
+    "HedgePolicy",
     "InMemorySpanExporter",
     "JsonLinesSpanExporter",
     "LeastLoadedRouting",
     "LedgerEvent",
     "MAX_FRAME_BYTES",
+    "MAX_WORKER_REDISPATCHES",
     "MiddlewareChain",
     "NullLock",
     "NullSpanExporter",
     "POLICY_NAMES",
+    "PoolSupervisor",
     "ProcEstimationService",
     "ProcServiceGateway",
     "RandomRouting",
@@ -142,6 +174,10 @@ __all__ = [
     "RemoteServiceError",
     "ReplayReport",
     "RequestContext",
+    "ResilienceCore",
+    "ResiliencePolicy",
+    "RetryBudget",
+    "RetryPolicy",
     "RoutingPolicy",
     "SCENARIO_NAMES",
     "ServiceCore",
@@ -165,14 +201,18 @@ __all__ = [
     "ValidationMiddleware",
     "WireProtocolError",
     "aggregate_shard_stats",
+    "apply_fault_directive",
     "canonical_trace_trees",
+    "chaos_plan",
     "default_estimator_factory",
     "default_middlewares",
+    "default_resilience",
     "encode_frame",
     "estimate_many",
     "estimate_many_async",
     "fingerprint_request",
     "generate_traffic",
+    "is_transient",
     "latency_histogram",
     "make_policy",
     "percentile",

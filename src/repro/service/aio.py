@@ -45,9 +45,11 @@ from typing import Callable, Optional, Sequence
 from ..core.base import Estimator
 from ..core.estimator import XMemEstimator
 from ..errors import (
+    CircuitOpenError,
     RateLimitExceededError,
     RequestRejectedError,
     ServiceClosedError,
+    ShardBlackoutError,
 )
 from ..trace.reader import Trace
 from ..workload import DeviceSpec, WorkloadConfig
@@ -64,6 +66,7 @@ from .core import (
     invoke_estimator,
 )
 from .engine import DEFAULT_MAX_WORKERS
+from .faults import FaultInjector, FaultPlan
 from .gateway import DEFAULT_MAX_QUEUE_DEPTH, DEFAULT_NUM_SHARDS
 from .metrics import ServiceMetrics
 from .middleware import (
@@ -71,6 +74,7 @@ from .middleware import (
     ServiceMiddleware,
     default_middlewares,
 )
+from .resilience import ResilienceCore, ResiliencePolicy, is_transient
 from .routing import ConsistentHashRouting, RoutingPolicy
 from .telemetry import ledger as ledger_events
 from .telemetry.spans import GATEWAY_SPAN
@@ -338,6 +342,64 @@ class AsyncEstimationService:
             future.set_result(result)
 
 
+class _AsyncResilientCall:
+    """Per-request attempt state for the async resilience plane.
+
+    The asyncio twin of ``gateway._ResilientCall`` minus the lock: every
+    transition runs on the event loop, which already serializes them.
+    ``outer`` is the gateway-owned future the caller awaits; attempts
+    (retries, hedges) come and go underneath it and it settles exactly
+    once.
+    """
+
+    __slots__ = (
+        "workload",
+        "device",
+        "trace",
+        "deadline",
+        "metadata",
+        "fingerprint",
+        "seq",
+        "index",
+        "attempt",
+        "outer",
+        "settled",
+        "inflight",
+        "hedged",
+        "retry_handle",
+        "hedge_handle",
+    )
+
+    def __init__(
+        self,
+        workload: WorkloadConfig,
+        device: DeviceSpec,
+        trace: Optional[Trace],
+        deadline: Optional[float],
+        metadata: Optional[dict],
+        fingerprint: str,
+        seq: int,
+        index: Optional[int],
+    ):
+        self.workload = workload
+        self.device = device
+        self.trace = trace
+        self.deadline = deadline
+        self.metadata = metadata
+        self.fingerprint = fingerprint
+        self.seq = seq
+        #: global fault-plan submission index (None without an injector)
+        self.index = index
+        self.attempt = 1
+        self.outer: Optional[asyncio.Future] = None
+        self.settled = False
+        #: attempts currently running (primary + hedge twin)
+        self.inflight = 0
+        self.hedged = False
+        self.retry_handle: Optional[asyncio.TimerHandle] = None
+        self.hedge_handle: Optional[asyncio.TimerHandle] = None
+
+
 class AsyncServiceGateway:
     """Routes estimation requests across N async service shards.
 
@@ -357,6 +419,8 @@ class AsyncServiceGateway:
         max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
         max_workers_per_shard: int = 2,
         telemetry=None,
+        resilience: Optional[ResiliencePolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if shards is None:
             if num_shards < 1:
@@ -373,6 +437,19 @@ class AsyncServiceGateway:
         elif not shards:
             raise ValueError("gateway needs at least one shard")
         self._shard_services = tuple(shards)
+        # resilience plane (PR 8): both optional; with neither set,
+        # submit() runs the exact pre-resilience code path.  No locks
+        # anywhere — the event loop serializes every decision.
+        self._resilience = (
+            ResilienceCore(len(self._shard_services), resilience)
+            if resilience is not None
+            else None
+        )
+        self._injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self._retry_handles: dict = {}
+        self._open_calls = 0
         self.core = GatewayCore(
             num_shards=len(self._shard_services),
             policy=(
@@ -403,18 +480,22 @@ class AsyncServiceGateway:
         cause: str,
         fingerprint: str,
         seq: Optional[int],
-        shard_index: int,
+        shard_index: Optional[int],
+        attributes: Optional[dict] = None,
     ) -> None:
         """Ledger one gateway-layer decision (no-op unledgered)."""
         if self.telemetry is None:
             return
+        attrs = {"layer": "gateway"}
+        if attributes:
+            attrs.update(attributes)
         self.telemetry.ledger.record(
             event,
             cause=cause,
             fingerprint=fingerprint,
             request_id=seq if seq is not None else 0,
             shard=shard_index,
-            attributes={"layer": "gateway"},
+            attributes=attrs,
         )
 
     def _close_span(self, span, status: str) -> None:
@@ -469,7 +550,16 @@ class AsyncServiceGateway:
         TCP transport uses them to carry rebased client deadlines and
         caller annotations); a telemetry span context is merged into
         ``metadata`` rather than replacing it.
+
+        With a :class:`~repro.service.resilience.ResiliencePolicy` or
+        :class:`~repro.service.faults.FaultPlan` configured, the future
+        returned is gateway-owned: attempts (retries, hedges) come and
+        go underneath it and it settles exactly once.
         """
+        if self._resilience is not None or self._injector is not None:
+            return self._submit_resilient(
+                workload, device, trace, deadline, metadata
+            )
         self.core.count_request()
         seq = self.core.requests
         fingerprint = self.fingerprint(workload, device)
@@ -528,14 +618,25 @@ class AsyncServiceGateway:
 
         Returns True when the fleet went idle within ``timeout`` (None =
         wait forever).  Idempotent; ``submit`` raises afterwards.
+
+        Under the resilience plane, requests parked in retry backoff
+        (e.g. against a blacked-out shard whose circuit is open) hold no
+        shard slot — they are settled immediately as shed with a typed
+        :class:`~repro.errors.CircuitOpenError` rather than waited for.
         """
         self.core.draining = True
-        if self.core.idle():
+        for state, handle in list(self._retry_handles.items()):
+            handle.cancel()
+            self._retry_handles.pop(state, None)
+            self._shed_parked_retry(state)
+        if self._gateway_idle():
+            self._sync_resilience()
             return True
         try:
             await asyncio.wait_for(self._went_idle.wait(), timeout)
         except asyncio.TimeoutError:
             return False
+        self._sync_resilience()
         return True
 
     async def aclose(self, wait: bool = True) -> None:
@@ -564,8 +665,13 @@ class AsyncServiceGateway:
         samples: list[float] = []
         for service in self._shard_services:
             samples.extend(service.metrics.latency_samples())
+        gateway = self.core.snapshot()
+        if self._resilience is not None:
+            gateway["resilience"] = self._resilience.snapshot()
+        if self._injector is not None:
+            gateway["faults"] = self._injector.snapshot()
         return {
-            "gateway": self.core.snapshot(),
+            "gateway": gateway,
             "aggregate": aggregate_shard_stats(shard_stats, samples),
             "shards": shard_stats,
         }
@@ -684,7 +790,404 @@ class AsyncServiceGateway:
         if self.core.settle(
             shard_index, rejected=rejected, throttled=throttled
         ):
+            if self._open_calls == 0:
+                # idle *and* every outer future settled: a wave boundary
+                # — apply deferred breaker outcomes (see resilience.py)
+                self._sync_resilience()
+                self._went_idle.set()
+
+    # ------------------------------------------------------------------
+    # resilience plane (retries, breakers, hedging, fault injection)
+    # ------------------------------------------------------------------
+    def _gateway_idle(self) -> bool:
+        return self.core.idle() and self._open_calls == 0
+
+    def _sync_resilience(self) -> None:
+        if self._resilience is None:
+            return
+        transitions = self._resilience.sync()
+        if transitions and self.telemetry is not None:
+            seq = self.core.requests
+            for shard, transition in transitions:
+                self._gateway_decision(
+                    ledger_events.BREAKER, transition, "", seq, shard
+                )
+
+    def _submit_resilient(
+        self,
+        workload: WorkloadConfig,
+        device: DeviceSpec,
+        trace: Optional[Trace],
+        deadline: Optional[float],
+        metadata: Optional[dict],
+    ) -> "asyncio.Future":
+        res = self._resilience
+        self.core.count_request()
+        seq = self.core.requests
+        if res is not None:
+            for shard, transition in res.tick():
+                self._gateway_decision(
+                    ledger_events.BREAKER, transition, "", seq, shard
+                )
+        fingerprint = self.fingerprint(workload, device)
+        primary, replicas = self.core.route(fingerprint)
+        if res is not None:
+            target, rerouted = res.choose_shard(primary)
+        else:
+            target, rerouted = primary, False
+        index = (
+            self._injector.next_index() if self._injector is not None else None
+        )
+        if target is None:
+            res.counters["shed_open_circuit"] += 1
+            self.core.shed += 1
+            self._gateway_decision(
+                ledger_events.SHED, "circuit_open", fingerprint, seq, primary
+            )
+            raise CircuitOpenError("every candidate shard's breaker is open")
+        if rerouted:
+            self._gateway_decision(
+                ledger_events.REROUTE, "circuit_open", fingerprint, seq, target
+            )
+        directive = None
+        if self._injector is not None:
+            directive = self._injector.directive_for(index, target)
+            if directive is not None:
+                self._gateway_decision(
+                    ledger_events.FAULT,
+                    directive["kind"],
+                    fingerprint,
+                    seq,
+                    target,
+                )
+        state = _AsyncResilientCall(
+            workload, device, trace, deadline, metadata, fingerprint, seq, index
+        )
+        state.outer = asyncio.get_running_loop().create_future()
+        self._open_calls += 1
+        self._went_idle.clear()
+        self._begin_attempt(state, target, directive, cause="route")
+        self._maybe_schedule_hedge(state, target)
+        for shard_index in replicas:
+            self._replicate(
+                shard_index, workload, device, trace, fingerprint, seq=seq
+            )
+        return state.outer
+
+    def _begin_attempt(
+        self,
+        state: "_AsyncResilientCall",
+        shard_index: int,
+        directive: Optional[dict],
+        cause: str,
+        is_hedge: bool = False,
+    ) -> None:
+        if state.settled:
+            return
+        state.inflight += 1
+        if directive is not None and directive.get("kind") == "shard_blackout":
+            # a blacked-out shard is *unreachable*: fail at the gateway
+            # without touching the shard (its cache included)
+            self._finish_attempt(
+                state,
+                shard_index,
+                is_hedge,
+                None,
+                ShardBlackoutError(shard_index),
+                slot_held=False,
+            )
+            return
+        service = self._shard_services[shard_index]
+        try:
+            self.core.admit(shard_index)
+        except (RateLimitExceededError, ServiceClosedError) as error:
+            shed_cause = (
+                "queue_full"
+                if isinstance(error, RateLimitExceededError)
+                else "closed"
+            )
+            self._gateway_decision(
+                ledger_events.SHED,
+                shed_cause,
+                state.fingerprint,
+                state.seq,
+                shard_index,
+            )
+            self._finish_attempt(
+                state, shard_index, is_hedge, None, error, slot_held=False
+            )
+            return
+        self._gateway_decision(
+            ledger_events.ADMIT,
+            cause,
+            state.fingerprint,
+            state.seq,
+            shard_index,
+            attributes=(
+                {"attempt": state.attempt} if state.attempt > 1 else None
+            ),
+        )
+        metadata = {**(state.metadata or {}), "attempt": state.attempt}
+        if directive is not None:
+            metadata["fault"] = directive
+        try:
+            future = service.submit(
+                state.workload,
+                state.device,
+                trace=state.trace,
+                fingerprint=state.fingerprint,
+                deadline=state.deadline,
+                metadata=metadata,
+            )
+        except RateLimitExceededError as error:
+            self._finish_attempt(
+                state,
+                shard_index,
+                is_hedge,
+                None,
+                error,
+                slot_held=True,
+                throttled=True,
+            )
+            return
+        except RequestRejectedError as error:
+            self._finish_attempt(
+                state,
+                shard_index,
+                is_hedge,
+                None,
+                error,
+                slot_held=True,
+                rejected=True,
+            )
+            return
+        except BaseException as error:
+            self._finish_attempt(
+                state, shard_index, is_hedge, None, error, slot_held=True
+            )
+            return
+        if future.done():
+            self._resilient_dispatched(state, shard_index, is_hedge, future)
+        else:
+            future.add_done_callback(
+                lambda f, index=shard_index, hedge=is_hedge: (
+                    self._resilient_dispatched(state, index, hedge, f)
+                )
+            )
+
+    def _resilient_dispatched(
+        self,
+        state: "_AsyncResilientCall",
+        shard_index: int,
+        is_hedge: bool,
+        future: "asyncio.Future",
+    ) -> None:
+        if future.cancelled():
+            result, error = None, asyncio.CancelledError()
+        else:
+            error = future.exception()
+            result = future.result() if error is None else None
+        self._finish_attempt(
+            state, shard_index, is_hedge, result, error, slot_held=True
+        )
+
+    def _finish_attempt(
+        self,
+        state: "_AsyncResilientCall",
+        shard_index: int,
+        is_hedge: bool,
+        result,
+        error: Optional[BaseException],
+        slot_held: bool,
+        rejected: bool = False,
+        throttled: bool = False,
+    ) -> None:
+        res = self._resilience
+        # breaker accounting before the slot settles: every outcome of a
+        # wave is buffered by the time the idle-edge sync runs
+        if res is not None and (error is None or is_transient(error)):
+            res.record_outcome(shard_index, state.seq, error is None)
+        if slot_held:
+            self._settle(shard_index, rejected=rejected, throttled=throttled)
+        self._attempt_outcome(state, shard_index, is_hedge, result, error)
+
+    def _attempt_outcome(
+        self,
+        state: "_AsyncResilientCall",
+        shard_index: int,
+        is_hedge: bool,
+        result,
+        error: Optional[BaseException],
+    ) -> None:
+        res = self._resilience
+        state.inflight -= 1
+        if state.settled:
+            if state.hedged:
+                if res is not None:
+                    res.counters["hedge_losers"] += 1
+                self._gateway_decision(
+                    ledger_events.HEDGE,
+                    "loser",
+                    state.fingerprint,
+                    state.seq,
+                    shard_index,
+                )
+            return
+        if error is None:
+            state.settled = True
+            self._cancel_timers(state)
+            if is_hedge:
+                res.counters["hedge_wins"] += 1
+                self._gateway_decision(
+                    ledger_events.HEDGE,
+                    "won",
+                    state.fingerprint,
+                    state.seq,
+                    shard_index,
+                )
+            self._settle_outer(state, result=result)
+            return
+        retry_target = None
+        if res is not None and not is_hedge and not self.core.draining:
+            if res.should_retry(error, state.attempt):
+                candidate = res.retry_target(shard_index, state.attempt + 1)
+                if candidate is not None:
+                    res.spend_retry()
+                    retry_target = candidate
+        if retry_target is not None:
+            state.attempt += 1
+            delay = res.policy.retry.delay(state.fingerprint, state.attempt)
+            self._gateway_decision(
+                ledger_events.RETRY,
+                type(error).__name__,
+                state.fingerprint,
+                state.seq,
+                retry_target,
+                attributes={
+                    "attempt": state.attempt,
+                    "delay": round(delay, 6),
+                },
+            )
+            next_directive = None
+            if self._injector is not None:
+                # a retry routed back into a blackout window still fails
+                next_directive = self._injector.peek_window(
+                    state.index, retry_target
+                )
+            handle = asyncio.get_running_loop().call_later(
+                delay, self._fire_retry, state, retry_target, next_directive
+            )
+            state.retry_handle = handle
+            self._retry_handles[state] = handle
+            return
+        if state.inflight > 0:
+            return  # a hedge twin is still running; let it decide
+        state.settled = True
+        self._cancel_timers(state)
+        self._settle_outer(state, error=error)
+
+    def _fire_retry(
+        self,
+        state: "_AsyncResilientCall",
+        target: int,
+        directive: Optional[dict],
+    ) -> None:
+        self._retry_handles.pop(state, None)
+        state.retry_handle = None
+        if self.core.draining:
+            self._shed_parked_retry(state)
+            return
+        self._begin_attempt(state, target, directive, cause="retry")
+
+    def _shed_parked_retry(self, state: "_AsyncResilientCall") -> None:
+        """Settle a request parked in retry backoff as shed (drain path)."""
+        if state.settled:
+            return
+        state.settled = True
+        self.core.shed += 1
+        if self._resilience is not None:
+            self._resilience.counters["shed_on_drain"] += 1
+        self._gateway_decision(
+            ledger_events.SHED,
+            "drained_during_backoff",
+            state.fingerprint,
+            state.seq,
+            None,
+        )
+        self._settle_outer(
+            state,
+            error=CircuitOpenError("gateway drained during retry backoff"),
+        )
+
+    def _maybe_schedule_hedge(
+        self, state: "_AsyncResilientCall", primary: int
+    ) -> None:
+        res = self._resilience
+        if res is None or res.policy.hedge is None:
+            return
+        samples: list[float] = []
+        for service in self._shard_services:
+            samples.extend(service.metrics.latency_samples())
+        threshold = res.policy.hedge.threshold(samples)
+        state.hedge_handle = asyncio.get_running_loop().call_later(
+            threshold, self._fire_hedge, state, primary
+        )
+
+    def _fire_hedge(self, state: "_AsyncResilientCall", primary: int) -> None:
+        res = self._resilience
+        state.hedge_handle = None
+        if (
+            state.settled
+            or state.inflight == 0
+            or state.hedged
+            or self.core.draining
+        ):
+            return
+        target = res.hedge_target(primary)
+        if target is None:
+            return
+        state.hedged = True
+        res.counters["hedges"] += 1
+        self._gateway_decision(
+            ledger_events.HEDGE,
+            "latency_threshold",
+            state.fingerprint,
+            state.seq,
+            target,
+        )
+        directive = None
+        if self._injector is not None:
+            directive = self._injector.peek_window(state.index, target)
+        self._begin_attempt(
+            state, target, directive, cause="hedge", is_hedge=True
+        )
+
+    def _cancel_timers(self, state: "_AsyncResilientCall") -> None:
+        handle = self._retry_handles.pop(state, None)
+        if handle is not None:
+            handle.cancel()
+        state.retry_handle = None
+        if state.hedge_handle is not None:
+            state.hedge_handle.cancel()
+            state.hedge_handle = None
+
+    def _settle_outer(
+        self,
+        state: "_AsyncResilientCall",
+        result=None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        # bookkeeping first so the wave-boundary sync runs before any
+        # awaiter of the outer future can submit the next wave
+        self._open_calls -= 1
+        if self._open_calls == 0 and self.core.idle():
+            self._sync_resilience()
             self._went_idle.set()
+        if not state.outer.done():
+            if error is not None:
+                state.outer.set_exception(error)
+            else:
+                state.outer.set_result(result)
 
 
 # ----------------------------------------------------------------------

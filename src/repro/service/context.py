@@ -113,7 +113,10 @@ class RequestContext:
     fingerprint: str = ""
     #: absolute clock value after which the request is not worth serving
     deadline: Optional[float] = None
-    #: 1 on first submission; drivers bump it on retries/failover
+    #: 1 on first submission; >1 when the resilience plane re-dispatched
+    #: this request (gateway retries stamp it via ``metadata["attempt"]``,
+    #: procpool worker-death recovery bumps it in place) — ledger events
+    #: for attempt > 1 carry it as provenance
     attempt: int = 1
     #: the shard the router picked (None outside a gateway)
     shard_hint: Optional[int] = None

@@ -40,6 +40,7 @@ from ..trace.reader import Trace
 from ..workload import DeviceSpec, WorkloadConfig
 from .cache import EstimateCache
 from .context import RequestContext, ServiceRequest
+from .faults import apply_fault_directive
 from .fingerprint import fingerprint_request
 from .metrics import ServiceMetrics, latency_histogram, percentile
 from .middleware import CacheMiddleware, MiddlewareChain, ServiceMiddleware
@@ -71,8 +72,15 @@ def invoke_estimator(estimator, request: ServiceRequest, accepts_trace: bool):
     """Run the wrapped estimator for one request (the CPU-bound step).
 
     Both drivers call this from their execution substrate — a worker
-    thread or an executor the event loop offloads to.
+    thread or an executor the event loop offloads to.  This is also the
+    fault plane's application point (PR 8): a ``metadata["fault"]``
+    directive stamped by the gateway fires here, on every substrate —
+    including inside procpool workers, since the metadata bag rides the
+    pickled request across the process boundary.
     """
+    directive = request.metadata.get("fault")
+    if directive:
+        apply_fault_directive(directive)
     if request.trace is not None and accepts_trace:
         return estimator.estimate(
             request.workload, request.device, trace=request.trace
@@ -189,6 +197,10 @@ class ServiceCore:
         """Ledger one service-layer policy decision (no-op unledgered)."""
         if self.ledger is None:
             return
+        if ctx.attempt > 1:
+            # retries/failovers carry their attempt number into the
+            # ledger so provenance distinguishes re-dispatched work
+            attributes = {**(attributes or {}), "attempt": ctx.attempt}
         self.ledger.record(
             event,
             cause=cause,
@@ -224,6 +236,11 @@ class ServiceCore:
             deadline=deadline,
             metadata=dict(metadata) if metadata else {},
         )
+        if metadata and "attempt" in metadata:
+            # the resilience plane stamps the attempt number into the
+            # metadata bag (it survives every substrate boundary); the
+            # context carries it from here on
+            ctx.attempt = int(metadata["attempt"])
         if self.tracer is not None:
             telemetry = RequestTelemetry.begin(
                 self.tracer,

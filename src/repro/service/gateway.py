@@ -35,17 +35,22 @@ see both the fleet and its skew.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future
+from concurrent.futures import CancelledError, Future
 from typing import Callable, Optional, Sequence
 
 from ..errors import (
+    CircuitOpenError,
     RateLimitExceededError,
     RequestRejectedError,
+    ServiceClosedError,
+    ShardBlackoutError,
 )
 from ..trace.reader import Trace
 from ..workload import DeviceSpec, WorkloadConfig
 from .core import GatewayCore, aggregate_shard_stats
 from .engine import EstimationService
+from .faults import FaultInjector, FaultPlan
+from .resilience import ResilienceCore, ResiliencePolicy, is_transient
 from .telemetry import ledger as ledger_events
 from .telemetry.spans import GATEWAY_SPAN
 from .routing import (
@@ -79,6 +84,49 @@ DEFAULT_NUM_SHARDS = 4
 DEFAULT_MAX_QUEUE_DEPTH = 64
 
 
+class _ResilientCall:
+    """Gateway-side state for one request under the resilience plane.
+
+    The caller holds the *outer* future; attempts (first dispatch,
+    retries, hedges) come and go underneath it.  ``lock`` guards the
+    settled/inflight bookkeeping — lock order is always
+    ``state.lock`` -> gateway lock, never the reverse.
+    """
+
+    __slots__ = (
+        "workload",
+        "device",
+        "trace",
+        "fingerprint",
+        "seq",
+        "index",
+        "attempt",
+        "outer",
+        "lock",
+        "settled",
+        "inflight",
+        "hedged",
+        "retry_timer",
+        "hedge_timer",
+    )
+
+    def __init__(self, workload, device, trace, fingerprint, seq, index):
+        self.workload = workload
+        self.device = device
+        self.trace = trace
+        self.fingerprint = fingerprint
+        self.seq = seq
+        self.index = index
+        self.attempt = 1
+        self.outer: Future = Future()
+        self.lock = threading.Lock()
+        self.settled = False
+        self.inflight = 0
+        self.hedged = False
+        self.retry_timer: Optional[threading.Timer] = None
+        self.hedge_timer: Optional[threading.Timer] = None
+
+
 class SyncGatewayShell:
     """The thread-substrate gateway shell, shared by the sync drivers.
 
@@ -102,8 +150,22 @@ class SyncGatewayShell:
         policy: Optional[RoutingPolicy],
         max_queue_depth: int,
         telemetry=None,
+        resilience: Optional[ResiliencePolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self._shard_services = tuple(shards)
+        # resilience plane (PR 8): both optional, and when both are None
+        # submit() runs the exact pre-resilience code path
+        self._resilience = (
+            ResilienceCore(len(self._shard_services), resilience)
+            if resilience is not None
+            else None
+        )
+        self._injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self._retry_states: dict[_ResilientCall, threading.Timer] = {}
+        self._open_calls = 0
         self.core = GatewayCore(
             num_shards=len(self._shard_services),
             policy=(
@@ -138,18 +200,22 @@ class SyncGatewayShell:
         cause: str,
         fingerprint: str,
         seq: Optional[int],
-        shard_index: int,
+        shard_index: Optional[int],
+        attributes: Optional[dict] = None,
     ) -> None:
         """Ledger one gateway-layer decision (no-op unledgered)."""
         if self.telemetry is None:
             return
+        attrs = {"layer": "gateway"}
+        if attributes:
+            attrs.update(attributes)
         self.telemetry.ledger.record(
             event,
             cause=cause,
             fingerprint=fingerprint,
             request_id=seq if seq is not None else 0,
             shard=shard_index,
-            attributes={"layer": "gateway"},
+            attributes=attrs,
         )
 
     # -- substrate hooks ----------------------------------------------
@@ -205,7 +271,15 @@ class SyncGatewayShell:
         :class:`RateLimitExceededError` when the target shard's queue is
         full (shed — nothing was enqueued), and passes through the shard
         middleware's own synchronous rejections.
+
+        With a :class:`~repro.service.resilience.ResiliencePolicy` or
+        :class:`~repro.service.faults.FaultPlan` configured, the future
+        returned is gateway-owned: attempts (retries, hedges) come and
+        go underneath it and it settles exactly once with the final
+        result or a typed error.
         """
+        if self._resilience is not None or self._injector is not None:
+            return self._submit_resilient(workload, device, trace)
         fingerprint = self.fingerprint(workload, device)
         with self._lock:
             self.core.count_request()
@@ -268,10 +342,28 @@ class SyncGatewayShell:
 
         Returns True when the fleet went idle within ``timeout`` (None =
         wait forever).  Idempotent; ``submit`` raises afterwards.
+
+        Under the resilience plane, requests parked in retry backoff
+        (e.g. against a blacked-out shard whose circuit is open) hold no
+        shard slot — they are settled immediately as shed with a typed
+        :class:`~repro.errors.CircuitOpenError` rather than waited for,
+        so drain never blocks on a circuit that may stay open forever.
         """
         with self._idle:
             self.core.draining = True
-            return self._idle.wait_for(self.core.idle, timeout=timeout)
+            parked = list(self._retry_states.items())
+            self._retry_states.clear()
+        for state, timer in parked:
+            timer.cancel()
+            self._shed_parked_retry(state)
+        with self._idle:
+            done = self._idle.wait_for(
+                lambda: self.core.idle() and self._open_calls == 0,
+                timeout=timeout,
+            )
+            if done:
+                self._sync_resilience_locked()
+            return done
 
     def close(self, wait: bool = True) -> None:
         """Drain (when ``wait``), shut every shard down, then release
@@ -299,6 +391,10 @@ class SyncGatewayShell:
             samples.extend(service.metrics.latency_samples())
         with self._lock:
             gateway = self.core.snapshot()
+            if self._resilience is not None:
+                gateway["resilience"] = self._resilience.snapshot()
+            if self._injector is not None:
+                gateway["faults"] = self._injector.snapshot()
         gateway.update(self._snapshot_extra())
         return {
             "gateway": gateway,
@@ -409,7 +505,454 @@ class SyncGatewayShell:
             if self.core.settle(
                 shard_index, rejected=rejected, throttled=throttled
             ):
+                if self._open_calls == 0:
+                    # idle *and* every outer future settled: a wave
+                    # boundary — apply deferred breaker outcomes so
+                    # transitions depend only on the request stream
+                    self._sync_resilience_locked()
                 self._idle.notify_all()
+
+    # ------------------------------------------------------------------
+    # resilience plane (retries, breakers, hedging, fault injection)
+    # ------------------------------------------------------------------
+    def _sync_resilience_locked(self) -> None:
+        """Apply deferred breaker outcomes; caller holds the lock."""
+        if self._resilience is None:
+            return
+        transitions = self._resilience.sync()
+        if transitions and self.telemetry is not None:
+            seq = self.core.requests
+            for shard, transition in transitions:
+                self.telemetry.ledger.record(
+                    ledger_events.BREAKER,
+                    cause=transition,
+                    fingerprint="",
+                    request_id=seq,
+                    shard=shard,
+                    attributes={"layer": "gateway"},
+                )
+
+    def _submit_resilient(
+        self,
+        workload: WorkloadConfig,
+        device: DeviceSpec,
+        trace: Optional[Trace],
+    ) -> Future:
+        res = self._resilience
+        fingerprint = self.fingerprint(workload, device)
+        with self._lock:
+            self.core.count_request()
+            seq = self.core.requests
+            transitions = res.tick() if res is not None else []
+            primary, replicas = self.core.route(fingerprint)
+            if res is not None:
+                target, rerouted = res.choose_shard(primary)
+            else:
+                target, rerouted = primary, False
+            index = (
+                self._injector.next_index()
+                if self._injector is not None
+                else None
+            )
+            if target is None:
+                res.counters["shed_open_circuit"] += 1
+                self.core.shed += 1
+        for shard, transition in transitions:
+            self._gateway_decision(
+                ledger_events.BREAKER, transition, "", seq, shard
+            )
+        if target is None:
+            self._gateway_decision(
+                ledger_events.SHED, "circuit_open", fingerprint, seq, primary
+            )
+            raise CircuitOpenError("every candidate shard's breaker is open")
+        if rerouted:
+            self._gateway_decision(
+                ledger_events.REROUTE, "circuit_open", fingerprint, seq, target
+            )
+        directive = None
+        if self._injector is not None:
+            directive = self._injector.directive_for(index, target)
+            if directive is not None:
+                self._gateway_decision(
+                    ledger_events.FAULT,
+                    directive["kind"],
+                    fingerprint,
+                    seq,
+                    target,
+                )
+        state = _ResilientCall(workload, device, trace, fingerprint, seq, index)
+        with self._lock:
+            self._open_calls += 1
+        self._begin_attempt(state, target, directive, cause="route")
+        self._maybe_schedule_hedge(state, target)
+        for shard_index in replicas:
+            self._replicate(
+                shard_index, workload, device, trace, fingerprint, seq=seq
+            )
+        return state.outer
+
+    def _begin_attempt(
+        self,
+        state: _ResilientCall,
+        shard_index: int,
+        directive: Optional[dict],
+        cause: str,
+        is_hedge: bool = False,
+    ) -> None:
+        with state.lock:
+            if state.settled:
+                return  # drained/settled while this attempt was scheduled
+            # symmetric with the decrement in _attempt_outcome: every
+            # path below funnels through _finish_attempt exactly once
+            state.inflight += 1
+        service = self._shard_services[shard_index]
+        if directive is not None and directive.get("kind") == "shard_blackout":
+            # a blacked-out shard is *unreachable*: the attempt fails at
+            # the gateway without touching the shard (its cache included)
+            self._finish_attempt(
+                state,
+                shard_index,
+                is_hedge,
+                None,
+                ShardBlackoutError(shard_index),
+                slot_held=False,
+            )
+            return
+        try:
+            with self._lock:
+                self.core.admit(shard_index)
+        except (RateLimitExceededError, ServiceClosedError) as error:
+            shed_cause = (
+                "queue_full"
+                if isinstance(error, RateLimitExceededError)
+                else "closed"
+            )
+            self._gateway_decision(
+                ledger_events.SHED,
+                shed_cause,
+                state.fingerprint,
+                state.seq,
+                shard_index,
+            )
+            self._finish_attempt(
+                state, shard_index, is_hedge, None, error, slot_held=False
+            )
+            return
+        self._gateway_decision(
+            ledger_events.ADMIT,
+            cause,
+            state.fingerprint,
+            state.seq,
+            shard_index,
+            attributes={"attempt": state.attempt} if state.attempt > 1 else None,
+        )
+        metadata: dict = {"attempt": state.attempt}
+        if directive is not None:
+            metadata["fault"] = directive
+        try:
+            future = service.submit(
+                state.workload,
+                state.device,
+                trace=state.trace,
+                fingerprint=state.fingerprint,
+                metadata=metadata,
+            )
+        except RateLimitExceededError as error:
+            self._finish_attempt(
+                state,
+                shard_index,
+                is_hedge,
+                None,
+                error,
+                slot_held=True,
+                throttled=True,
+            )
+            return
+        except RequestRejectedError as error:
+            self._finish_attempt(
+                state,
+                shard_index,
+                is_hedge,
+                None,
+                error,
+                slot_held=True,
+                rejected=True,
+            )
+            return
+        except BaseException as error:
+            self._finish_attempt(
+                state, shard_index, is_hedge, None, error, slot_held=True
+            )
+            return
+        future.add_done_callback(
+            lambda f, index=shard_index, hedge=is_hedge: (
+                self._resilient_dispatched(state, index, hedge, f)
+            )
+        )
+
+    def _resilient_dispatched(
+        self,
+        state: _ResilientCall,
+        shard_index: int,
+        is_hedge: bool,
+        future: Future,
+    ) -> None:
+        if future.cancelled():
+            result, error = None, CancelledError()
+        else:
+            error = future.exception()
+            result = future.result() if error is None else None
+        self._finish_attempt(
+            state, shard_index, is_hedge, result, error, slot_held=True
+        )
+
+    def _finish_attempt(
+        self,
+        state: _ResilientCall,
+        shard_index: int,
+        is_hedge: bool,
+        result,
+        error: Optional[BaseException],
+        slot_held: bool,
+        rejected: bool = False,
+        throttled: bool = False,
+    ) -> None:
+        res = self._resilience
+        # breaker accounting happens *before* the slot settles so every
+        # outcome of a wave is buffered by the time the idle-edge sync
+        # runs (determinism of deferred breaker transitions)
+        if res is not None and (error is None or is_transient(error)):
+            with self._lock:
+                res.record_outcome(shard_index, state.seq, error is None)
+        if slot_held:
+            self._settle(shard_index, rejected=rejected, throttled=throttled)
+        self._attempt_outcome(state, shard_index, is_hedge, result, error)
+
+    def _attempt_outcome(
+        self,
+        state: _ResilientCall,
+        shard_index: int,
+        is_hedge: bool,
+        result,
+        error: Optional[BaseException],
+    ) -> None:
+        res = self._resilience
+        loser = False
+        settle_result = False
+        settle_error: Optional[BaseException] = None
+        won_by_hedge = False
+        retry_target: Optional[int] = None
+        retry_delay = 0.0
+        with state.lock:
+            state.inflight -= 1
+            if state.settled:
+                loser = state.hedged
+            elif error is None:
+                state.settled = True
+                settle_result = True
+                won_by_hedge = is_hedge
+            else:
+                if res is not None and not is_hedge:
+                    with self._lock:
+                        if not self.core.draining and res.should_retry(
+                            error, state.attempt
+                        ):
+                            candidate = res.retry_target(
+                                shard_index, state.attempt + 1
+                            )
+                            if candidate is not None:
+                                res.spend_retry()
+                                retry_target = candidate
+                if retry_target is not None:
+                    state.attempt += 1
+                    retry_delay = res.policy.retry.delay(
+                        state.fingerprint, state.attempt
+                    )
+                elif state.inflight > 0:
+                    pass  # a hedge twin is still running; let it decide
+                else:
+                    state.settled = True
+                    settle_error = error
+        if loser:
+            if res is not None:
+                with self._lock:
+                    res.counters["hedge_losers"] += 1
+            self._gateway_decision(
+                ledger_events.HEDGE,
+                "loser",
+                state.fingerprint,
+                state.seq,
+                shard_index,
+            )
+            return
+        if settle_result:
+            self._cancel_timers(state)
+            if won_by_hedge:
+                with self._lock:
+                    res.counters["hedge_wins"] += 1
+                self._gateway_decision(
+                    ledger_events.HEDGE,
+                    "won",
+                    state.fingerprint,
+                    state.seq,
+                    shard_index,
+                )
+            self._settle_outer(state, result=result)
+            return
+        if retry_target is not None:
+            self._gateway_decision(
+                ledger_events.RETRY,
+                type(error).__name__,
+                state.fingerprint,
+                state.seq,
+                retry_target,
+                attributes={
+                    "attempt": state.attempt,
+                    "delay": round(retry_delay, 6),
+                },
+            )
+            next_directive = None
+            if self._injector is not None:
+                # re-check the plan against the retry's destination: a
+                # retry routed back into a blackout window still fails
+                next_directive = self._injector.peek_window(
+                    state.index, retry_target
+                )
+            self._schedule_retry(state, retry_target, next_directive, retry_delay)
+            return
+        if settle_error is not None:
+            self._cancel_timers(state)
+            self._settle_outer(state, error=settle_error)
+
+    def _schedule_retry(
+        self,
+        state: _ResilientCall,
+        target: int,
+        directive: Optional[dict],
+        delay: float,
+    ) -> None:
+        timer = threading.Timer(
+            delay, self._fire_retry, args=(state, target, directive)
+        )
+        timer.daemon = True
+        with self._lock:
+            if self.core.draining:
+                drain_now = True
+            else:
+                state.retry_timer = timer
+                self._retry_states[state] = timer
+                drain_now = False
+        if drain_now:
+            self._shed_parked_retry(state)
+            return
+        timer.start()
+
+    def _fire_retry(
+        self, state: _ResilientCall, target: int, directive: Optional[dict]
+    ) -> None:
+        with self._lock:
+            self._retry_states.pop(state, None)
+            draining = self.core.draining
+        state.retry_timer = None
+        if draining:
+            self._shed_parked_retry(state)
+            return
+        self._begin_attempt(state, target, directive, cause="retry")
+
+    def _shed_parked_retry(self, state: _ResilientCall) -> None:
+        """Settle a request parked in retry backoff as shed (drain path)."""
+        with state.lock:
+            if state.settled:
+                return
+            state.settled = True
+        with self._lock:
+            self.core.shed += 1
+            if self._resilience is not None:
+                self._resilience.counters["shed_on_drain"] += 1
+        self._gateway_decision(
+            ledger_events.SHED,
+            "drained_during_backoff",
+            state.fingerprint,
+            state.seq,
+            None,
+        )
+        self._settle_outer(
+            state,
+            error=CircuitOpenError("gateway drained during retry backoff"),
+        )
+
+    def _maybe_schedule_hedge(
+        self, state: _ResilientCall, primary: int
+    ) -> None:
+        res = self._resilience
+        if res is None or res.policy.hedge is None:
+            return
+        samples: list[float] = []
+        for service in self._shard_services:
+            samples.extend(service.metrics.latency_samples())
+        threshold = res.policy.hedge.threshold(samples)
+        timer = threading.Timer(
+            threshold, self._fire_hedge, args=(state, primary)
+        )
+        timer.daemon = True
+        state.hedge_timer = timer
+        timer.start()
+
+    def _fire_hedge(self, state: _ResilientCall, primary: int) -> None:
+        res = self._resilience
+        state.hedge_timer = None
+        with state.lock:
+            if state.settled or state.inflight == 0 or state.hedged:
+                return
+            state.hedged = True
+        with self._lock:
+            if self.core.draining:
+                return
+            target = res.hedge_target(primary)
+            if target is None:
+                return
+            res.counters["hedges"] += 1
+        self._gateway_decision(
+            ledger_events.HEDGE,
+            "latency_threshold",
+            state.fingerprint,
+            state.seq,
+            target,
+        )
+        directive = None
+        if self._injector is not None:
+            directive = self._injector.peek_window(state.index, target)
+        self._begin_attempt(state, target, directive, cause="hedge", is_hedge=True)
+
+    def _cancel_timers(self, state: _ResilientCall) -> None:
+        with self._lock:
+            timer = self._retry_states.pop(state, None)
+        if timer is not None:
+            timer.cancel()
+        hedge_timer = state.hedge_timer
+        if hedge_timer is not None:
+            hedge_timer.cancel()
+            state.hedge_timer = None
+
+    def _settle_outer(
+        self,
+        state: _ResilientCall,
+        result=None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        # bookkeeping first: by the time the caller observes the outer
+        # future, the wave-boundary sync has already run, so the next
+        # submission sees post-sync breaker state (determinism)
+        with self._idle:
+            self._open_calls -= 1
+            if self._open_calls == 0 and self.core.idle():
+                self._sync_resilience_locked()
+            self._idle.notify_all()
+        if error is not None:
+            state.outer.set_exception(error)
+        else:
+            state.outer.set_result(result)
 
 
 class ServiceGateway(SyncGatewayShell):
@@ -436,6 +979,8 @@ class ServiceGateway(SyncGatewayShell):
         max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
         max_workers_per_shard: int = 2,
         telemetry=None,
+        resilience: Optional[ResiliencePolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if shards is None:
             if num_shards < 1:
@@ -451,4 +996,11 @@ class ServiceGateway(SyncGatewayShell):
             ]
         elif not shards:
             raise ValueError("gateway needs at least one shard")
-        self._init_shell(shards, policy, max_queue_depth, telemetry=telemetry)
+        self._init_shell(
+            shards,
+            policy,
+            max_queue_depth,
+            telemetry=telemetry,
+            resilience=resilience,
+            fault_plan=fault_plan,
+        )

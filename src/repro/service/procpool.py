@@ -54,9 +54,11 @@ lambda.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from typing import Callable, Optional, Sequence
 
@@ -74,6 +76,7 @@ from .core import (
     estimator_accepts_trace,
     invoke_estimator,
 )
+from .faults import FaultPlan
 from .gateway import (
     DEFAULT_MAX_QUEUE_DEPTH,
     DEFAULT_NUM_SHARDS,
@@ -85,17 +88,27 @@ from .middleware import (
     ServiceMiddleware,
     default_middlewares,
 )
+from .resilience import ResiliencePolicy
 from .routing import RoutingPolicy
+from .telemetry import ledger as ledger_events
 from .telemetry.spans import worker_estimate_spans
 
 __all__ = [
     "DEFAULT_POOL_WORKERS",
+    "MAX_WORKER_REDISPATCHES",
+    "PoolSupervisor",
     "ProcEstimationService",
     "ProcServiceGateway",
     "default_estimator_factory",
 ]
 
 DEFAULT_POOL_WORKERS = 4
+
+#: How many times one request may be re-dispatched after worker deaths
+#: before its failure surfaces to the caller.  A request that kills
+#: every worker it touches (a poison pill) must not rebuild pools
+#: forever.
+MAX_WORKER_REDISPATCHES = 2
 
 #: Factory the drivers fall back to: the real pipeline, curve-less (the
 #: serving tier reads peaks; skipping curve materialization keeps the
@@ -138,6 +151,13 @@ def _worker_estimate(payload: dict, trace: Optional[Trace]):
     same way the request does.  Without a span context this is free.
     """
     request = ServiceRequest.from_dict(payload, trace=trace)
+    fault = request.metadata.get("fault")
+    if fault and fault.get("kind") == "worker_kill":
+        # the injected fault this substrate can make *real*: die exactly
+        # like a segfault/OOM-killed worker would — no cleanup, no
+        # exception, just a vanished process.  The parent sees
+        # BrokenProcessPool and exercises the recovery path.
+        os._exit(1)
     span_context = request.metadata.get("telemetry")
     started = time.perf_counter() if span_context else 0.0
     result = invoke_estimator(
@@ -200,6 +220,71 @@ def make_pool(
 # ----------------------------------------------------------------------
 
 
+class PoolSupervisor:
+    """Owns a process pool and replaces it after a worker death.
+
+    A :class:`~concurrent.futures.process.BrokenProcessPool` condemns the
+    whole executor: every queued and in-flight future fails and no new
+    work is accepted.  The supervisor is the single place a pool gets
+    swapped for a fresh one, so N shards sharing one pool (the gateway
+    arrangement) race their recoveries safely: ``replace`` is
+    identity-checked under a lock — the first caller rebuilds, the rest
+    observe the already-fresh pool and just re-dispatch onto it.
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        estimator_factory: Callable[[], object],
+        mp_context: Optional[str] = None,
+    ):
+        self.max_workers = max_workers
+        self.estimator_factory = estimator_factory
+        self.mp_context = mp_context
+        self._lock = threading.Lock()
+        self._pool = make_pool(max_workers, estimator_factory, mp_context)
+        self.generation = 0
+        self.rebuilds = 0
+        self._closed = False
+
+    def current(self) -> ProcessPoolExecutor:
+        """The live pool to dispatch onto."""
+        with self._lock:
+            return self._pool
+
+    def replace(self, broken: ProcessPoolExecutor) -> ProcessPoolExecutor:
+        """Swap ``broken`` for a fresh pool; idempotent per generation.
+
+        Returns the pool to re-dispatch onto.  Only the caller holding
+        the *current* broken pool triggers a rebuild — late arrivals
+        (other shards whose futures failed off the same dead worker)
+        get the replacement that already exists.
+        """
+        with self._lock:
+            if self._closed:
+                return self._pool
+            if self._pool is broken:
+                self._pool = make_pool(
+                    self.max_workers, self.estimator_factory, self.mp_context
+                )
+                self.generation += 1
+                self.rebuilds += 1
+                broken.shutdown(wait=False)
+            return self._pool
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+            self._pool.shutdown(wait=wait)
+
+    def snapshot(self) -> dict:
+        return {
+            "pool_workers": self.max_workers,
+            "pool_generation": self.generation,
+            "pool_rebuilds": self.rebuilds,
+        }
+
+
 class ProcEstimationService:
     """Serves estimation requests with estimator work in child processes.
 
@@ -226,8 +311,9 @@ class ProcEstimationService:
         mp_context: Optional[str] = None,
         executor: Optional[ProcessPoolExecutor] = None,
         telemetry=None,
+        supervisor: Optional[PoolSupervisor] = None,
     ):
-        if executor is None and max_workers < 1:
+        if executor is None and supervisor is None and max_workers < 1:
             raise ValueError("service needs at least one worker")
         self.estimator_factory = (
             estimator_factory
@@ -258,12 +344,18 @@ class ProcEstimationService:
             tracer=telemetry.tracer if telemetry is not None else None,
             ledger=telemetry.ledger if telemetry is not None else None,
         )
-        self._owns_executor = executor is None
-        self._executor = (
-            executor
-            if executor is not None
-            else make_pool(max_workers, self.estimator_factory, mp_context)
-        )
+        # three substrate arrangements, in precedence order: a shared
+        # supervisor (gateway shards — worker-death recovery enabled and
+        # coordinated across shards), a bare executor (caller-owned, no
+        # recovery: the service cannot rebuild a pool it does not own),
+        # or an internal supervisor (standalone service, recovery on)
+        self._raw_executor = executor if supervisor is None else None
+        self._supervisor = supervisor
+        self._owns_executor = executor is None and supervisor is None
+        if self._owns_executor:
+            self._supervisor = PoolSupervisor(
+                max_workers, self.estimator_factory, mp_context
+            )
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._dispatched = 0  # estimator invocations in flight in the pool
@@ -274,6 +366,13 @@ class ProcEstimationService:
     # ------------------------------------------------------------------
     # public API (mirrors EstimationService)
     # ------------------------------------------------------------------
+    @property
+    def _executor(self) -> ProcessPoolExecutor:
+        """The pool to dispatch onto right now (post-recovery aware)."""
+        if self._supervisor is not None:
+            return self._supervisor.current()
+        return self._raw_executor
+
     @property
     def accepts_trace(self) -> bool:
         """Whether the wrapped estimator can reuse a pre-computed trace."""
@@ -362,8 +461,9 @@ class ProcEstimationService:
                 request, ctx, error, admission.depth, cause="drain_race"
             )
             raise error
+        pool = self._executor
         try:
-            inner = self._executor.submit(
+            inner = pool.submit(
                 _worker_estimate, request.as_dict(), request.trace
             )
         except BaseException as error:
@@ -380,7 +480,7 @@ class ProcEstimationService:
             future.set_exception(error)
             return future
         inner.add_done_callback(
-            partial(self._on_done, request, ctx, future, admission.depth)
+            partial(self._on_done, request, ctx, future, admission.depth, pool)
         )
         return future
 
@@ -444,7 +544,7 @@ class ProcEstimationService:
         self._draining = True
         self._closed = True
         if self._owns_executor:
-            self._executor.shutdown(wait=wait)
+            self._supervisor.shutdown(wait=wait)
 
     def __enter__(self) -> "ProcEstimationService":
         return self
@@ -461,11 +561,27 @@ class ProcEstimationService:
         ctx: RequestContext,
         future: Future,
         depth: int,
+        pool: ProcessPoolExecutor,
         inner: Future,
     ) -> None:
+        redispatched = False
         try:
             try:
                 worker_pid, result, span_payloads = inner.result()
+            except BrokenProcessPool as error:
+                # a worker died mid-request — the injected ``worker_kill``
+                # or a real crash.  Rebuild the pool (identity-checked:
+                # shards sharing it race here) and re-dispatch, unless
+                # this request already used up its redispatch budget
+                if self._redispatch(request, ctx, future, depth, pool):
+                    redispatched = True
+                    return
+                self.core.fail(request, ctx, error, depth)
+                with self._idle:
+                    self.core.inflight.release(request.fingerprint)
+                future.set_exception(error)
+                return
+            try:
                 ctx.tags["worker"] = worker_pid
                 if ctx.telemetry is not None and span_payloads:
                     # re-attach the worker-side estimate/stage spans,
@@ -489,10 +605,59 @@ class ProcEstimationService:
                 self.core.inflight.release(request.fingerprint)
             future.set_result(result)
         finally:
-            with self._idle:
-                self._dispatched -= 1
-                if self._dispatched == 0:
-                    self._idle.notify_all()
+            if not redispatched:
+                with self._idle:
+                    self._dispatched -= 1
+                    if self._dispatched == 0:
+                        self._idle.notify_all()
+
+    def _redispatch(
+        self,
+        request: ServiceRequest,
+        ctx: RequestContext,
+        future: Future,
+        depth: int,
+        broken: ProcessPoolExecutor,
+    ) -> bool:
+        """Re-run a request whose worker died; True when re-dispatched.
+
+        The in-flight bookkeeping is untouched on success: the request
+        keeps its single-flight slot, its ``_dispatched`` count, and its
+        caller-facing future — only the substrate underneath changed.
+        Any injected fault directive is stripped before the re-run (the
+        kill already happened; the directive must not chase the retry),
+        and the attempt number is bumped so ledger events carry the
+        recovery provenance.
+        """
+        if self._supervisor is None:
+            return False  # caller-owned pool: not ours to rebuild
+        hops = ctx.tags.get("worker_redispatches", 0)
+        if hops >= MAX_WORKER_REDISPATCHES:
+            return False
+        pool = self._supervisor.replace(broken)
+        ctx.tags["worker_redispatches"] = hops + 1
+        ctx.attempt += 1
+        request.metadata.pop("fault", None)
+        request.metadata["attempt"] = ctx.attempt
+        if self.core.ledger is not None:
+            self.core.ledger.record(
+                ledger_events.RETRY,
+                cause="worker_death",
+                fingerprint=request.fingerprint,
+                request_id=ctx.request_id,
+                shard=self.core.shard_id,
+                attributes={"layer": "service", "attempt": ctx.attempt},
+            )
+        try:
+            inner = pool.submit(
+                _worker_estimate, request.as_dict(), request.trace
+            )
+        except BaseException:
+            return False  # the fresh pool refused too; surface the break
+        inner.add_done_callback(
+            partial(self._on_done, request, ctx, future, depth, pool)
+        )
+        return True
 
 
 class ProcServiceGateway(SyncGatewayShell):
@@ -518,6 +683,8 @@ class ProcServiceGateway(SyncGatewayShell):
         pool_workers: int = DEFAULT_POOL_WORKERS,
         mp_context: Optional[str] = None,
         telemetry=None,
+        resilience: Optional[ResiliencePolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if num_shards < 1:
             raise ValueError("gateway needs at least one shard")
@@ -526,23 +693,35 @@ class ProcServiceGateway(SyncGatewayShell):
             if estimator_factory is not None
             else default_estimator_factory
         )
-        self._executor = make_pool(pool_workers, factory, mp_context)
+        self._supervisor = PoolSupervisor(pool_workers, factory, mp_context)
         self.pool_workers = pool_workers
         try:
             shards = tuple(
                 ProcEstimationService(
-                    estimator_factory=factory, executor=self._executor
+                    estimator_factory=factory, supervisor=self._supervisor
                 )
                 for _ in range(num_shards)
             )
         except BaseException:
-            self._executor.shutdown(wait=False)
+            self._supervisor.shutdown(wait=False)
             raise
-        self._init_shell(shards, policy, max_queue_depth, telemetry=telemetry)
+        self._init_shell(
+            shards,
+            policy,
+            max_queue_depth,
+            telemetry=telemetry,
+            resilience=resilience,
+            fault_plan=fault_plan,
+        )
+
+    @property
+    def _executor(self) -> ProcessPoolExecutor:
+        """The shared pool right now (changes after worker-death rebuilds)."""
+        return self._supervisor.current()
 
     def _shutdown_substrate(self, wait: bool) -> None:
         """The shards share the pool, so the gateway owns its shutdown."""
-        self._executor.shutdown(wait=wait)
+        self._supervisor.shutdown(wait=wait)
 
     def _snapshot_extra(self) -> dict:
-        return {"pool_workers": self.pool_workers}
+        return self._supervisor.snapshot()

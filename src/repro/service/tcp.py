@@ -47,7 +47,7 @@ import time
 from concurrent.futures import Future
 from typing import Callable, Optional, Sequence
 
-from ..errors import ServiceClosedError
+from ..errors import ConnectionLostError, ServiceClosedError
 from ..trace.reader import Trace
 from ..workload import DeviceSpec, WorkloadConfig
 from .aio import AsyncServiceGateway
@@ -131,6 +131,7 @@ class TcpEstimationServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections = 0
         self._protocol_errors = 0
+        self._injected_drops = 0
 
     @property
     def address(self) -> tuple[str, int]:
@@ -147,6 +148,11 @@ class TcpEstimationServer:
     def protocol_errors(self) -> int:
         """Connections dropped for framing/schema violations (diagnostic)."""
         return self._protocol_errors
+
+    @property
+    def injected_drops(self) -> int:
+        """Connections aborted by the fault plan (``connection_drop``)."""
+        return self._injected_drops
 
     async def start(self) -> "TcpEstimationServer":
         self._server = await asyncio.start_server(
@@ -257,6 +263,18 @@ class TcpEstimationServer:
                 )
             )
         elif op == OP_ESTIMATE:
+            injector = getattr(self.gateway, "_injector", None)
+            if injector is not None and injector.take_connection_drop():
+                # the fault plan scheduled a connection drop at this
+                # submission index: consume the index *before* the
+                # gateway sees the request (keeping plan indices aligned
+                # with in-process drivers, where the same index is a
+                # gateway-side no-op) and kill the connection the hard
+                # way — abort sends RST, so the peer sees an abrupt
+                # reset, not an orderly close
+                self._injected_drops += 1
+                writer.transport.abort()
+                return False
             outcome = self._begin_estimate(message, msg_id)
             if isinstance(outcome, dict):  # rejected before enqueue
                 spawn(self._send(writer, write_lock, outcome))
@@ -386,6 +404,16 @@ class TcpServiceClient:
     ``deadline`` is an absolute value of *this client's* ``clock``;
     the remaining budget is computed at send time and rebased by the
     server (the skew-proof wire form — see :mod:`repro.service.wire`).
+
+    Connection loss is *typed*: when the server (or the network) kills
+    the connection mid-call, every in-flight future fails with
+    :class:`~repro.errors.ConnectionLostError` carrying the pending
+    request ids — callers can tell "the server dropped me" from a
+    deliberate :meth:`close` (plain ``ConnectionError``) and know
+    exactly which requests are in limbo.  With ``reconnect=True`` the
+    *next* ``submit`` transparently re-dials with exponential backoff;
+    already-failed futures are never resent (the server may or may not
+    have executed them — resubmission is the caller's decision).
     """
 
     def __init__(
@@ -395,23 +423,44 @@ class TcpServiceClient:
         timeout: Optional[float] = 30.0,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         clock: Callable[[], float] = time.perf_counter,
+        reconnect: bool = False,
+        reconnect_attempts: int = 4,
+        reconnect_backoff: float = 0.02,
     ):
         self.timeout = timeout
         self.max_frame_bytes = max_frame_bytes
         self._clock = clock
+        self._host = host
+        self._port = port
+        self._reconnect = reconnect
+        self._reconnect_attempts = reconnect_attempts
+        self._reconnect_backoff = reconnect_backoff
+        self.reconnects = 0
         self._sock = socket.create_connection((host, port), timeout=timeout)
         # the reader thread blocks in recv indefinitely; per-op timeouts
         # are enforced by the waiters on their futures instead
         self._sock.settimeout(None)
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
+        self._dial_lock = threading.Lock()
         self._pending: dict[int, tuple[str, Future]] = {}
         self._next_id = 0
         self._closed = False
-        self._reader = threading.Thread(
-            target=self._read_loop, name="tcp-client-reader", daemon=True
+        self._connection_lost: Optional[Exception] = None
+        self._reader = self._start_reader(self._sock)
+
+    def _start_reader(self, sock: socket.socket) -> threading.Thread:
+        # the reader captures its socket: after a reconnect swaps
+        # self._sock, a lingering old reader must keep draining the old
+        # socket, never the new one
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(sock,),
+            name="tcp-client-reader",
+            daemon=True,
         )
-        self._reader.start()
+        reader.start()
+        return reader
 
     # ------------------------------------------------------------------
     # driver surface
@@ -528,6 +577,27 @@ class TcpServiceClient:
     # internals
     # ------------------------------------------------------------------
     def _request(self, op: str, message: dict) -> Future:
+        with self._state_lock:
+            lost = None if self._closed else self._connection_lost
+        if lost is not None:
+            if not self._reconnect:
+                raise ConnectionLostError(
+                    (), f"connection lost and reconnect is off: {lost}"
+                )
+            self._redial()
+        try:
+            return self._send_once(op, message)
+        except ConnectionLostError:
+            # the connection died between our check and the send (or was
+            # aborted mid-handshake): one redial, one resend — the
+            # request never reached the server's gateway, so resending
+            # cannot double-execute it
+            if not self._reconnect:
+                raise
+            self._redial()
+            return self._send_once(op, message)
+
+    def _send_once(self, op: str, message: dict) -> Future:
         future: Future = Future()
         with self._state_lock:
             if self._closed:
@@ -541,19 +611,63 @@ class TcpServiceClient:
             with self._send_lock:
                 self._sock.sendall(frame)
         except OSError as error:
+            lost_error = ConnectionLostError(
+                (msg_id,), f"send failed: {error}"
+            )
             with self._state_lock:
                 self._pending.pop(msg_id, None)
-            raise ConnectionError(
-                f"send failed, connection lost: {error}"
-            ) from error
+                if self._connection_lost is None:
+                    self._connection_lost = lost_error
+            raise lost_error from error
         return future
 
-    def _read_loop(self) -> None:
+    def _redial(self) -> None:
+        """Re-establish the connection with exponential backoff.
+
+        Serialized so concurrent submits after a drop dial once: the
+        winner swaps in the fresh socket + reader, the rest observe the
+        cleared ``_connection_lost`` flag and proceed.
+        """
+        with self._dial_lock:
+            with self._state_lock:
+                if self._closed:
+                    raise ServiceClosedError("client is closed")
+                if self._connection_lost is None:
+                    return  # another submit already reconnected
+            delay = self._reconnect_backoff
+            last_error: Optional[Exception] = None
+            for attempt in range(self._reconnect_attempts):
+                if attempt:
+                    time.sleep(delay)
+                    delay *= 2
+                try:
+                    sock = socket.create_connection(
+                        (self._host, self._port), timeout=self.timeout
+                    )
+                except OSError as error:
+                    last_error = error
+                    continue
+                sock.settimeout(None)
+                old = self._sock
+                with self._state_lock:
+                    self._sock = sock
+                    self._connection_lost = None
+                old.close()
+                self._reader = self._start_reader(sock)
+                self.reconnects += 1
+                return
+            raise ConnectionLostError(
+                (),
+                f"reconnect failed after {self._reconnect_attempts} "
+                f"attempts: {last_error}",
+            )
+
+    def _read_loop(self, sock: socket.socket) -> None:
         decoder = FrameDecoder(self.max_frame_bytes)
-        failure: Exception = ConnectionError("server closed connection")
+        failure: Optional[Exception] = None
         try:
             while True:
-                data = self._sock.recv(_READ_CHUNK)
+                data = sock.recv(_READ_CHUNK)
                 if not data:
                     break
                 for message in decoder.feed(data):
@@ -563,6 +677,17 @@ class TcpServiceClient:
             pass  # closed under us (client close or peer reset)
         except WireProtocolError as error:
             failure = error
+        with self._state_lock:
+            if self._closed:
+                return  # deliberate close(): close() fails pending itself
+            pending_ids = tuple(sorted(self._pending))
+            if failure is None:
+                # the server (or the network) dropped us mid-call: typed,
+                # with the ids of every request now in limbo
+                failure = ConnectionLostError(
+                    pending_ids, "server closed connection"
+                )
+            self._connection_lost = failure
         self._fail_pending(failure)
 
     def _handle_response(self, message: dict) -> bool:
@@ -745,7 +870,7 @@ class AsyncTcpServiceClient:
 
     async def _read_loop(self) -> None:
         decoder = FrameDecoder(self.max_frame_bytes)
-        failure: Exception = ConnectionError("server closed connection")
+        failure: Optional[Exception] = None
         try:
             while True:
                 data = await self._reader.read(_READ_CHUNK)
@@ -760,6 +885,12 @@ class AsyncTcpServiceClient:
             failure = error
         except (ConnectionError, OSError):
             pass
+        if self._closed:
+            return  # deliberate aclose(): it fails pending itself
+        if failure is None:
+            failure = ConnectionLostError(
+                tuple(sorted(self._pending)), "server closed connection"
+            )
         self._fail_pending(failure)
 
     def _handle_response(self, message: dict) -> bool:

@@ -30,12 +30,18 @@ from .exporters import (
 )
 from .ledger import (
     ADMIT,
+    BREAKER,
     CACHE_HIT,
     COMPUTED,
     DEADLINE,
     DEDUP,
     ERROR,
+    FAULT,
+    HEDGE,
     REJECTED,
+    REROUTE,
+    RESILIENCE_EVENTS,
+    RETRY,
     SHED,
     THROTTLED,
     WARMUP,
@@ -81,6 +87,12 @@ __all__ = [
     "REJECTED",
     "ERROR",
     "WARMUP",
+    "RETRY",
+    "HEDGE",
+    "BREAKER",
+    "REROUTE",
+    "FAULT",
+    "RESILIENCE_EVENTS",
     "render_histogram",
     "render_loadtest_report",
     "render_shard_heat",

@@ -44,6 +44,12 @@ __all__ = [
     "REJECTED",
     "ERROR",
     "WARMUP",
+    "RETRY",
+    "HEDGE",
+    "BREAKER",
+    "REROUTE",
+    "FAULT",
+    "RESILIENCE_EVENTS",
 ]
 
 #: Shared by every attribute-less event — never mutate.
@@ -60,6 +66,19 @@ DEADLINE = "deadline"
 REJECTED = "rejected"
 ERROR = "error"
 WARMUP = "warmup"
+#: Resilience-plane decisions (PR 8): recorded at the gateway layer with
+#: the deterministic gateway submission sequence as ``request_id``.
+RETRY = "retry"
+HEDGE = "hedge"
+BREAKER = "breaker"
+REROUTE = "reroute"
+FAULT = "fault"
+
+#: The events whose canonical order is asserted replay-deterministic —
+#: see :meth:`AuditLedger.resilience_sequence`.  ``hedge`` is excluded:
+#: hedges fire on wall-clock latency thresholds, which is exactly the
+#: kind of timing the determinism invariant factors out.
+RESILIENCE_EVENTS = frozenset({RETRY, BREAKER, REROUTE, FAULT})
 
 
 @dataclass(slots=True)
@@ -200,6 +219,34 @@ class AuditLedger:
     def __len__(self) -> int:
         with self._lock:
             return len(self._events)
+
+    def resilience_sequence(self) -> list[tuple]:
+        """Canonical order of resilience-plane decisions only.
+
+        Retry/breaker/re-route/fault events are keyed by the gateway
+        submission sequence (assigned under the driver's serialization
+        point), so — unlike the full ledger, whose shard-level request
+        ids depend on completion interleaving once retries re-dispatch —
+        this filtered sequence is identical across runs of the same
+        seeded fault plan.  The determinism property test and
+        ``bench_chaos`` assert on exactly this view.  Returns
+        ``(event, cause, request_id, shard)`` tuples.
+        """
+        with self._lock:
+            snapshot = list(self._events)
+        ordered = sorted(
+            (e for e in snapshot if e.event in RESILIENCE_EVENTS),
+            key=lambda entry: (
+                entry.request_id,
+                entry.event,
+                entry.shard if entry.shard is not None else -1,
+                entry.seq,
+            ),
+        )
+        return [
+            (entry.event, entry.cause, entry.request_id, entry.shard)
+            for entry in ordered
+        ]
 
     def decision_sequence(self) -> list[tuple]:
         """The canonical, substrate-independent decision order.

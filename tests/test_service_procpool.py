@@ -368,6 +368,43 @@ class TestProcServiceGateway:
 # ----------------------------------------------------------------------
 
 
+class TestWorkerDeathRecovery:
+    """A planned ``worker_kill`` takes a worker process down mid-request;
+    the supervisor rebuilds the pool and the request is re-dispatched —
+    exactly once answered, with ledger provenance."""
+
+    def test_killed_worker_is_rebuilt_and_request_redispatched(self):
+        from repro.service import FaultPlan, FaultSpec, Telemetry
+
+        plan = FaultPlan.from_specs(
+            [FaultSpec(kind="worker_kill", index=0)]
+        )
+        telemetry = Telemetry()
+        workloads = [
+            WorkloadConfig("MobileNetV3Small", "adam", 1 + i)
+            for i in range(4)
+        ]
+        with ProcServiceGateway(
+            num_shards=2,
+            estimator_factory=fast_synthetic,
+            pool_workers=2,
+            fault_plan=plan,
+            telemetry=telemetry,
+        ) as gateway:
+            results = [gateway.estimate(w, RTX_3060) for w in workloads]
+            stats = gateway.stats()
+        direct = [fast_synthetic().estimate(w, RTX_3060) for w in workloads]
+        assert results == direct  # the kill never changed an answer
+        assert stats["gateway"]["pool_rebuilds"] >= 1
+        assert stats["gateway"]["faults"]["injected"] == {"worker_kill": 1}
+        redispatches = [
+            event
+            for event in telemetry.ledger.events(event="retry")
+            if event.cause == "worker_death"
+        ]
+        assert len(redispatches) == 1
+
+
 class TestPool:
     def test_make_pool_validates_workers(self):
         with pytest.raises(ValueError):

@@ -22,6 +22,7 @@ from functools import partial
 import pytest
 
 from repro.errors import (
+    ConnectionLostError,
     DeadlineExceededError,
     RequestRejectedError,
     ServiceClosedError,
@@ -29,6 +30,8 @@ from repro.errors import (
 from repro.service import (
     AsyncServiceGateway,
     AsyncTcpServiceClient,
+    FaultPlan,
+    FaultSpec,
     ServiceGateway,
     SyntheticEstimator,
     TcpServerThread,
@@ -261,6 +264,62 @@ class TestProtocolViolations:
                 stats = fresh.stats()
         assert stats["gateway"]["requests"] >= 1
         assert stats["gateway"]["pending"] == 0
+
+
+class TestConnectionLoss:
+    """Planned connection drops surface as typed, id-carrying errors."""
+
+    def drop_first_request_plan(self):
+        return FaultPlan.from_specs(
+            [FaultSpec(kind="connection_drop", index=0)]
+        )
+
+    def test_drop_surfaces_typed_error_with_pending_ids(self):
+        with tcp_server(fault_plan=self.drop_first_request_plan()) as server:
+            client = TcpServiceClient(*server.address)
+            try:
+                future = client.submit(WORKLOAD, RTX_3060)
+                with pytest.raises(ConnectionLostError) as excinfo:
+                    future.result(10.0)
+                # the in-flight message id is named, and the type slots
+                # into the existing closed-service taxonomy
+                assert len(excinfo.value.pending_request_ids) == 1
+                assert isinstance(excinfo.value, ServiceClosedError)
+                # without reconnect the client is dead — typed, not raw
+                with pytest.raises(ConnectionLostError, match="reconnect"):
+                    client.submit(OTHER, RTX_4060)
+            finally:
+                client.close()
+            assert server.server.injected_drops == 1
+
+    def test_reconnect_restores_service_after_a_drop(self):
+        direct = SyntheticEstimator().estimate(OTHER, RTX_4060)
+        with tcp_server(fault_plan=self.drop_first_request_plan()) as server:
+            with TcpServiceClient(
+                *server.address, reconnect=True
+            ) as client:
+                # the dropped request itself is lost (it may have reached
+                # the server, so it is never blindly resent)...
+                with pytest.raises(ConnectionLostError):
+                    client.estimate(WORKLOAD, RTX_3060)
+                # ...but the next call redials and is served normally
+                assert client.estimate(OTHER, RTX_4060) == direct
+                assert client.reconnects == 1
+
+    def test_async_client_surfaces_typed_error(self):
+        with tcp_server(fault_plan=self.drop_first_request_plan()) as server:
+            host, port = server.address
+
+            async def main():
+                async with await AsyncTcpServiceClient.connect(
+                    host, port
+                ) as client:
+                    with pytest.raises(ConnectionLostError) as excinfo:
+                        await client.estimate(WORKLOAD, RTX_3060)
+                    return excinfo.value
+
+            error = asyncio.run(main())
+        assert error.pending_request_ids
 
 
 class TestAsyncClient:
