@@ -1,0 +1,315 @@
+"""Persistent artifact store: the cold path dies across processes.
+
+The stage caches (:mod:`bench_pipeline_stages`) only help within one
+process; every fresh CLI run, CI lane, and pool worker used to pay the
+full profile -> analyze -> orchestrate chain again.  This benchmark
+measures what the **content-addressed sqlite store**
+(:mod:`repro.core.artifacts`) recovers across process boundaries:
+
+* **storeless** — a child process runs a cold sweep with stage caching
+  off: the baseline every fresh process used to pay;
+* **warming** — a second child runs the same sweep against an *empty*
+  store: full compute plus the publish cost;
+* **stored** — a third child (fresh interpreter, cold L1) runs the sweep
+  against the now-warm store: upstream stages are sqlite reads.
+
+Acceptance (asserted):
+
+* the stored child's sweep is >= 3x faster than the storeless child's;
+* every child reports byte-identical peaks, and the delta-simulation
+  paths (full replay, cached delta replay, closed-form peak profile)
+  agree exactly;
+* a 4-worker :class:`~repro.service.procpool.ProcEstimationService`
+  sharing one store builds each unique workload's profile **exactly
+  once** across the whole pool (the store's persistent ``build:profile``
+  counter, not a wall-clock claim — it holds on any host).
+
+Writes ``BENCH_artifacts.json`` at the repository root (CI gates it
+against ``benchmarks/baselines/BENCH_artifacts.baseline.json``).
+``python bench_artifact_store.py [--quick]`` runs standalone; under
+pytest the quick size is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from functools import partial
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+RESULT_PATH = REPO_ROOT / "BENCH_artifacts.json"
+
+ITERATIONS = 2
+MIN_STORE_SPEEDUP = 3.0
+POOL_WORKERS = 4
+
+
+def _grid(quick: bool) -> list[tuple[str, int]]:
+    models = ["MobileNetV3Small"] if quick else ["MobileNetV3Small", "MnasNet"]
+    batch_sizes = [4, 8] if quick else [4, 8, 16]
+    return [(model, bs) for model in models for bs in batch_sizes]
+
+
+# ----------------------------------------------------------------------
+# child side: one cold sweep per interpreter
+# ----------------------------------------------------------------------
+
+
+def _child_sweep(quick: bool, store_path: str | None) -> dict:
+    """Cold sweep in *this* process; returns seconds + peaks.
+
+    With a store, the L1 caches are capacity-zero so every cell goes to
+    sqlite — the shape of a fresh process with nothing but the store.
+    """
+    from repro.core.estimator import XMemEstimator
+    from repro.core.pipeline import PipelineCache
+    from repro.workload import RTX_3060, WorkloadConfig
+
+    grid = _grid(quick)
+    if store_path:
+        cache = PipelineCache(
+            max_traces=0,
+            max_analyses=0,
+            max_sequences=0,
+            max_simulations=0,
+            artifact_store=store_path,
+        )
+        estimator = XMemEstimator(
+            iterations=ITERATIONS, curve=False, stage_cache=cache
+        )
+    else:
+        estimator = XMemEstimator(
+            iterations=ITERATIONS, curve=False, stage_cache=False
+        )
+    peaks = {}
+    started = time.perf_counter()
+    for model, batch_size in grid:
+        result = estimator.estimate(
+            WorkloadConfig(model, "adam", batch_size), RTX_3060
+        )
+        peaks[f"{model}/bs{batch_size}"] = result.peak_bytes
+    seconds = time.perf_counter() - started
+    sources = (
+        dict(result.stage_sources) if store_path else {}
+    )  # last cell's provenance: "store" everywhere once warm
+    return {"seconds": seconds, "peaks": peaks, "last_sources": sources}
+
+
+def _run_child(quick: bool, store_path: str | None) -> dict:
+    """The same sweep, but in a genuinely fresh interpreter."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    spec = json.dumps({"quick": quick, "store": store_path})
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--child", spec],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"child sweep failed:\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+# ----------------------------------------------------------------------
+# delta-simulation identity (in-process)
+# ----------------------------------------------------------------------
+
+
+def check_delta_identity() -> dict:
+    """Full replay == cached delta replay == closed-form peak profile."""
+    from dataclasses import replace
+
+    from repro.allocator.constants import DEFAULT_CONFIG
+    from repro.core.pipeline import EstimationPipeline, PipelineCache
+    from repro.core.simulator import MemorySimulator
+    from repro.workload import WorkloadConfig
+
+    pipeline = EstimationPipeline(iterations=ITERATIONS, cache=PipelineCache())
+    trace = pipeline.profile(WorkloadConfig("MobileNetV3Small", "adam", 8))
+    sequence = pipeline.orchestrate(pipeline.analyze(trace))
+
+    variants = {
+        "default": (DEFAULT_CONFIG, True),
+        "no_split": (replace(DEFAULT_CONFIG, allow_split=False), True),
+        "single_level": (DEFAULT_CONFIG, False),
+    }
+    peaks = {}
+    for name, (config, two_level) in variants.items():
+        full = MemorySimulator(
+            allocator_config=config, two_level=two_level
+        ).replay(sequence, record_timeline=True)
+        closed = MemorySimulator(
+            allocator_config=config, two_level=two_level
+        ).replay_peak_profile(sequence)
+        first = pipeline.simulate(
+            sequence, config, two_level, capacity_bytes=None, curve=False
+        )
+        again = pipeline.simulate(  # second pass: served from the cache
+            sequence, config, two_level, capacity_bytes=None, curve=False
+        )
+        rows = (full, closed.result, first, again)
+        identical = (
+            len({r.peak_reserved_bytes for r in rows}) == 1
+            and len({r.peak_allocated_bytes for r in rows}) == 1
+            and len({r.num_events for r in rows}) == 1
+            and again is first
+        )
+        peaks[name] = {
+            "peak_reserved_bytes": full.peak_reserved_bytes,
+            "peak_allocated_bytes": full.peak_allocated_bytes,
+            "num_events": full.num_events,
+            "identical": identical,
+        }
+    return {
+        "variants": peaks,
+        "identical": all(row["identical"] for row in peaks.values()),
+    }
+
+
+# ----------------------------------------------------------------------
+# procpool: one warm store for the whole pool
+# ----------------------------------------------------------------------
+
+
+def check_procpool_exactly_once(quick: bool, store_path: str) -> dict:
+    """4 workers x 2 devices per workload: one profile build per workload.
+
+    The persistent ``build:profile`` counter is the proof — claims make
+    the first worker to need a workload build it and every other worker
+    (and the second device's request) inherit the artifact.
+    """
+    from repro.core.artifacts import ArtifactStore
+    from repro.core.estimator import XMemEstimator
+    from repro.service import ProcEstimationService
+    from repro.workload import RTX_3060, RTX_4060, WorkloadConfig
+
+    grid = _grid(quick)
+    factory = partial(XMemEstimator, iterations=ITERATIONS, curve=False)
+    with ProcEstimationService(
+        estimator_factory=factory,
+        max_workers=POOL_WORKERS,
+        artifact_store=store_path,
+    ) as service:
+        futures = [
+            service.submit(WorkloadConfig(model, "adam", bs), device)
+            for model, bs in grid
+            for device in (RTX_3060, RTX_4060)
+        ]
+        peaks = [future.result().peak_bytes for future in futures]
+    counters = ArtifactStore(store_path).counters()
+    return {
+        "workers": POOL_WORKERS,
+        "requests": len(peaks),
+        "unique_workloads": len(grid),
+        "profile_builds": counters.get("build:profile", 0),
+        "store_counters": {
+            name: count
+            for name, count in sorted(counters.items())
+            if name.startswith(("build:", "hit:"))
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+
+
+def run_artifact_bench(quick: bool = True) -> dict:
+    grid = _grid(quick)
+    with tempfile.TemporaryDirectory(prefix="xmem-artifacts-") as tmp:
+        sweep_store = os.path.join(tmp, "sweep.sqlite")
+        pool_store = os.path.join(tmp, "pool.sqlite")
+
+        storeless = _run_child(quick, None)
+        warming = _run_child(quick, sweep_store)
+        stored = _run_child(quick, sweep_store)  # fresh process, warm store
+
+        num_cells = len(grid)
+        report = {
+            "quick": quick,
+            "iterations": ITERATIONS,
+            "grid": [f"{model}/bs{bs}" for model, bs in grid],
+            "num_cells": num_cells,
+            "storeless_seconds": storeless["seconds"],
+            "warming_seconds": warming["seconds"],
+            "stored_seconds": stored["seconds"],
+            "store_cell_ms": stored["seconds"] / num_cells * 1e3,
+            "store_speedup": storeless["seconds"] / stored["seconds"],
+            "warming_overhead": warming["seconds"] / storeless["seconds"],
+            "stored_last_sources": stored["last_sources"],
+            "peaks_byte_identical": (
+                storeless["peaks"] == warming["peaks"] == stored["peaks"]
+            ),
+            "peak_bytes": storeless["peaks"],
+            "delta_identity": check_delta_identity(),
+            "procpool": check_procpool_exactly_once(quick, pool_store),
+        }
+    return report
+
+
+def _check(report: dict) -> None:
+    assert report["peaks_byte_identical"], (
+        "store-served peaks diverged from the storeless pipeline"
+    )
+    assert report["delta_identity"]["identical"], (
+        "delta/closed-form simulation diverged from the full replay"
+    )
+    assert report["store_speedup"] >= MIN_STORE_SPEEDUP, (
+        f"warm-store cold-process sweep only {report['store_speedup']:.2f}x "
+        f"faster than the storeless cold sweep (need >= {MIN_STORE_SPEEDUP}x)"
+    )
+    # the stored child really was served by the store, not a warm L1
+    upstream = {"profile", "analyze", "orchestrate"}
+    sources = report["stored_last_sources"]
+    assert all(sources.get(stage) == "store" for stage in upstream), sources
+    pool = report["procpool"]
+    assert pool["profile_builds"] == pool["unique_workloads"], pool
+
+
+def _write(report: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def test_artifact_store_bench(capsys):
+    from _common import emit
+
+    report = run_artifact_bench(quick=True)
+    _write(report)
+    emit("artifact_store", json.dumps(report, indent=2), capsys)
+    _check(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--child", metavar="SPEC", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        spec = json.loads(args.child)
+        payload = _child_sweep(spec["quick"], spec["store"])
+        print(json.dumps(payload))
+        return 0
+
+    from _common import emit
+
+    report = run_artifact_bench(quick=args.quick)
+    _write(report)
+    _check(report)
+    emit("artifact_store", json.dumps(report, indent=2))
+    print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,10 +27,16 @@ Exit codes: 0 ok, 1 regression, 2 missing/incomparable inputs.
 Usage::
 
     python benchmarks/check_regression.py \
+        [--preset pipeline|artifacts] \
         [--current BENCH_pipeline.json] \
         [--baseline benchmarks/baselines/BENCH_pipeline.baseline.json] \
         [--tolerance 0.30] [--override warm_cell_ms=0.60] \
         [--trend-out BENCH_pipeline.trend.json]
+
+``--preset`` picks the metric set *and* the default report/baseline/
+trend paths, so the artifact-store lane is one flag:
+``--preset artifacts`` gates ``BENCH_artifacts.json`` on
+``store_speedup`` / ``store_cell_ms``.
 """
 
 from __future__ import annotations
@@ -41,26 +47,44 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_CURRENT = REPO_ROOT / "BENCH_pipeline.json"
-DEFAULT_BASELINE = (
-    REPO_ROOT / "benchmarks" / "baselines" / "BENCH_pipeline.baseline.json"
-)
-DEFAULT_TREND = REPO_ROOT / "BENCH_pipeline.trend.json"
+BASELINES = REPO_ROOT / "benchmarks" / "baselines"
 
-#: metric -> direction ("higher" / "lower" is better)
+#: metric -> direction ("higher" / "lower" is better) — the default
+#: (pipeline) preset; kept at module level for the gate's own tests
 METRICS = {
     "warm_speedup": "higher",
     "warm_cell_ms": "lower",
 }
 
+#: preset -> (metrics, report basename); the basename derives the
+#: default --current (repo root), --baseline (benchmarks/baselines/) and
+#: --trend-out paths
+METRIC_PRESETS = {
+    "pipeline": (METRICS, "BENCH_pipeline"),
+    "artifacts": (
+        {
+            "store_speedup": "higher",
+            "store_cell_ms": "lower",
+        },
+        "BENCH_artifacts",
+    ),
+}
 
-def parse_overrides(pairs: list[str]) -> dict[str, float]:
+DEFAULT_CURRENT = REPO_ROOT / "BENCH_pipeline.json"
+DEFAULT_BASELINE = BASELINES / "BENCH_pipeline.baseline.json"
+DEFAULT_TREND = REPO_ROOT / "BENCH_pipeline.trend.json"
+
+
+def parse_overrides(
+    pairs: list[str], metrics: dict | None = None
+) -> dict[str, float]:
+    metrics = METRICS if metrics is None else metrics
     overrides = {}
     for pair in pairs:
         name, _, value = pair.partition("=")
-        if name not in METRICS:
+        if name not in metrics:
             print(
-                f"error: unknown metric {name!r}; known: {sorted(METRICS)}",
+                f"error: unknown metric {name!r}; known: {sorted(metrics)}",
                 file=sys.stderr,
             )
             raise SystemExit(2)  # bad input, not a benchmark regression
@@ -76,12 +100,17 @@ def parse_overrides(pairs: list[str]) -> dict[str, float]:
 
 
 def compare(
-    baseline: dict, current: dict, tolerance: float, overrides: dict
+    baseline: dict,
+    current: dict,
+    tolerance: float,
+    overrides: dict,
+    metrics: dict | None = None,
 ) -> dict:
     """Per-metric verdicts + the overall one (pure, tested directly)."""
+    metrics = METRICS if metrics is None else metrics
     rows = {}
     regressions = []
-    for metric, direction in METRICS.items():
+    for metric, direction in metrics.items():
         base = baseline.get(metric)
         now = current.get(metric)
         tol = overrides.get(metric, tolerance)
@@ -113,8 +142,12 @@ def compare(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT)
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--preset", choices=sorted(METRIC_PRESETS), default="pipeline",
+        help="metric set + default paths (default: pipeline)",
+    )
+    parser.add_argument("--current", type=Path, default=None)
+    parser.add_argument("--baseline", type=Path, default=None)
     parser.add_argument(
         "--tolerance", type=float, default=0.30,
         help="allowed relative worsening per metric (default 0.30 = 30%%)",
@@ -124,8 +157,16 @@ def main(argv: list[str] | None = None) -> int:
         help="per-metric tolerance override, repeatable "
         "(e.g. warm_cell_ms=0.60 for a noisier hosted runner)",
     )
-    parser.add_argument("--trend-out", type=Path, default=DEFAULT_TREND)
+    parser.add_argument("--trend-out", type=Path, default=None)
     args = parser.parse_args(argv)
+
+    metrics, basename = METRIC_PRESETS[args.preset]
+    if args.current is None:
+        args.current = REPO_ROOT / f"{basename}.json"
+    if args.baseline is None:
+        args.baseline = BASELINES / f"{basename}.baseline.json"
+    if args.trend_out is None:
+        args.trend_out = REPO_ROOT / f"{basename}.trend.json"
 
     for path, what in ((args.current, "current"), (args.baseline, "baseline")):
         if not path.exists():
@@ -135,7 +176,11 @@ def main(argv: list[str] | None = None) -> int:
     baseline = json.loads(args.baseline.read_text())
 
     verdict = compare(
-        baseline, current, args.tolerance, parse_overrides(args.override)
+        baseline,
+        current,
+        args.tolerance,
+        parse_overrides(args.override, metrics),
+        metrics,
     )
     comparable = current.get("quick") == baseline.get("quick") and (
         current.get("grid") == baseline.get("grid")
@@ -173,6 +218,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"gate skipped: {verdict['skipped']}")
         return 0
     if not verdict["ok"]:
+        # name every tripped metric with its numbers: a red CI lane must
+        # say *what* regressed, not just that something did
+        for metric in verdict["regressions"]:
+            row = verdict["metrics"][metric]
+            worse = "below" if row["direction"] == "higher" else "above"
+            print(
+                f"REGRESSION: {metric} ({row['direction']}-is-better) "
+                f"went from {row['baseline']:.4g} to {row['current']:.4g} "
+                f"({row['delta']:+.1%}), {worse} the "
+                f"{row['tolerance']:.0%} tolerance band",
+                file=sys.stderr,
+            )
         print(
             f"REGRESSION: {', '.join(verdict['regressions'])} worse than "
             f"baseline beyond tolerance (trend written to {args.trend_out})",

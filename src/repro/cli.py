@@ -59,7 +59,11 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         zero_grad_position=args.zero_grad_position,
     )
     device = _device_from_args(args)
-    result = XMemEstimator(iterations=args.iterations).estimate(workload, device)
+    estimator = XMemEstimator(
+        iterations=args.iterations,
+        artifact_store=getattr(args, "artifact_store", None),
+    )
+    result = estimator.estimate(workload, device)
     if args.json:
         payload = {
             **workload.as_dict(),
@@ -72,6 +76,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         if args.timings:
             payload["stage_seconds"] = result.stage_seconds
             payload["stage_cached"] = result.stage_cached
+            payload["stage_sources"] = result.stage_sources
         print(json.dumps(payload))
     elif args.explain:
         from .core.report import render_report
@@ -88,7 +93,13 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         total = sum(result.stage_seconds.values()) or 1.0
         print("stage breakdown :")
         for stage, seconds in result.stage_seconds.items():
-            cached = " (cached)" if result.stage_cached.get(stage) else ""
+            source = result.stage_sources.get(stage)
+            if source == "store":
+                cached = " (store)"
+            elif result.stage_cached.get(stage):
+                cached = " (cached)"
+            else:
+                cached = ""
             print(
                 f"  {stage:<12} {seconds * 1e3:9.2f} ms "
                 f"{seconds / total:6.1%}{cached}"
@@ -273,6 +284,7 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
     # partial over an importable callable, not a lambda: the process
     # driver ships the factory to its workers, which requires pickling
     # under the spawn start method
+    artifact_store = getattr(args, "artifact_store", None)
     if args.estimator == "synthetic":
         factory = partial(
             SyntheticEstimator,
@@ -280,8 +292,13 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
             spin_seconds=args.spin_ms / 1000.0,
         )
     else:
+        # the store path (a plain string) pickles through the factory
+        # partial, so procpool workers each open the shared store file
         factory = partial(
-            XMemEstimator, iterations=args.iterations, curve=False
+            XMemEstimator,
+            iterations=args.iterations,
+            curve=False,
+            artifact_store=artifact_store,
         )
     policy = make_policy(policy_name, args.shards, seed=args.seed)
     # chaos mode: a seeded fault plan breaks things on schedule while the
@@ -462,6 +479,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if getattr(args, "artifact_store", None) and args.estimator != "xmem":
+        print(
+            "error: --artifact-store caches pipeline-stage artifacts and "
+            "needs the real pipeline (--estimator xmem)",
+            file=sys.stderr,
+        )
+        return 2
     capture = args.report or args.spans_out or args.ledger_out
     runs = []
     for scenario in scenarios:
@@ -614,6 +638,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-stage latency breakdown "
         "(profile/analyze/orchestrate/simulate)",
     )
+    estimate.add_argument(
+        "--artifact-store", metavar="PATH", default=None,
+        help="sqlite file caching profile/analyze/orchestrate artifacts "
+        "across runs — repeated invocations start warm",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     models = sub.add_parser("models", help="list the model zoo")
@@ -725,6 +754,11 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--estimator", choices=("synthetic", "xmem"), default="synthetic",
         help="synthetic = measure the serving layer; xmem = real pipeline",
+    )
+    loadtest.add_argument(
+        "--artifact-store", metavar="PATH", default=None,
+        help="persistent stage-artifact store shared by every worker "
+        "(xmem estimator only); procpool workers all open this file",
     )
     loadtest.add_argument(
         "--work-ms", type=float, default=0.0,

@@ -1,6 +1,7 @@
 """The xMem pipeline: Analyzer -> Memory Orchestrator -> Memory Simulator."""
 
 from .analyzer import AnalyzedTrace, Analyzer
+from .artifacts import ArtifactStore, open_artifact_store
 from .base import Estimator
 from .attribution import AttributedBlock, attribute_blocks, operator_filter
 from .estimator import XMemEstimator
@@ -25,6 +26,7 @@ from .orchestrator import (
     OrchestrationRule,
     ParameterRule,
     raw_sequence,
+    sequence_fingerprint,
 )
 from .pipeline import (
     STAGES,
@@ -34,10 +36,11 @@ from .pipeline import (
     trace_fingerprint,
 )
 from .result import EstimationResult
-from .simulator import MemorySimulator, SimulationResult
+from .simulator import MemorySimulator, PeakProfile, SimulationResult
 
 __all__ = [
     "AnalyzedTrace",
+    "ArtifactStore",
     "CurveFidelity",
     "PrecisionPlan",
     "SnapshotDiff",
@@ -68,11 +71,14 @@ __all__ = [
     "OrchestratedSequence",
     "OrchestrationRule",
     "ParameterRule",
+    "PeakProfile",
     "SimulationResult",
     "XMemEstimator",
     "attribute_blocks",
+    "open_artifact_store",
     "operator_filter",
     "peak_live_bytes",
     "raw_sequence",
     "reconstruct_lifecycles",
+    "sequence_fingerprint",
 ]

@@ -36,7 +36,11 @@ class XMemEstimator(Estimator):
     tracked in the same replay pass) — the serving stack's fast path.
     ``stage_cache`` is ``True`` (private cache), ``False`` (stage caching
     off; every call recomputes the full chain), or a shared
-    :class:`PipelineCache` instance.
+    :class:`PipelineCache` instance.  ``artifact_store`` (a path or an
+    :class:`~repro.core.artifacts.ArtifactStore`) attaches a persistent
+    cross-process L2 under the stage cache, so repeated runs — and every
+    procpool worker sharing the path — start warm; as a plain string it
+    pickles through ``functools.partial`` factories unchanged.
     """
 
     name = "xMem"
@@ -50,6 +54,7 @@ class XMemEstimator(Estimator):
         allocator_config: AllocatorConfig = DEFAULT_CONFIG,
         curve: bool = True,
         stage_cache: Union[PipelineCache, bool] = True,
+        artifact_store=None,
     ):
         if iterations < 1:
             raise ValueError("profiling needs at least one iteration")
@@ -64,9 +69,11 @@ class XMemEstimator(Estimator):
             rules=DEFAULT_RULES if orchestrate else ()
         )
         if stage_cache is True:
-            stage_cache = PipelineCache()
+            stage_cache = PipelineCache(artifact_store=artifact_store)
         elif stage_cache is False:
             stage_cache = None
+        elif artifact_store is not None:
+            stage_cache.attach_artifact_store(artifact_store)
         self.stage_cache: Optional[PipelineCache] = stage_cache
         self.pipeline = EstimationPipeline(
             iterations=iterations,
@@ -110,6 +117,7 @@ class XMemEstimator(Estimator):
             curve=simulation.timeline if self.curve else None,
             stage_seconds=dict(run.stage_seconds),
             stage_cached=dict(run.stage_cached),
+            stage_sources=dict(run.stage_sources),
             detail={
                 "num_blocks": sequence.num_blocks,
                 "num_events": simulation.num_events,

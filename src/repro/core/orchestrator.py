@@ -18,6 +18,7 @@ training-loop styles can add their own adjustments (paper §6.4).
 from __future__ import annotations
 
 import bisect
+import hashlib
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
@@ -61,6 +62,16 @@ class OrchestratedSequence:
 
     def __post_init__(self) -> None:
         self._stream: Optional[tuple[tuple[int, bool, int, int], ...]] = None
+        #: stable content identity, stamped by the pipeline's orchestrate
+        #: stage (see :func:`sequence_fingerprint`)
+        self.fingerprint: Optional[str] = None
+
+    def __getstate__(self) -> dict:
+        # the flat stream is derived state: rebuild it lazily after
+        # unpickling instead of doubling every artifact-store blob
+        state = self.__dict__.copy()
+        state["_stream"] = None
+        return state
 
     def total_alloc_bytes(self) -> int:
         return sum(e.size for e in self.events if e.kind is EventKind.ALLOC)
@@ -82,6 +93,30 @@ class OrchestratedSequence:
             )
             self._stream = stream
         return stream
+
+
+def sequence_fingerprint(sequence: OrchestratedSequence) -> str:
+    """Stable content address of a sequence (memoized on the instance).
+
+    Sequences produced by the pipeline's orchestrate stage carry a
+    fingerprint derived from the orchestrate cache key (deterministic
+    across processes), so they are never re-hashed; caller-built
+    sequences are hashed over their flat event stream once.  Never uses
+    ``id()`` — object identity is reused after garbage collection, which
+    would alias distinct sequences in a long-lived simulate cache.
+    """
+    cached = getattr(sequence, "fingerprint", None)
+    if cached is not None:
+        return cached
+    lines = [f"{e}\n" for e in sequence.event_stream()]
+    lines.append(
+        f"h|{sequence.horizon}|{sequence.num_blocks}"
+        f"|{sequence.persistent_bytes}\n"
+    )
+    digest = hashlib.sha256("".join(lines).encode("utf-8"))
+    fingerprint = "content:" + digest.hexdigest()[:32]
+    sequence.fingerprint = fingerprint
+    return fingerprint
 
 
 class OrchestrationRule:

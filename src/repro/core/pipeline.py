@@ -40,7 +40,12 @@ from ..runtime.profiler import DEFAULT_PROFILE_ITERATIONS, profile_on_cpu
 from ..trace.reader import Trace
 from ..workload import WorkloadConfig
 from .analyzer import AnalyzedTrace, Analyzer
-from .orchestrator import MemoryOrchestrator, OrchestratedSequence
+from .artifacts import resolve_artifact_store
+from .orchestrator import (
+    MemoryOrchestrator,
+    OrchestratedSequence,
+    sequence_fingerprint,
+)
 from .simulator import MemorySimulator, SimulationResult
 
 #: Stage names, in execution order (also the keys of ``stage_seconds``).
@@ -64,18 +69,19 @@ def trace_fingerprint(trace: Trace) -> str:
     cached = trace.__dict__.get(_TRACE_KEY_ATTR)
     if cached is not None:
         return cached
-    digest = hashlib.sha256()
+    # one digest.update over a single joined buffer: per-span update calls
+    # dominate hashing cost on large traces (satellite of PR 9)
+    lines: list[str] = []
     for span in trace.spans:
-        digest.update(
+        lines.append(
             f"s|{span.name}|{span.category.value}|{span.ts}|{span.dur}"
-            f"|{span.tid}\n".encode("utf-8")
+            f"|{span.tid}\n"
         )
     for event in trace.memory_events:
-        digest.update(
-            f"m|{event.ts}|{event.addr}|{event.nbytes}\n".encode("utf-8")
-        )
+        lines.append(f"m|{event.ts}|{event.addr}|{event.nbytes}\n")
     for key in sorted(trace.metadata):
-        digest.update(f"d|{key}|{trace.metadata[key]}\n".encode("utf-8"))
+        lines.append(f"d|{key}|{trace.metadata[key]}\n")
+    digest = hashlib.sha256("".join(lines).encode("utf-8"))
     fingerprint = "content:" + digest.hexdigest()[:32]
     # Trace is a frozen dataclass; memoize past the frozen guard — the
     # fingerprint is derived state, not a field
@@ -83,30 +89,52 @@ def trace_fingerprint(trace: Trace) -> str:
     return fingerprint
 
 
-class _StageStore:
-    """Thread-safe bounded LRU with per-key single-flight on misses."""
+#: Where a stage's artifact came from (``stage_sources`` vocabulary).
+SOURCE_MEMORY = "memory"  # in-process L1 hit (or caller-supplied input)
+SOURCE_STORE = "store"  # persistent artifact-store (L2) hit
+SOURCE_COMPUTE = "compute"  # actually built this time
 
-    def __init__(self, max_entries: int):
+
+class _StageStore:
+    """Thread-safe bounded LRU with per-key single-flight on misses.
+
+    ``artifacts`` attaches an optional persistent L2
+    (:class:`~repro.core.artifacts.ArtifactStore`): on an L1 miss the
+    single-flight owner consults the store before building, and publishes
+    its build back, so later processes start warm.
+    """
+
+    def __init__(self, max_entries: int, stage: str = "", artifacts=None):
         if max_entries < 0:
             raise ValueError("max_entries must be >= 0")
         self.max_entries = max_entries
+        self.stage = stage
+        self._artifacts = artifacts
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Any, Any]" = OrderedDict()
         self._inflight: dict[Any, threading.Event] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.store_hits = 0
 
     def get_or_compute(
         self, key: Any, build: Callable[[], Any]
     ) -> tuple[Any, bool]:
         """Return ``(value, was_cached)``; concurrent misses build once."""
+        value, source = self.get_or_compute_traced(key, build)
+        return value, source is not SOURCE_COMPUTE
+
+    def get_or_compute_traced(
+        self, key: Any, build: Callable[[], Any]
+    ) -> tuple[Any, str]:
+        """Return ``(value, source)`` with the artifact's provenance."""
         while True:
             with self._lock:
                 if key in self._entries:
                     self._entries.move_to_end(key)
                     self.hits += 1
-                    return self._entries[key], True
+                    return self._entries[key], SOURCE_MEMORY
                 gate = self._inflight.get(key)
                 if gate is None:
                     gate = self._inflight[key] = threading.Event()
@@ -118,24 +146,33 @@ class _StageStore:
                 # (its success is our hit; its failure makes us the owner)
                 gate.wait()
                 continue
+            # the gate MUST be released on every exit from here on — a
+            # builder that raises (or a bug in the bookkeeping itself)
+            # would otherwise strand every waiter on gate.wait() forever
             try:
-                value = build()
-            except BaseException:
+                source = SOURCE_COMPUTE
+                if self._artifacts is not None:
+                    value, stored = self._artifacts.get_or_compute(
+                        self.stage, key, build
+                    )
+                    if stored:
+                        source = SOURCE_STORE
+                        self.store_hits += 1
+                else:
+                    value = build()
+                with self._lock:
+                    self.misses += 1
+                    if self.max_entries > 0:
+                        self._entries[key] = value
+                        self._entries.move_to_end(key)
+                        while len(self._entries) > self.max_entries:
+                            self._entries.popitem(last=False)
+                            self.evictions += 1
+                return value, source
+            finally:
                 with self._lock:
                     self._inflight.pop(key, None)
                 gate.set()
-                raise
-            with self._lock:
-                self.misses += 1
-                if self.max_entries > 0:
-                    self._entries[key] = value
-                    self._entries.move_to_end(key)
-                    while len(self._entries) > self.max_entries:
-                        self._entries.popitem(last=False)
-                        self.evictions += 1
-                self._inflight.pop(key, None)
-            gate.set()
-            return value, False
 
     def clear(self) -> None:
         with self._lock:
@@ -151,6 +188,7 @@ class _StageStore:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "store_hits": self.store_hits,
                 "size": len(self._entries),
                 "max_entries": self.max_entries,
             }
@@ -170,23 +208,47 @@ class PipelineCache:
         max_traces: int = 16,
         max_analyses: int = 16,
         max_sequences: int = 64,
+        max_simulations: int = 64,
+        artifact_store=None,
     ):
-        self.traces = _StageStore(max_traces)
-        self.analyses = _StageStore(max_analyses)
-        self.sequences = _StageStore(max_sequences)
+        store = resolve_artifact_store(artifact_store)
+        self.artifacts = store
+        self.traces = _StageStore(max_traces, stage=PROFILE, artifacts=store)
+        self.analyses = _StageStore(
+            max_analyses, stage=ANALYZE, artifacts=store
+        )
+        self.sequences = _StageStore(
+            max_sequences, stage=ORCHESTRATE, artifacts=store
+        )
+        # peak profiles hold per-event arrays, so this store is L1-only —
+        # persisting them would store more bytes than re-deriving costs
+        self.simulations = _StageStore(max_simulations, stage=SIMULATE)
+
+    def attach_artifact_store(self, artifact_store) -> None:
+        """Wire a persistent L2 under the profile/analyze/orchestrate
+        stores of an already-built cache (idempotent)."""
+        store = resolve_artifact_store(artifact_store)
+        self.artifacts = store
+        for stage_store in (self.traces, self.analyses, self.sequences):
+            stage_store._artifacts = store
 
     def clear(self) -> None:
         self.traces.clear()
         self.analyses.clear()
         self.sequences.clear()
+        self.simulations.clear()
 
     def stats(self) -> dict:
         """JSON-ready hit/miss/eviction counters per stage store."""
-        return {
+        stats = {
             "traces": self.traces.stats(),
             "analyses": self.analyses.stats(),
             "sequences": self.sequences.stats(),
+            "simulations": self.simulations.stats(),
         }
+        if self.artifacts is not None:
+            stats["artifacts"] = self.artifacts.stats()
+        return stats
 
 
 @dataclass
@@ -202,6 +264,8 @@ class PipelineRun:
     #: True where the stage was answered from the cache (or, for profile,
     #: from a caller-supplied trace)
     stage_cached: dict[str, bool] = field(default_factory=dict)
+    #: artifact provenance per stage: "memory" / "store" / "compute"
+    stage_sources: dict[str, str] = field(default_factory=dict)
 
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
@@ -229,6 +293,7 @@ class EstimationPipeline:
             orchestrator if orchestrator is not None else MemoryOrchestrator()
         )
         self.cache = cache
+        self._rules_key_memo: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # cache keys
@@ -242,14 +307,23 @@ class EstimationPipeline:
 
         Rules are identified by class + name; a custom rule with tunable
         state should encode that state in its ``name`` to stay cacheable.
+        Memoized per (rule set, strictness) — this runs on every
+        orchestrate lookup, so rebuilding the strings each call shows up
+        on the warm path.
         """
-        return (
-            bool(self.analyzer.strict),
+        strict = bool(self.analyzer.strict)
+        rules = self.orchestrator.rules
+        memo = self._rules_key_memo
+        if memo is not None and memo[0] is rules and memo[1] == strict:
+            return memo[2]
+        key = (
+            strict,
             tuple(
-                f"{type(rule).__name__}:{rule.name}"
-                for rule in self.orchestrator.rules
+                f"{type(rule).__name__}:{rule.name}" for rule in rules
             ),
         )
+        self._rules_key_memo = (rules, strict, key)
+        return key
 
     # ------------------------------------------------------------------
     # stages
@@ -274,15 +348,54 @@ class EstimationPipeline:
         capacity_bytes: Optional[int] = None,
         curve: bool = True,
     ) -> SimulationResult:
-        """Stage 4: allocator replay — never cached; this is the stage that
-        depends on the simulation knobs, and with a warm upstream it is the
-        only work an estimate costs."""
-        simulator = MemorySimulator(
-            capacity_bytes=capacity_bytes,
-            allocator_config=allocator_config,
-            two_level=two_level,
+        """Stage 4: allocator replay, delta-cached on the peak-only path.
+
+        ``curve=True`` always replays (the usage curve is the product).
+        ``curve=False`` — the serving fast path — goes through the
+        simulate cache: one unbounded peak-profile replay per (sequence,
+        allocator config, two-level knob) serves every later peak query
+        for the same knobs in O(1), including capacity-bounded queries
+        that the profile proves cannot OOM.  A query whose capacity the
+        unbounded peak exceeds falls back to a real bounded replay (the
+        reclaim/OOM machinery diverges from the unbounded run there).
+        """
+        return self._simulate_stage(
+            sequence, allocator_config, two_level, capacity_bytes, curve
+        )[0]
+
+    def _simulate_stage(
+        self,
+        sequence: OrchestratedSequence,
+        allocator_config: AllocatorConfig,
+        two_level: bool,
+        capacity_bytes: Optional[int],
+        curve: bool,
+    ) -> tuple[SimulationResult, str]:
+        if curve or self.cache is None:
+            result = MemorySimulator(
+                capacity_bytes=capacity_bytes,
+                allocator_config=allocator_config,
+                two_level=two_level,
+            ).replay(sequence, record_timeline=curve)
+            return result, SOURCE_COMPUTE
+        key = (sequence_fingerprint(sequence), allocator_config, two_level)
+        profile, source = self.cache.simulations.get_or_compute_traced(
+            key,
+            lambda: MemorySimulator(
+                allocator_config=allocator_config, two_level=two_level
+            ).replay_peak_profile(sequence),
         )
-        return simulator.replay(sequence, record_timeline=curve)
+        result = profile.query(capacity_bytes)
+        if result is None:
+            # the capacity bound would trip OOM: the closed form can only
+            # screen for that; reclaim behaviour needs an honest replay
+            result = MemorySimulator(
+                capacity_bytes=capacity_bytes,
+                allocator_config=allocator_config,
+                two_level=two_level,
+            ).replay(sequence, record_timeline=False)
+            return result, SOURCE_COMPUTE
+        return result, source
 
     # ------------------------------------------------------------------
     # the full chain
@@ -299,35 +412,36 @@ class EstimationPipeline:
         """Run all four stages; ``trace`` short-circuits profiling."""
         stage_seconds: dict[str, float] = {}
         stage_cached: dict[str, bool] = {}
+        stage_sources: dict[str, str] = {}
 
         started = time.perf_counter()
         if trace is None:
-            trace, hit = self._profile_stage(workload)
+            trace, source = self._profile_stage(workload)
         else:
-            hit = True  # supplied by the caller: cost nothing here
+            source = SOURCE_MEMORY  # supplied by the caller: cost nothing
         stage_seconds[PROFILE] = time.perf_counter() - started
-        stage_cached[PROFILE] = hit
+        stage_cached[PROFILE] = source is not SOURCE_COMPUTE
+        stage_sources[PROFILE] = source
 
         started = time.perf_counter()
-        analyzed, hit = self._analyze_stage(trace)
+        analyzed, source = self._analyze_stage(trace)
         stage_seconds[ANALYZE] = time.perf_counter() - started
-        stage_cached[ANALYZE] = hit
+        stage_cached[ANALYZE] = source is not SOURCE_COMPUTE
+        stage_sources[ANALYZE] = source
 
         started = time.perf_counter()
-        sequence, hit = self._orchestrate_stage(analyzed)
+        sequence, source = self._orchestrate_stage(analyzed)
         stage_seconds[ORCHESTRATE] = time.perf_counter() - started
-        stage_cached[ORCHESTRATE] = hit
+        stage_cached[ORCHESTRATE] = source is not SOURCE_COMPUTE
+        stage_sources[ORCHESTRATE] = source
 
         started = time.perf_counter()
-        simulation = self.simulate(
-            sequence,
-            allocator_config=allocator_config,
-            two_level=two_level,
-            capacity_bytes=capacity_bytes,
-            curve=curve,
+        simulation, source = self._simulate_stage(
+            sequence, allocator_config, two_level, capacity_bytes, curve
         )
         stage_seconds[SIMULATE] = time.perf_counter() - started
-        stage_cached[SIMULATE] = False
+        stage_cached[SIMULATE] = source is not SOURCE_COMPUTE
+        stage_sources[SIMULATE] = source
 
         return PipelineRun(
             trace=trace,
@@ -336,15 +450,16 @@ class EstimationPipeline:
             simulation=simulation,
             stage_seconds=stage_seconds,
             stage_cached=stage_cached,
+            stage_sources=stage_sources,
         )
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _profile_stage(self, workload: WorkloadConfig) -> tuple[Trace, bool]:
+    def _profile_stage(self, workload: WorkloadConfig) -> tuple[Trace, str]:
         if self.cache is None:
-            return self._run_profiler(workload), False
-        return self.cache.traces.get_or_compute(
+            return self._run_profiler(workload), SOURCE_COMPUTE
+        return self.cache.traces.get_or_compute_traced(
             self.profile_key(workload), lambda: self._run_profiler(workload)
         )
 
@@ -365,20 +480,30 @@ class EstimationPipeline:
         object.__setattr__(trace, _TRACE_KEY_ATTR, key)
         return trace
 
-    def _analyze_stage(self, trace: Trace) -> tuple[AnalyzedTrace, bool]:
+    def _analyze_stage(self, trace: Trace) -> tuple[AnalyzedTrace, str]:
         if self.cache is None:
-            return self.analyzer.analyze(trace), False
+            return self.analyzer.analyze(trace), SOURCE_COMPUTE
         key = (trace_fingerprint(trace), bool(self.analyzer.strict))
-        return self.cache.analyses.get_or_compute(
+        return self.cache.analyses.get_or_compute_traced(
             key, lambda: self.analyzer.analyze(trace)
         )
 
     def _orchestrate_stage(
         self, analyzed: AnalyzedTrace
-    ) -> tuple[OrchestratedSequence, bool]:
+    ) -> tuple[OrchestratedSequence, str]:
         if self.cache is None or analyzed.trace is None:
-            return self.orchestrator.orchestrate(analyzed), False
+            return self.orchestrator.orchestrate(analyzed), SOURCE_COMPUTE
         key = (trace_fingerprint(analyzed.trace), self.rules_key())
-        return self.cache.sequences.get_or_compute(
-            key, lambda: self.orchestrator.orchestrate(analyzed)
+        return self.cache.sequences.get_or_compute_traced(
+            key, lambda: self._run_orchestrator(analyzed, key)
         )
+
+    def _run_orchestrator(
+        self, analyzed: AnalyzedTrace, key: tuple
+    ) -> OrchestratedSequence:
+        sequence = self.orchestrator.orchestrate(analyzed)
+        # the orchestrate key fully determines this sequence: stamp it as
+        # the sequence fingerprint so the simulate cache keys stably
+        # (including across processes) without hashing the event list
+        sequence.fingerprint = f"orch:{key!r}"
+        return sequence

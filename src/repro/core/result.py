@@ -34,6 +34,9 @@ class EstimationResult:
     stage_seconds: dict[str, float] = field(default_factory=dict, compare=False)
     #: which stages were served from an intermediate-artifact cache
     stage_cached: dict[str, bool] = field(default_factory=dict, compare=False)
+    #: where each stage's artifact came from: "memory" (in-process cache),
+    #: "store" (persistent artifact store), or "compute" (built this call)
+    stage_sources: dict[str, str] = field(default_factory=dict, compare=False)
 
     def predicts_oom(self) -> bool:
         r"""Eq. (1): \hat{OOM} = [\hat{M}^{peak} > job budget]."""

@@ -372,11 +372,12 @@ class ServiceCore:
         """Post-estimation completion: ``on_result`` hooks + accounting."""
         result = self.chain.run_result(request, result, ctx, depth)
         stages = getattr(result, "stage_seconds", None)
+        sources = getattr(result, "stage_sources", None)
         if stages:
             # staged estimators report where computed time went; recorded
             # alongside record_computed (and never for cache hits) so the
             # per-stage counts reconcile with the computed counter
-            self.metrics.record_stages(stages)
+            self.metrics.record_stages(stages, sources)
         self.metrics.record_computed(self.clock() - ctx.submitted_at)
         worker = ctx.tags.get("worker")
         self._record_decision(
@@ -385,6 +386,21 @@ class ServiceCore:
             ctx,
             worker=str(worker) if worker is not None else None,
         )
+        store_stages = sorted(
+            stage
+            for stage, source in (sources or {}).items()
+            if source == "store"
+        )
+        if store_stages:
+            # stages answered by the persistent artifact store (L2) leave
+            # an audit trail: cold processes inheriting warm artifacts is
+            # a provenance fact, not just a latency win
+            self._record_decision(
+                ledger_events.ARTIFACT,
+                "store_hit",
+                ctx,
+                attributes={"stages": store_stages},
+            )
         if ctx.telemetry is not None:
             ctx.telemetry.finish_estimate(stage_seconds=stages)
             ctx.telemetry.close("ok", cache_hit=False)
@@ -601,6 +617,7 @@ def aggregate_shard_stats(
     inflight = 0
     stages: dict[str, dict] = {}
     workers: dict[str, int] = {}
+    stage_sources: dict[str, int] = {}
     for snapshot in shard_stats:
         service = snapshot.get("service") or {}
         shard_cache = snapshot.get("cache") or {}
@@ -619,6 +636,8 @@ def aggregate_shard_stats(
             # shards of a process gateway share one pool, so the same
             # PID legitimately shows up under several shards: sum them
             workers[worker] = workers.get(worker, 0) + count
+        for key, count in (service.get("stage_sources") or {}).items():
+            stage_sources[key] = stage_sources.get(key, 0) + count
     for fleet in stages.values():
         fleet["mean_seconds"] = (
             fleet["total_seconds"] / fleet["count"] if fleet["count"] else None
@@ -647,4 +666,5 @@ def aggregate_shard_stats(
         },
         "stages": stages,
         "workers": dict(sorted(workers.items())),
+        "stage_sources": dict(sorted(stage_sources.items())),
     }

@@ -101,6 +101,10 @@ class ServiceMetrics:
         # orchestrate/simulate), reported by computed estimates
         self.stage_seconds: dict[str, float] = {}
         self.stage_counts: dict[str, int] = {}
+        # artifact provenance per stage, keyed "stage:source" (source is
+        # memory / store / compute) — makes persistent-store hits visible
+        # in the same fleet-aggregated snapshot as the timings
+        self.stage_source_counts: dict[str, int] = {}
         # computed-request counts per execution-substrate worker (the
         # process driver records worker PIDs; thread/asyncio drivers
         # leave this empty — one process, nothing to attribute)
@@ -144,14 +148,25 @@ class ServiceMetrics:
         with self._lock:
             self.errors += 1
 
-    def record_stages(self, stage_seconds: Mapping[str, float]) -> None:
-        """Accumulate one estimate's per-stage latency breakdown."""
+    def record_stages(
+        self,
+        stage_seconds: Mapping[str, float],
+        stage_sources: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Accumulate one estimate's per-stage latency breakdown (and,
+        when provided, each stage artifact's provenance)."""
         with self._lock:
             for stage, seconds in stage_seconds.items():
                 self.stage_seconds[stage] = (
                     self.stage_seconds.get(stage, 0.0) + float(seconds)
                 )
                 self.stage_counts[stage] = self.stage_counts.get(stage, 0) + 1
+            if stage_sources:
+                for stage, source in stage_sources.items():
+                    key = f"{stage}:{source}"
+                    self.stage_source_counts[key] = (
+                        self.stage_source_counts.get(key, 0) + 1
+                    )
 
     def record_worker(self, worker_id) -> None:
         """Attribute one computed estimate to an execution-substrate
@@ -214,6 +229,9 @@ class ServiceMetrics:
                     for stage, total in sorted(self.stage_seconds.items())
                 },
                 "workers": dict(sorted(self.worker_requests.items())),
+                "stage_sources": dict(
+                    sorted(self.stage_source_counts.items())
+                ),
             }
 
     def to_json(self, indent: Optional[int] = None) -> str:

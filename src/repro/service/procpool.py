@@ -53,6 +53,7 @@ lambda.
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import os
 import threading
@@ -100,6 +101,7 @@ __all__ = [
     "ProcEstimationService",
     "ProcServiceGateway",
     "default_estimator_factory",
+    "with_artifact_store",
 ]
 
 DEFAULT_POOL_WORKERS = 4
@@ -114,6 +116,39 @@ MAX_WORKER_REDISPATCHES = 2
 #: serving tier reads peaks; skipping curve materialization keeps the
 #: result payload small on the wire).  Module-level so it pickles.
 default_estimator_factory = partial(XMemEstimator, curve=False)
+
+
+def with_artifact_store(
+    factory: Callable[[], object], artifact_store
+) -> Callable[[], object]:
+    """Bind a persistent artifact-store *path* into a picklable factory.
+
+    The store itself holds a sqlite connection and cannot cross the
+    process boundary — the path (a plain string) can, riding the
+    ``initargs`` pickle into :func:`_init_worker`, where each worker's
+    estimator opens its own connection to the shared file.  Raises
+    ``TypeError`` up front when the factory cannot accept the knob
+    (e.g. the synthetic loadtest estimator), rather than failing inside
+    every worker process.
+    """
+    if artifact_store is None:
+        return factory
+    path = os.fspath(artifact_store)
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        parameters = None  # builtins/opaque callables: let it ride
+    if parameters is not None:
+        accepts = "artifact_store" in parameters or any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+        if not accepts:
+            raise TypeError(
+                f"estimator factory {factory!r} does not accept "
+                "artifact_store="
+            )
+    return partial(factory, artifact_store=path)
 
 
 # ----------------------------------------------------------------------
@@ -312,6 +347,7 @@ class ProcEstimationService:
         executor: Optional[ProcessPoolExecutor] = None,
         telemetry=None,
         supervisor: Optional[PoolSupervisor] = None,
+        artifact_store=None,
     ):
         if executor is None and supervisor is None and max_workers < 1:
             raise ValueError("service needs at least one worker")
@@ -320,6 +356,12 @@ class ProcEstimationService:
             if estimator_factory is not None
             else default_estimator_factory
         )
+        if artifact_store is not None:
+            # every worker (and the parent template) opens the same store
+            # file: a 4-worker sweep warms one cache instead of four
+            self.estimator_factory = with_artifact_store(
+                self.estimator_factory, artifact_store
+            )
         # the template never estimates; it answers fingerprint inputs
         # (name/version/allocator config), `accepts_trace`, and the bulk
         # planner's profile calls — all parent-side concerns
@@ -685,6 +727,7 @@ class ProcServiceGateway(SyncGatewayShell):
         telemetry=None,
         resilience: Optional[ResiliencePolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        artifact_store=None,
     ):
         if num_shards < 1:
             raise ValueError("gateway needs at least one shard")
@@ -693,6 +736,8 @@ class ProcServiceGateway(SyncGatewayShell):
             if estimator_factory is not None
             else default_estimator_factory
         )
+        if artifact_store is not None:
+            factory = with_artifact_store(factory, artifact_store)
         self._supervisor = PoolSupervisor(pool_workers, factory, mp_context)
         self.pool_workers = pool_workers
         try:

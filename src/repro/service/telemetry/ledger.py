@@ -49,6 +49,7 @@ __all__ = [
     "BREAKER",
     "REROUTE",
     "FAULT",
+    "ARTIFACT",
     "RESILIENCE_EVENTS",
 ]
 
@@ -73,6 +74,9 @@ HEDGE = "hedge"
 BREAKER = "breaker"
 REROUTE = "reroute"
 FAULT = "fault"
+#: A pipeline stage was answered by the persistent artifact store (PR 9):
+#: provenance for results assembled from cross-process cached artifacts.
+ARTIFACT = "artifact"
 
 #: The events whose canonical order is asserted replay-deterministic —
 #: see :meth:`AuditLedger.resilience_sequence`.  ``hedge`` is excluded:

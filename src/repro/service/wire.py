@@ -315,6 +315,7 @@ def result_to_wire(result: EstimationResult) -> dict:
         "detail": dict(result.detail),
         "stage_seconds": dict(result.stage_seconds),
         "stage_cached": dict(result.stage_cached),
+        "stage_sources": dict(result.stage_sources),
     }
 
 
@@ -332,6 +333,7 @@ def result_from_wire(payload: dict) -> EstimationResult:
             detail=dict(payload.get("detail", {})),
             stage_seconds=dict(payload.get("stage_seconds", {})),
             stage_cached=dict(payload.get("stage_cached", {})),
+            stage_sources=dict(payload.get("stage_sources", {})),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise WireProtocolError(

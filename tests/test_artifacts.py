@@ -1,0 +1,520 @@
+"""Artifact store (L2) + delta-simulation correctness and failure modes.
+
+The persistent store must behave like a cache, never like a dependency:
+corrupt blobs, truncated files, schema drift, and concurrent writers all
+degrade to misses and rebuilds — the pipeline's answers stay
+byte-identical with or without it.  The delta/closed-form simulate paths
+must be invisible in the numbers, exactly like the PR 3 stage caches.
+"""
+
+import os
+import sqlite3
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.allocator.constants import DEFAULT_CONFIG
+from repro.core.artifacts import (
+    _MISS,
+    ArtifactStore,
+    SCHEMA_VERSION,
+    artifact_key,
+    open_artifact_store,
+)
+from repro.core.estimator import XMemEstimator
+from repro.core.orchestrator import (
+    EventKind,
+    MemoryOp,
+    OrchestratedSequence,
+    sequence_fingerprint,
+)
+from repro.core.pipeline import (
+    SIMULATE,
+    SOURCE_COMPUTE,
+    SOURCE_MEMORY,
+    SOURCE_STORE,
+    EstimationPipeline,
+    PipelineCache,
+)
+from repro.core.simulator import MemorySimulator
+from repro.workload import RTX_3060, WorkloadConfig
+
+WORKLOAD = WorkloadConfig("MobileNetV3Small", "sgd", 4)
+
+MiB = 1024 * 1024
+
+
+def synthetic_sequence() -> OrchestratedSequence:
+    """A small hand-built sequence with a clear peak and full teardown."""
+    events = []
+    ts = 0
+    for block_id in range(8):
+        events.append(MemoryOp(ts, EventKind.ALLOC, block_id, 1 * MiB))
+        ts += 1
+    for block_id in range(4):
+        events.append(MemoryOp(ts, EventKind.FREE, block_id, 1 * MiB))
+        ts += 1
+    for block_id in range(8, 12):
+        events.append(MemoryOp(ts, EventKind.ALLOC, block_id, 2 * MiB))
+        ts += 1
+    for block_id in range(4, 12):
+        size = 1 * MiB if block_id < 8 else 2 * MiB
+        events.append(MemoryOp(ts, EventKind.FREE, block_id, size))
+        ts += 1
+    return OrchestratedSequence(
+        events=events, horizon=ts, num_blocks=12, persistent_bytes=0
+    )
+
+
+# ----------------------------------------------------------------------
+# blob store basics
+# ----------------------------------------------------------------------
+
+
+class TestArtifactStoreBasics:
+    def test_roundtrip_and_counters(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store.sqlite"))
+        assert store.get("profile", ("k",)) is _MISS
+        assert store.put("profile", ("k",), {"v": 1})
+        assert store.get("profile", ("k",)) == {"v": 1}
+        assert store.hits == 1 and store.misses == 1 and store.puts == 1
+        persistent = store.counters()
+        assert persistent["put:profile"] == 1
+        assert persistent["hit:profile"] == 1
+
+    def test_none_is_a_valid_value(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store.sqlite"))
+        store.put("analyze", "k", None)
+        assert store.get("analyze", "k") is None
+
+    def test_get_or_compute_builds_once_across_instances(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        first = ArtifactStore(path)
+        calls = []
+        value, stored = first.get_or_compute(
+            "profile", "k", lambda: calls.append(1) or "artifact"
+        )
+        assert (value, stored) == ("artifact", False)
+        second = ArtifactStore(path)  # a "new process"
+        value, stored = second.get_or_compute(
+            "profile", "k", lambda: calls.append(1) or "rebuilt"
+        )
+        assert (value, stored) == ("artifact", True)
+        assert len(calls) == 1
+        assert second.counters()["build:profile"] == 1
+
+    def test_open_artifact_store_shares_per_process(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        assert open_artifact_store(path) is open_artifact_store(path)
+
+    def test_build_failure_releases_claim(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store.sqlite"))
+
+        def boom():
+            raise RuntimeError("profiler crashed")
+
+        with pytest.raises(RuntimeError):
+            store.get_or_compute("profile", "k", boom)
+        # the claim is gone: the next builder proceeds immediately
+        value, stored = store.get_or_compute("profile", "k", lambda: "ok")
+        assert (value, stored) == ("ok", False)
+
+
+# ----------------------------------------------------------------------
+# failure modes: corruption, schema drift, eviction
+# ----------------------------------------------------------------------
+
+
+class TestArtifactStoreFailureModes:
+    def test_truncated_blob_is_a_miss(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        store = ArtifactStore(path)
+        store.put("profile", "k", list(range(1000)))
+        # truncate the payload behind the store's back (checksum now
+        # mismatches, exactly like a torn write)
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE artifacts SET payload = substr(payload, 1, 16)"
+            )
+            conn.commit()
+        assert store.get("profile", "k") is _MISS
+        assert store.corrupt_dropped == 1
+        # the corrupt row was dropped, so a rebuild can land cleanly
+        value, stored = store.get_or_compute("profile", "k", lambda: "new")
+        assert (value, stored) == ("new", False)
+        assert store.get("profile", "k") == "new"
+
+    def test_unpicklable_garbage_blob_is_a_miss(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        store = ArtifactStore(path)
+        store.put("analyze", "k", "fine")
+        import hashlib
+
+        garbage = b"\x80\x04notpickle"
+        with sqlite3.connect(path) as conn:
+            # valid checksum over invalid pickle bytes: the unpickle
+            # failure path, not the checksum path
+            conn.execute(
+                "UPDATE artifacts SET payload = ?, checksum = ?",
+                (garbage, hashlib.sha256(garbage).hexdigest()),
+            )
+            conn.commit()
+        assert store.get("analyze", "k") is _MISS
+        assert store.corrupt_dropped == 1
+
+    def test_corrupt_database_file_is_recreated(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a sqlite database at all")
+        store = ArtifactStore(path)
+        assert store.schema_resets == 1
+        store.put("profile", "k", "v")
+        assert store.get("profile", "k") == "v"
+
+    def test_schema_version_mismatch_recreates_store(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        old = ArtifactStore(path)
+        old.put("profile", "k", "stale")
+        old.close()
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION + 1),),
+            )
+            conn.commit()
+        fresh = ArtifactStore(path)
+        assert fresh.schema_resets == 1
+        assert fresh.get("profile", "k") is _MISS  # old rows dropped
+        with sqlite3.connect(path) as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        assert row[0] == str(SCHEMA_VERSION)
+
+    def test_size_cap_evicts_least_recently_used_first(self, tmp_path):
+        blob = b"x" * 4096
+        # cap fits two blobs (pickle overhead is small vs 4 KiB)
+        store = ArtifactStore(
+            str(tmp_path / "store.sqlite"), max_bytes=2 * 4200
+        )
+        store.put("profile", "a", blob)
+        store.put("profile", "b", blob)
+        assert store.get("profile", "a") == blob  # refresh a's recency
+        store.put("profile", "c", blob)  # over budget: b is the LRU row
+        assert store.get("profile", "b") is _MISS
+        assert store.get("profile", "a") == blob
+        assert store.get("profile", "c") == blob
+        assert store.evictions == 1
+
+    def test_closed_store_degrades_to_misses(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store.sqlite"))
+        store.put("profile", "k", "v")
+        store.close()
+        assert store.get("profile", "k") is _MISS
+        assert store.put("profile", "k2", "v") is False
+        value, stored = store.get_or_compute("profile", "k3", lambda: "built")
+        assert (value, stored) == ("built", False)
+
+
+# ----------------------------------------------------------------------
+# cross-process behaviour
+# ----------------------------------------------------------------------
+
+_WRITER_SCRIPT = """
+import sys
+from repro.core.artifacts import ArtifactStore
+
+path, tag = sys.argv[1], sys.argv[2]
+store = ArtifactStore(path, claim_timeout=10.0)
+for index in range(12):
+    key = ("shared", index)
+    value, _ = store.get_or_compute(
+        "profile", key, lambda index=index: f"artifact-{index}"
+    )
+    assert value == f"artifact-{index}", (tag, key, value)
+print("ok", tag)
+"""
+
+
+class TestArtifactStoreConcurrency:
+    def test_two_processes_write_the_same_keys(self, tmp_path):
+        """Two real processes race get_or_compute over one store file.
+
+        WAL + the claims table must keep the store intact and build each
+        key exactly once across both writers (a claim loser inherits the
+        winner's artifact instead of rebuilding).
+        """
+        path = str(tmp_path / "store.sqlite")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER_SCRIPT, path, f"w{index}"],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for index in range(2)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert out.startswith("ok")
+        store = ArtifactStore(path)
+        counters = store.counters()
+        assert counters["build:profile"] == 12  # exactly once per key
+        for index in range(12):
+            assert store.get("profile", ("shared", index)) == (
+                f"artifact-{index}"
+            )
+
+    def test_concurrent_threads_single_store(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store.sqlite"))
+        results = {}
+        barrier = threading.Barrier(4)
+
+        def worker(index):
+            barrier.wait()
+            for key in range(8):
+                value, _ = store.get_or_compute(
+                    "analyze", key, lambda key=key: f"v{key}"
+                )
+                results[(index, key)] = value
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(
+            results[(index, key)] == f"v{key}"
+            for index in range(4)
+            for key in range(8)
+        )
+
+
+# ----------------------------------------------------------------------
+# stage-store single flight under failure (satellite regression)
+# ----------------------------------------------------------------------
+
+
+class TestStageStoreGateRelease:
+    def test_raising_builder_releases_concurrent_waiters(self):
+        """A builder that dies must wake its waiters, not strand them.
+
+        Regression for the in-flight gate: the owner's exception path now
+        clears the gate in a ``finally``, so waiters re-check, take over
+        the build, and everyone returns.
+        """
+        cache = PipelineCache()
+        owner_entered = threading.Event()
+        release_owner = threading.Event()
+        outcome = {}
+
+        def failing_build():
+            owner_entered.set()
+            release_owner.wait(timeout=10)
+            raise RuntimeError("owner died mid-build")
+
+        def owner():
+            try:
+                cache.traces.get_or_compute("k", failing_build)
+            except RuntimeError as error:
+                outcome["owner"] = error
+
+        def waiter():
+            outcome["waiter"] = cache.traces.get_or_compute(
+                "k", lambda: "recovered"
+            )
+
+        owner_thread = threading.Thread(target=owner)
+        owner_thread.start()
+        assert owner_entered.wait(timeout=10)
+        waiter_thread = threading.Thread(target=waiter)
+        waiter_thread.start()
+        # the waiter is parked on the in-flight gate; let the owner raise
+        release_owner.set()
+        owner_thread.join(timeout=10)
+        waiter_thread.join(timeout=10)
+        assert not waiter_thread.is_alive(), "waiter stranded on gate"
+        assert isinstance(outcome["owner"], RuntimeError)
+        assert outcome["waiter"] == ("recovered", False)
+
+
+# ----------------------------------------------------------------------
+# delta simulation + closed-form peaks
+# ----------------------------------------------------------------------
+
+
+class TestDeltaSimulation:
+    def test_peak_profile_matches_full_replay(self):
+        sequence = synthetic_sequence()
+        simulator = MemorySimulator()
+        full = simulator.replay(sequence, record_timeline=True)
+        peak_only = simulator.replay(sequence, record_timeline=False)
+        profile = simulator.replay_peak_profile(sequence)
+        for result in (peak_only, profile.result):
+            assert result.peak_reserved_bytes == full.peak_reserved_bytes
+            assert result.peak_allocated_bytes == full.peak_allocated_bytes
+            assert result.num_events == full.num_events
+            assert result.oom is False and result.oom_ts is None
+
+    def test_profile_answers_bounded_queries_exactly(self):
+        sequence = synthetic_sequence()
+        profile = MemorySimulator().replay_peak_profile(sequence)
+        peak = profile.result.peak_reserved_bytes
+        # a capacity above the unbounded peak: closed form serves it
+        roomy = peak + MiB
+        assert profile.would_oom(roomy) is False
+        served = profile.query(roomy)
+        bounded = MemorySimulator(capacity_bytes=roomy).replay(
+            sequence, record_timeline=False
+        )
+        assert served.peak_reserved_bytes == bounded.peak_reserved_bytes
+        assert served.peak_allocated_bytes == bounded.peak_allocated_bytes
+        assert served.num_events == bounded.num_events
+        assert served.oom == bounded.oom is False
+
+    def test_profile_refuses_oom_capacities(self):
+        sequence = synthetic_sequence()
+        profile = MemorySimulator().replay_peak_profile(sequence)
+        tight = profile.result.peak_reserved_bytes - 1
+        assert profile.would_oom(tight) is True
+        assert profile.query(tight) is None
+        first = profile.first_oom_event(tight)
+        assert first is not None
+        # the running max is monotone: every event before `first` fits
+        assert profile.reserved_running_max[first - 1] <= tight
+
+    def test_bounded_simulator_rejects_peak_profile(self):
+        with pytest.raises(ValueError):
+            MemorySimulator(capacity_bytes=64 * MiB).replay_peak_profile(
+                synthetic_sequence()
+            )
+
+    def test_pipeline_simulate_cache_serves_peak_only_repeats(self):
+        cache = PipelineCache()
+        pipeline = EstimationPipeline(iterations=2, cache=cache)
+        sequence = synthetic_sequence()
+        first, source = pipeline._simulate_stage(
+            sequence, DEFAULT_CONFIG, True, None, False
+        )
+        assert source == SOURCE_COMPUTE
+        second, source = pipeline._simulate_stage(
+            sequence, DEFAULT_CONFIG, True, None, False
+        )
+        assert source == SOURCE_MEMORY
+        assert second is first  # the cached unbounded result, verbatim
+        # curve requests never touch the cache: the timeline is the point
+        curved, source = pipeline._simulate_stage(
+            sequence, DEFAULT_CONFIG, True, None, True
+        )
+        assert source == SOURCE_COMPUTE
+        assert len(curved.timeline) > 0
+        assert curved.peak_reserved_bytes == first.peak_reserved_bytes
+
+    def test_pipeline_simulate_oom_capacity_falls_back_to_replay(self):
+        cache = PipelineCache()
+        pipeline = EstimationPipeline(iterations=2, cache=cache)
+        sequence = synthetic_sequence()
+        unbounded, _ = pipeline._simulate_stage(
+            sequence, DEFAULT_CONFIG, True, None, False
+        )
+        tight = unbounded.peak_reserved_bytes // 2
+        via_pipeline, source = pipeline._simulate_stage(
+            sequence, DEFAULT_CONFIG, True, tight, False
+        )
+        direct = MemorySimulator(capacity_bytes=tight).replay(
+            sequence, record_timeline=False
+        )
+        assert source == SOURCE_COMPUTE
+        assert via_pipeline.oom == direct.oom
+        assert via_pipeline.oom_ts == direct.oom_ts
+        assert (
+            via_pipeline.peak_reserved_bytes == direct.peak_reserved_bytes
+        )
+        assert via_pipeline.num_events == direct.num_events
+
+    def test_sequence_fingerprint_is_stable_and_memoized(self):
+        one = synthetic_sequence()
+        two = synthetic_sequence()
+        assert sequence_fingerprint(one) == sequence_fingerprint(two)
+        assert sequence_fingerprint(one) is sequence_fingerprint(one)
+        # pipeline-stamped sequences skip hashing entirely
+        one.fingerprint = None
+        object.__setattr__(one, "fingerprint", "orch:stamped")
+        assert sequence_fingerprint(one) == "orch:stamped"
+
+    def test_warm_estimator_serves_simulate_from_memory(self):
+        estimator = XMemEstimator(iterations=2, curve=False)
+        first = estimator.estimate(WORKLOAD, RTX_3060)
+        second = estimator.estimate(WORKLOAD, RTX_3060)
+        assert second.stage_sources[SIMULATE] == SOURCE_MEMORY
+        assert second.peak_bytes == first.peak_bytes
+        assert second.detail == first.detail
+
+
+# ----------------------------------------------------------------------
+# end-to-end: pipeline over a persistent store
+# ----------------------------------------------------------------------
+
+
+class TestPipelineWithArtifactStore:
+    def test_second_cache_starts_warm_from_the_store(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        cold = XMemEstimator(
+            iterations=2,
+            curve=False,
+            stage_cache=PipelineCache(artifact_store=ArtifactStore(path)),
+        )
+        first = cold.estimate(WORKLOAD, RTX_3060)
+        assert set(first.stage_sources.values()) == {SOURCE_COMPUTE}
+        warm = XMemEstimator(
+            iterations=2,
+            curve=False,
+            stage_cache=PipelineCache(artifact_store=ArtifactStore(path)),
+        )
+        second = warm.estimate(WORKLOAD, RTX_3060)
+        # profile/analyze/orchestrate come from the store; simulate is
+        # L1-only and this cache is fresh, so it recomputes
+        assert second.stage_sources["profile"] == SOURCE_STORE
+        assert second.stage_sources["analyze"] == SOURCE_STORE
+        assert second.stage_sources["orchestrate"] == SOURCE_STORE
+        assert second.peak_bytes == first.peak_bytes
+        assert second.detail == first.detail
+
+    def test_artifact_key_is_process_stable(self):
+        # repr-based addressing: primitive tuples hash identically across
+        # processes (unlike salted hash())
+        key = ("profile", "MobileNetV3Small", "sgd", 4, "pos1", True, 2)
+        assert artifact_key("profile", key) == artifact_key("profile", key)
+        assert artifact_key("profile", key) != artifact_key("analyze", key)
+
+    def test_store_metrics_flow_through_service(self, tmp_path):
+        from repro.service import EstimationService
+
+        path = str(tmp_path / "store.sqlite")
+        XMemEstimator(
+            iterations=2, curve=False, artifact_store=ArtifactStore(path)
+        ).estimate(WORKLOAD, RTX_3060)  # warm the store
+        service = EstimationService(
+            estimator=XMemEstimator(
+                iterations=2,
+                curve=False,
+                artifact_store=ArtifactStore(path),
+            )
+        )
+        with service:
+            service.estimate(WORKLOAD, RTX_3060)
+            stats = service.stats()
+        sources = stats["service"]["stage_sources"]
+        assert sources.get("profile:store") == 1
+        assert sources.get("simulate:compute") == 1

@@ -146,6 +146,85 @@ def test_checked_in_baseline_parses_and_has_the_gated_metrics():
     assert baseline["peaks_byte_identical"] is True
 
 
+class TestPresets:
+    """The artifact-store lane rides the same gate via --preset."""
+
+    ARTIFACTS_BASE = {
+        "quick": True,
+        "store_speedup": 4.0,
+        "store_cell_ms": 40.0,
+    }
+
+    def test_pipeline_preset_is_the_module_metrics(self):
+        metrics, basename = check_regression.METRIC_PRESETS["pipeline"]
+        assert metrics is check_regression.METRICS
+        assert basename == "BENCH_pipeline"
+
+    def test_compare_with_explicit_metrics(self):
+        current = {**self.ARTIFACTS_BASE, "store_speedup": 2.0}  # -50%
+        metrics = check_regression.METRIC_PRESETS["artifacts"][0]
+        verdict = check_regression.compare(
+            self.ARTIFACTS_BASE, current, 0.30, {}, metrics
+        )
+        assert verdict["regressions"] == ["store_speedup"]
+
+    def test_artifacts_preset_cli(self, tmp_path):
+        current = tmp_path / "cur.json"
+        current.write_text(json.dumps(self.ARTIFACTS_BASE))
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(self.ARTIFACTS_BASE))
+        trend = tmp_path / "trend.json"
+        code = check_regression.main(
+            [
+                "--preset", "artifacts",
+                "--current", str(current),
+                "--baseline", str(baseline),
+                "--trend-out", str(trend),
+            ]
+        )
+        assert code == 0
+        assert "store_speedup" in json.loads(trend.read_text())["metrics"]
+
+    def test_regression_message_names_metric_and_numbers(
+        self, tmp_path, capsys
+    ):
+        current = tmp_path / "cur.json"
+        current.write_text(
+            json.dumps({**self.ARTIFACTS_BASE, "store_cell_ms": 80.0})
+        )
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(self.ARTIFACTS_BASE))
+        code = check_regression.main(
+            [
+                "--preset", "artifacts",
+                "--current", str(current),
+                "--baseline", str(baseline),
+                "--trend-out", str(tmp_path / "trend.json"),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        # the failure says which metric tripped, with its numbers
+        assert "store_cell_ms" in err
+        assert "lower-is-better" in err
+        assert "40" in err and "80" in err
+        assert "+100.0%" in err
+
+    def test_checked_in_artifacts_baseline_has_the_gated_metrics(self):
+        baseline_path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "baselines"
+            / "BENCH_artifacts.baseline.json"
+        )
+        baseline = json.loads(baseline_path.read_text())
+        metrics = check_regression.METRIC_PRESETS["artifacts"][0]
+        for metric in metrics:
+            assert isinstance(baseline[metric], (int, float)), metric
+        assert baseline["peaks_byte_identical"] is True
+        assert baseline["delta_identity"]["identical"] is True
+
+
 _RENDER_SPEC = importlib.util.spec_from_file_location(
     "render_trend",
     Path(__file__).resolve().parent.parent / "benchmarks" / "render_trend.py",
