@@ -68,6 +68,18 @@ METRIC_PRESETS = {
         },
         "BENCH_artifacts",
     ),
+    "control": (
+        {
+            # well-behaved p99 under the hostile flood vs. solo, as a
+            # ratio — hardware-neutral (both sides ran on this machine)
+            "well_p99_ratio": "lower",
+            # fraction of the hostile flood absorbed by its own quota
+            "hostile_shed_fraction": "higher",
+            # absolute cost of one ControlPlane.admit decision
+            "admission_overhead_us": "lower",
+        },
+        "BENCH_control",
+    ),
 }
 
 DEFAULT_CURRENT = REPO_ROOT / "BENCH_pipeline.json"
@@ -142,9 +154,13 @@ def compare(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # validated by hand below, not argparse choices=: an unknown preset
+    # must exit 2 with the valid names on stderr (the same contract as
+    # a missing report file), not argparse's usage dump
     parser.add_argument(
-        "--preset", choices=sorted(METRIC_PRESETS), default="pipeline",
-        help="metric set + default paths (default: pipeline)",
+        "--preset", default="pipeline",
+        help="metric set + default paths "
+        f"(one of {', '.join(sorted(METRIC_PRESETS))}; default: pipeline)",
     )
     parser.add_argument("--current", type=Path, default=None)
     parser.add_argument("--baseline", type=Path, default=None)
@@ -160,6 +176,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trend-out", type=Path, default=None)
     args = parser.parse_args(argv)
 
+    if args.preset not in METRIC_PRESETS:
+        print(
+            f"error: unknown preset {args.preset!r}; "
+            f"valid presets: {', '.join(sorted(METRIC_PRESETS))}",
+            file=sys.stderr,
+        )
+        return 2
     metrics, basename = METRIC_PRESETS[args.preset]
     if args.current is None:
         args.current = REPO_ROOT / f"{basename}.json"

@@ -267,7 +267,63 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None):
+def _parse_tenant_spec(spec: str):
+    """``name=rate:burst:weight`` -> TenantConfig (trailing parts optional).
+
+    ``acme=2:16:3`` is a tenant refilling 2 quota tokens per admission
+    tick, bursting to 16, holding fair-share weight 3; ``acme`` alone
+    takes the defaults (1:8:1).
+    """
+    from .service import TenantConfig
+
+    name, _, knobs = spec.partition("=")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"tenant spec {spec!r} needs a name")
+    values = [1.0, 8.0, 1.0]
+    if knobs:
+        parts = knobs.split(":")
+        if len(parts) > 3:
+            raise ValueError(
+                f"tenant spec {spec!r} has more than rate:burst:weight"
+            )
+        for index, part in enumerate(parts):
+            if part:
+                values[index] = float(part)
+    return TenantConfig(
+        name, quota_rate=values[0], quota_burst=values[1], weight=values[2]
+    )
+
+
+def _control_factory(scenario: str, args):
+    """Per-gateway control-plane builder, or None for an open gateway.
+
+    A *factory* rather than an instance: token buckets are stateful, so
+    every (policy, driver) combo must admit against its own fresh plane
+    or the second run would start from the first run's drained buckets.
+    """
+    from .service import (
+        TENANT_SCENARIOS,
+        ControlPlane,
+        TenantConfig,
+        make_control,
+    )
+
+    if getattr(args, "tenants", None):
+        configs = tuple(_parse_tenant_spec(s) for s in args.tenants)
+        # untenanted requests still flow, under default knobs — explicit
+        # rosters on the CLI shape quotas, they don't lock the gate
+        default = TenantConfig("default")
+        return lambda: ControlPlane(configs, default_config=default)
+    if scenario in TENANT_SCENARIOS:
+        return lambda: make_control(scenario)
+    return None
+
+
+def _loadtest_replay(
+    trace, args, policy_name: str, driver: str, telemetry=None,
+    control_factory=None,
+):
     """Replay one trace through one (policy, driver) gateway combo."""
     from functools import partial
 
@@ -312,6 +368,9 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
             args.chaos, len(trace), args.shards, seed=args.seed
         )
         resilience = default_resilience()
+    # fresh control plane per gateway (factory, not instance): buckets
+    # are stateful, so combos must not share admission history
+    control = control_factory() if control_factory is not None else None
     if driver == "processes":
         with ProcServiceGateway(
             num_shards=args.shards,
@@ -322,6 +381,7 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
             telemetry=telemetry,
             resilience=resilience,
             fault_plan=fault_plan,
+            control=control,
         ) as gateway:
             return replay(trace, gateway)
     if driver == "asyncio":
@@ -337,6 +397,7 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
                 telemetry=telemetry,
                 resilience=resilience,
                 fault_plan=fault_plan,
+                control=control,
             )
             try:
                 return await replay_async(trace, gateway)
@@ -367,6 +428,7 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
             telemetry=telemetry,
             resilience=resilience,
             fault_plan=fault_plan,
+            control=control,
         )
         with TcpServerThread(gateway_factory) as server:
             host, port = server.address
@@ -385,6 +447,7 @@ def _loadtest_replay(trace, args, policy_name: str, driver: str, telemetry=None)
         telemetry=telemetry,
         resilience=resilience,
         fault_plan=fault_plan,
+        control=control,
     ) as gateway:
         return replay(trace, gateway)
 
@@ -427,6 +490,18 @@ def _print_loadtest_report(trace, args, report) -> None:
             f"shed on drain {resilience['shed_on_drain']}"
         )
         print(f"breaker states  : {resilience['breaker_states']}")
+    if report.tenants:
+        print("per-tenant      :")
+        for name in sorted(report.tenants):
+            bucket = report.tenants[name]
+            print(
+                f"  {name:<14} submitted {bucket['submitted']:>5}  "
+                f"answered {bucket['answered']:>5}  "
+                f"quota-shed {bucket['quota_shed']:>4}  "
+                f"shed {bucket['shed']:>4}  "
+                f"rejected {bucket['rejected']:>4}  "
+                f"p99 {report.tenant_latency_ms(name, 99):.2f} ms"
+            )
 
 
 def _print_loadtest_comparison(runs) -> None:
@@ -466,7 +541,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     the report panel adds latency histograms, shard heat, and the ledger
     decision summary.
     """
-    from .service import Telemetry, generate_traffic, render_loadtest_report
+    from .service import (
+        TENANT_SCENARIOS,
+        Telemetry,
+        generate_traffic,
+        qos_priority,
+        render_loadtest_report,
+    )
 
     scenarios = args.scenario or ["zipf"]
     policies = args.policy or ["hash"]
@@ -479,6 +560,28 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if getattr(args, "connect", None) and (
+        args.tenants or any(s in TENANT_SCENARIOS for s in scenarios)
+    ):
+        print(
+            "error: --tenants and multi-tenant scenarios install a "
+            "control plane at gateway construction time and cannot be "
+            "applied to an already-running server (--connect)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        qos = qos_priority(args.qos) if args.qos else None
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.tenants:
+        try:
+            for spec in args.tenants:
+                _parse_tenant_spec(spec)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if getattr(args, "artifact_store", None) and args.estimator != "xmem":
         print(
             "error: --artifact-store caches pipeline-stage artifacts and "
@@ -496,6 +599,19 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             unique_workloads=args.unique,
             waves=args.waves,
         )
+        if qos is not None:
+            # pin every request to one QoS class — e.g. replay the same
+            # mix as all-batch vs all-interactive to see the reserve act
+            from dataclasses import replace as _replace
+
+            trace = _replace(
+                trace,
+                requests=tuple(
+                    _replace(request, priority=qos)
+                    for request in trace.requests
+                ),
+            )
+        control_factory = _control_factory(scenario, args)
         for policy_name in policies:
             for driver in drivers:
                 # full detail: the report panel exists to show the
@@ -506,7 +622,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                     else None
                 )
                 report = _loadtest_replay(
-                    trace, args, policy_name, driver, telemetry=telemetry
+                    trace, args, policy_name, driver, telemetry=telemetry,
+                    control_factory=control_factory,
                 )
                 if telemetry is not None and args.spans_out:
                     # spans stay in memory during the run (the report
@@ -708,11 +825,28 @@ def build_parser() -> argparse.ArgumentParser:
         "loadtest",
         help="replay a deterministic traffic scenario at a sharded gateway",
     )
-    from .service import CHAOS_SCENARIOS, POLICY_NAMES, SCENARIO_NAMES
+    from .service import (
+        CHAOS_SCENARIOS,
+        POLICY_NAMES,
+        QOS_CLASSES,
+        SCENARIO_NAMES,
+    )
 
     loadtest.add_argument(
         "--scenario", choices=SCENARIO_NAMES, action="append", default=None,
-        help="traffic shape, repeatable (default zipf; see docs/service.md)",
+        help="traffic shape, repeatable (default zipf; see docs/service.md; "
+        "multi-tenant scenarios install a calibrated control plane)",
+    )
+    loadtest.add_argument(
+        "--tenants", action="append", default=None, metavar="SPEC",
+        help='tenant roster as "name=rate:burst:weight", repeatable — '
+        "installs a control plane with token-bucket quotas and weighted "
+        "fair-share admission (see docs/control_plane.md)",
+    )
+    loadtest.add_argument(
+        "--qos", choices=sorted(QOS_CLASSES), default=None,
+        help="pin every replayed request to one QoS class "
+        "(batch admission stops at the fair-share reserve floor)",
     )
     loadtest.add_argument(
         "--chaos", choices=CHAOS_SCENARIOS, default=None,

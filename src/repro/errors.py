@@ -133,6 +133,46 @@ class DeadlineExceededError(RequestRejectedError):
         )
 
 
+class QuotaExceededError(RateLimitExceededError):
+    """A tenant's token-bucket quota (or fair share) is exhausted.
+
+    A subclass of :class:`RateLimitExceededError` so every existing
+    classification site — gateway shed accounting, traffic replays, wire
+    error mapping — treats a quota denial as the load-shedding event it
+    is, while the control plane's callers can still catch the narrower
+    type and read which tenant was throttled.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        retry_after_seconds: float = 0.0,
+        scope: str = "quota",
+    ):
+        self.tenant = tenant
+        #: which budget ran dry: ``"quota"`` (the tenant's own bucket) or
+        #: ``"fair_share"`` (its weighted slice of fleet admission)
+        self.scope = scope
+        RateLimitExceededError.__init__(self, retry_after_seconds)
+        self.args = (f"tenant {tenant!r} exceeded its {scope}",)
+
+
+class AuthenticationError(RequestRejectedError):
+    """A request's tenant token is missing, unknown, or mismatched.
+
+    A subclass of :class:`RequestRejectedError` so every classification
+    site counts an unauthenticated request as the rejection it is.
+    """
+
+
+class AuthorizationError(RequestRejectedError):
+    """An authenticated tenant lacks a grant for this request.
+
+    Raised by the auth shim when a tenant's grant does not cover the
+    requested model or QoS class.
+    """
+
+
 class InjectedFaultError(ServiceError):
     """A planned fault from a :class:`~repro.service.faults.FaultPlan` fired.
 

@@ -25,6 +25,17 @@ Quickstart::
 from .batch import SweepCell, estimate_many, profile_workload, sweep
 from .cache import CacheStats, EstimateCache
 from .context import NullLock, RequestContext, ServiceRequest
+from .control import (
+    DEFAULT_PRIORITY,
+    QOS_CLASSES,
+    AuthShimMiddleware,
+    ControlPlane,
+    TenantConfig,
+    TenantGrant,
+    TokenBucket,
+    qos_class,
+    qos_priority,
+)
 from .core import (
     Admission,
     GatewayCore,
@@ -85,13 +96,16 @@ from .telemetry import (
 from .traffic import (
     CHAOS_SCENARIOS,
     SCENARIO_NAMES,
+    TENANT_SCENARIOS,
     ReplayReport,
     SyntheticEstimator,
     TrafficRequest,
     TrafficTrace,
     chaos_plan,
     generate_traffic,
+    make_control,
     replay,
+    tenant_configs,
     workload_catalog,
 )
 from .aio import (
@@ -139,6 +153,7 @@ __all__ = [
     "AsyncTcpServiceClient",
     "AuditLedger",
     "AuditLogMiddleware",
+    "AuthShimMiddleware",
     "BreakerConfig",
     "BroadcastWarmupRouting",
     "CHAOS_SCENARIOS",
@@ -146,6 +161,8 @@ __all__ = [
     "CacheStats",
     "CircuitBreaker",
     "ConsistentHashRouting",
+    "ControlPlane",
+    "DEFAULT_PRIORITY",
     "DeadlineMiddleware",
     "EstimateCache",
     "EstimationService",
@@ -167,6 +184,7 @@ __all__ = [
     "NullLock",
     "NullSpanExporter",
     "POLICY_NAMES",
+    "QOS_CLASSES",
     "PoolSupervisor",
     "ProcEstimationService",
     "ProcServiceGateway",
@@ -191,11 +209,15 @@ __all__ = [
     "SpanExporter",
     "SweepCell",
     "SyntheticEstimator",
+    "TENANT_SCENARIOS",
     "TcpEstimationServer",
     "TcpServerThread",
     "TcpServiceClient",
     "Telemetry",
+    "TenantConfig",
+    "TenantGrant",
     "TimingMiddleware",
+    "TokenBucket",
     "Tracer",
     "TrafficRequest",
     "TrafficTrace",
@@ -216,9 +238,12 @@ __all__ = [
     "generate_traffic",
     "is_transient",
     "latency_histogram",
+    "make_control",
     "make_policy",
     "percentile",
     "profile_workload",
+    "qos_class",
+    "qos_priority",
     "render_histogram",
     "render_loadtest_report",
     "render_trend_summary",
@@ -226,5 +251,6 @@ __all__ = [
     "replay_async",
     "request_payload",
     "sweep",
+    "tenant_configs",
     "workload_catalog",
 ]

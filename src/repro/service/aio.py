@@ -46,6 +46,8 @@ from ..core.base import Estimator
 from ..core.estimator import XMemEstimator
 from ..errors import (
     CircuitOpenError,
+    DeadlineExceededError,
+    QuotaExceededError,
     RateLimitExceededError,
     RequestRejectedError,
     ServiceClosedError,
@@ -56,6 +58,7 @@ from ..workload import DeviceSpec, WorkloadConfig
 from .batch import plan_shared_traces
 from .cache import EstimateCache
 from .context import RequestContext, ServiceRequest
+from .control import DEFAULT_PRIORITY, ControlPlane
 from .core import (
     GatewayCore,
     ServiceCore,
@@ -159,6 +162,8 @@ class AsyncEstimationService:
         fingerprint: Optional[str] = None,
         deadline: Optional[float] = None,
         metadata: Optional[dict] = None,
+        tenant: str = "",
+        priority: int = DEFAULT_PRIORITY,
     ) -> "asyncio.Future":
         """Enqueue one request; returns an awaitable of the result.
 
@@ -189,6 +194,8 @@ class AsyncEstimationService:
             trace=trace,
             deadline=deadline,
             metadata=metadata,
+            tenant=tenant,
+            priority=priority,
         )
         # an already-expired deadline is rejected before the dedup lookup:
         # piggybacking would hand the caller a result it declared useless
@@ -358,6 +365,8 @@ class _AsyncResilientCall:
         "trace",
         "deadline",
         "metadata",
+        "tenant",
+        "priority",
         "fingerprint",
         "seq",
         "index",
@@ -380,12 +389,16 @@ class _AsyncResilientCall:
         fingerprint: str,
         seq: int,
         index: Optional[int],
+        tenant: str = "",
+        priority: int = DEFAULT_PRIORITY,
     ):
         self.workload = workload
         self.device = device
         self.trace = trace
         self.deadline = deadline
         self.metadata = metadata
+        self.tenant = tenant
+        self.priority = priority
         self.fingerprint = fingerprint
         self.seq = seq
         #: global fault-plan submission index (None without an injector)
@@ -421,6 +434,7 @@ class AsyncServiceGateway:
         telemetry=None,
         resilience: Optional[ResiliencePolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        control: Optional[ControlPlane] = None,
     ):
         if shards is None:
             if num_shards < 1:
@@ -458,6 +472,7 @@ class AsyncServiceGateway:
                 else ConsistentHashRouting(len(self._shard_services))
             ),
             max_queue_depth=max_queue_depth,
+            control=control,
         )
         # mirror SyncGatewayShell: one Telemetry bundle spans the fleet
         self.telemetry = telemetry
@@ -539,6 +554,8 @@ class AsyncServiceGateway:
         trace: Optional[Trace] = None,
         deadline: Optional[float] = None,
         metadata: Optional[dict] = None,
+        tenant: str = "",
+        priority: int = DEFAULT_PRIORITY,
     ) -> "asyncio.Future":
         """Route one request to its shard; returns the shard's future.
 
@@ -549,7 +566,11 @@ class AsyncServiceGateway:
         ``metadata`` are forwarded to the shard service untouched (the
         TCP transport uses them to carry rebased client deadlines and
         caller annotations); a telemetry span context is merged into
-        ``metadata`` rather than replacing it.
+        ``metadata`` rather than replacing it.  With a
+        :class:`~repro.service.control.ControlPlane` configured on the
+        core, ``tenant``/``priority``/``deadline`` are additionally
+        subject to quota, fair-share, and hopeless-deadline admission
+        before any queue slot is reserved.
 
         With a :class:`~repro.service.resilience.ResiliencePolicy` or
         :class:`~repro.service.faults.FaultPlan` configured, the future
@@ -558,7 +579,13 @@ class AsyncServiceGateway:
         """
         if self._resilience is not None or self._injector is not None:
             return self._submit_resilient(
-                workload, device, trace, deadline, metadata
+                workload,
+                device,
+                trace,
+                deadline,
+                metadata,
+                tenant=tenant,
+                priority=priority,
             )
         self.core.count_request()
         seq = self.core.requests
@@ -593,6 +620,8 @@ class AsyncServiceGateway:
             metadata=metadata,
             span=span,
             seq=seq,
+            tenant=tenant,
+            priority=priority,
         )
         for shard_index in replicas:
             self._replicate(
@@ -690,10 +719,51 @@ class AsyncServiceGateway:
         metadata: Optional[dict] = None,
         span=None,
         seq: Optional[int] = None,
+        tenant: str = "",
+        priority: int = DEFAULT_PRIORITY,
     ) -> "asyncio.Future":
         service = self._shard_services[shard_index]
+        deadline_remaining = (
+            None if deadline is None else deadline - time.perf_counter()
+        )
         try:
-            self.core.admit(shard_index)
+            self.core.admit(
+                shard_index,
+                tenant=tenant,
+                priority=priority,
+                deadline_remaining=deadline_remaining,
+            )
+        except QuotaExceededError as error:
+            self._gateway_decision(
+                ledger_events.QUOTA,
+                f"{error.scope}:{error.tenant}",
+                fingerprint,
+                seq,
+                shard_index,
+            )
+            self._close_span(span, "shed")
+            raise
+        except DeadlineExceededError:
+            self._gateway_decision(
+                ledger_events.DEADLINE,
+                "hopeless_at_gateway",
+                fingerprint,
+                seq,
+                shard_index,
+            )
+            self._close_span(span, "rejected")
+            raise
+        except RequestRejectedError as error:
+            # the control plane's auth refusal (strict mode)
+            self._gateway_decision(
+                ledger_events.AUTH,
+                type(error).__name__,
+                fingerprint,
+                seq,
+                shard_index,
+            )
+            self._close_span(span, "rejected")
+            raise
         except RateLimitExceededError:
             self._gateway_decision(
                 ledger_events.SHED, "queue_full", fingerprint, seq, shard_index
@@ -712,6 +782,8 @@ class AsyncServiceGateway:
                 fingerprint=fingerprint,
                 deadline=deadline,
                 metadata=metadata,
+                tenant=tenant,
+                priority=priority,
             )
         except RateLimitExceededError:
             self._settle(shard_index, throttled=True)
@@ -820,6 +892,8 @@ class AsyncServiceGateway:
         trace: Optional[Trace],
         deadline: Optional[float],
         metadata: Optional[dict],
+        tenant: str = "",
+        priority: int = DEFAULT_PRIORITY,
     ) -> "asyncio.Future":
         res = self._resilience
         self.core.count_request()
@@ -861,7 +935,16 @@ class AsyncServiceGateway:
                     target,
                 )
         state = _AsyncResilientCall(
-            workload, device, trace, deadline, metadata, fingerprint, seq, index
+            workload,
+            device,
+            trace,
+            deadline,
+            metadata,
+            fingerprint,
+            seq,
+            index,
+            tenant=tenant,
+            priority=priority,
         )
         state.outer = asyncio.get_running_loop().create_future()
         self._open_calls += 1
@@ -898,8 +981,55 @@ class AsyncServiceGateway:
             )
             return
         service = self._shard_services[shard_index]
+        deadline_remaining = (
+            None
+            if state.deadline is None
+            else state.deadline - time.perf_counter()
+        )
         try:
-            self.core.admit(shard_index)
+            self.core.admit(
+                shard_index,
+                tenant=state.tenant,
+                priority=state.priority,
+                deadline_remaining=deadline_remaining,
+            )
+        except QuotaExceededError as error:
+            self._gateway_decision(
+                ledger_events.QUOTA,
+                f"{error.scope}:{error.tenant}",
+                state.fingerprint,
+                state.seq,
+                shard_index,
+            )
+            self._finish_attempt(
+                state, shard_index, is_hedge, None, error, slot_held=False
+            )
+            return
+        except DeadlineExceededError as error:
+            self._gateway_decision(
+                ledger_events.DEADLINE,
+                "hopeless_at_gateway",
+                state.fingerprint,
+                state.seq,
+                shard_index,
+            )
+            self._finish_attempt(
+                state, shard_index, is_hedge, None, error, slot_held=False
+            )
+            return
+        except RequestRejectedError as error:
+            # the control plane's auth refusal (strict mode)
+            self._gateway_decision(
+                ledger_events.AUTH,
+                type(error).__name__,
+                state.fingerprint,
+                state.seq,
+                shard_index,
+            )
+            self._finish_attempt(
+                state, shard_index, is_hedge, None, error, slot_held=False
+            )
+            return
         except (RateLimitExceededError, ServiceClosedError) as error:
             shed_cause = (
                 "queue_full"
@@ -938,6 +1068,8 @@ class AsyncServiceGateway:
                 fingerprint=state.fingerprint,
                 deadline=state.deadline,
                 metadata=metadata,
+                tenant=state.tenant,
+                priority=state.priority,
             )
         except RateLimitExceededError as error:
             self._finish_attempt(
@@ -1263,24 +1395,78 @@ async def replay_async(trace: TrafficTrace, target) -> ReplayReport:
     for wave in trace.waves():
         futures = []
         for request in wave:
+            bucket = (
+                report.tenant_bucket(request.tenant)
+                if request.tenant
+                else None
+            )
+            if bucket is not None:
+                bucket["submitted"] += 1
+            # kwargs only off their defaults: untenanted traces call
+            # submit() exactly as pre-control-plane replays did
+            kwargs = {}
+            if request.tenant:
+                kwargs["tenant"] = request.tenant
+            if request.priority != 1:
+                kwargs["priority"] = request.priority
+            submitted_at = time.perf_counter()
             try:
                 futures.append(
-                    target.submit(request.workload, request.device)
+                    (
+                        request,
+                        submitted_at,
+                        target.submit(
+                            request.workload, request.device, **kwargs
+                        ),
+                    )
                 )
+            except QuotaExceededError:
+                report.shed += 1
+                report.quota_shed += 1
+                if bucket is not None:
+                    bucket["shed"] += 1
+                    bucket["quota_shed"] += 1
             except RateLimitExceededError:
                 report.shed += 1
+                if bucket is not None:
+                    bucket["shed"] += 1
             except RequestRejectedError:
                 report.rejected += 1
-        for future in futures:
+                if bucket is not None:
+                    bucket["rejected"] += 1
+        for request, submitted_at, future in futures:
+            bucket = (
+                report.tenant_bucket(request.tenant)
+                if request.tenant
+                else None
+            )
             try:
                 await future
                 report.answered += 1
+                if bucket is not None:
+                    bucket["answered"] += 1
+                    report.note_latency(
+                        request.tenant,
+                        time.perf_counter() - submitted_at,
+                    )
+            except QuotaExceededError:
+                report.shed += 1
+                report.quota_shed += 1
+                if bucket is not None:
+                    bucket["shed"] += 1
+                    bucket["quota_shed"] += 1
             except RateLimitExceededError:
                 report.shed += 1
+                if bucket is not None:
+                    bucket["shed"] += 1
             except RequestRejectedError:
                 report.rejected += 1
+                if bucket is not None:
+                    bucket["rejected"] += 1
             except Exception:
                 report.errors += 1
+                if bucket is not None:
+                    bucket["errors"] += 1
     report.elapsed_seconds = time.perf_counter() - started
     stats = target.stats()
     if asyncio.iscoroutine(stats):

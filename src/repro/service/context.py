@@ -62,6 +62,10 @@ class ServiceRequest:
     #: pre-computed CPU profile shared across requests (see service.batch)
     trace: Optional[Trace] = None
     metadata: dict = field(default_factory=dict)
+    #: the submitting tenant ("" = untenanted traffic; see service.control)
+    tenant: str = ""
+    #: QoS class (0 interactive / 1 standard / 2 batch)
+    priority: int = 1
 
     def as_dict(self) -> dict:
         """JSON-ready identity of the request (everything but the trace).
@@ -71,13 +75,22 @@ class ServiceRequest:
         (pickle today, JSON-over-socket tomorrow).  The trace is carried
         out-of-band — it is a large binary artifact with its own
         serialization, not part of the request identity.
+
+        ``tenant``/``priority`` ride only when set off their defaults,
+        so untenanted payloads stay byte-identical to pre-control-plane
+        frames (backward/forward wire compatibility).
         """
-        return {
+        payload = {
             "workload": self.workload.as_dict(),
             "device": self.device.as_dict(),
             "fingerprint": self.fingerprint,
             "metadata": dict(self.metadata),
         }
+        if self.tenant:
+            payload["tenant"] = self.tenant
+        if self.priority != 1:
+            payload["priority"] = self.priority
+        return payload
 
     @classmethod
     def from_dict(
@@ -95,6 +108,8 @@ class ServiceRequest:
             fingerprint=payload["fingerprint"],
             trace=trace,
             metadata=dict(payload.get("metadata", {})),
+            tenant=payload.get("tenant", ""),
+            priority=payload.get("priority", 1),
         )
 
 

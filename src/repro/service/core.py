@@ -32,6 +32,7 @@ from typing import Any, Callable, Optional, Sequence
 from ..core.result import EstimationResult
 from ..errors import (
     DeadlineExceededError,
+    QuotaExceededError,
     RateLimitExceededError,
     RequestRejectedError,
     ServiceClosedError,
@@ -40,6 +41,7 @@ from ..trace.reader import Trace
 from ..workload import DeviceSpec, WorkloadConfig
 from .cache import EstimateCache
 from .context import RequestContext, ServiceRequest
+from .control import DEFAULT_PRIORITY, ControlPlane
 from .faults import apply_fault_directive
 from .fingerprint import fingerprint_request
 from .metrics import ServiceMetrics, latency_histogram, percentile
@@ -219,6 +221,8 @@ class ServiceCore:
         trace: Optional[Trace] = None,
         deadline: Optional[float] = None,
         metadata: Optional[dict] = None,
+        tenant: str = "",
+        priority: int = DEFAULT_PRIORITY,
     ) -> tuple[ServiceRequest, RequestContext]:
         """Admit one request into the pipeline and stamp its envelope."""
         self.metrics.record_request()
@@ -228,6 +232,8 @@ class ServiceCore:
             fingerprint=fingerprint,
             trace=trace,
             metadata=dict(metadata) if metadata else {},
+            tenant=tenant,
+            priority=priority,
         )
         ctx = RequestContext(
             request_id=next(self._request_ids),
@@ -473,6 +479,7 @@ class GatewayCore:
         num_shards: int,
         policy: RoutingPolicy,
         max_queue_depth: int,
+        control: Optional[ControlPlane] = None,
     ):
         if num_shards < 1:
             raise ValueError("gateway needs at least one shard")
@@ -480,6 +487,10 @@ class GatewayCore:
             raise ValueError("max_queue_depth must be >= 1")
         self.policy = policy
         self.max_queue_depth = max_queue_depth
+        #: multi-tenant admission policy (quota / fair share / deadline /
+        #: QoS reserve — see :mod:`repro.service.control`); None = every
+        #: request is admitted on queue depth alone, exactly as before
+        self.control = control
         self.shards = [_ShardState() for _ in range(num_shards)]
         self.draining = False
         self.closed = False
@@ -508,14 +519,44 @@ class GatewayCore:
         return selected[0], tuple(selected[1:])
 
     # -- admission -----------------------------------------------------
-    def admit(self, shard_index: int) -> None:
+    def admit(
+        self,
+        shard_index: int,
+        tenant: str = "",
+        priority: int = DEFAULT_PRIORITY,
+        deadline_remaining: Optional[float] = None,
+    ) -> None:
         """Reserve one primary slot on a shard, or shed.
 
         Re-checks the intake gate so a drain/close racing with a submit
         either sees the pending slot or turns the request away — never
         both reports idle and lets the request hit a closed shard.
+
+        With a control plane configured, tenant policy is consulted
+        *before* the queue-depth check: a hopeless deadline, an exhausted
+        quota, or an overdrawn fair share turns the request away without
+        ever burning a queue slot.  The control plane's own determinism
+        contract (tick clock, peek-then-commit) means these decisions
+        depend only on submission order — never on which substrate runs
+        them — so the ledgered decision sequence stays byte-identical
+        across all four drivers.  Untenanted traffic (``tenant=""``) on
+        a control-less gateway takes exactly the pre-control-plane path.
         """
         self.check_open()
+        if self.control is not None:
+            try:
+                self.control.admit(
+                    tenant=tenant,
+                    priority=priority,
+                    deadline_remaining=deadline_remaining,
+                )
+            except QuotaExceededError:
+                self.shed += 1
+                raise
+            except RequestRejectedError:
+                # hopeless deadline or auth refusal: a rejection, not load
+                self.rejected += 1
+                raise
         shard = self.shards[shard_index]
         if shard.pending >= self.max_queue_depth:
             self.shed += 1
@@ -564,7 +605,7 @@ class GatewayCore:
 
     def snapshot(self) -> dict:
         """The gateway-level counter block of ``stats()``."""
-        return {
+        snapshot = {
             "policy": self.policy.name,
             "num_shards": len(self.shards),
             "max_queue_depth": self.max_queue_depth,
@@ -576,6 +617,9 @@ class GatewayCore:
             "pending": self.pending(),
             "routed_per_shard": [shard.routed for shard in self.shards],
         }
+        if self.control is not None:
+            snapshot["control"] = self.control.snapshot()
+        return snapshot
 
 
 def aggregate_shard_stats(

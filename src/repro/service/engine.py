@@ -126,6 +126,8 @@ class EstimationService:
         fingerprint: Optional[str] = None,
         deadline: Optional[float] = None,
         metadata: Optional[dict] = None,
+        tenant: str = "",
+        priority: int = 1,
     ) -> Future:
         """Enqueue one request; returns a future of the EstimationResult.
 
@@ -153,6 +155,8 @@ class EstimationService:
             trace=trace,
             deadline=deadline,
             metadata=metadata,
+            tenant=tenant,
+            priority=priority,
         )
         # an already-expired deadline is rejected before the dedup lookup:
         # piggybacking would hand the caller a result it declared useless

@@ -35,11 +35,14 @@ see both the fleet and its skew.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import CancelledError, Future
 from typing import Callable, Optional, Sequence
 
 from ..errors import (
     CircuitOpenError,
+    DeadlineExceededError,
+    QuotaExceededError,
     RateLimitExceededError,
     RequestRejectedError,
     ServiceClosedError,
@@ -47,6 +50,7 @@ from ..errors import (
 )
 from ..trace.reader import Trace
 from ..workload import DeviceSpec, WorkloadConfig
+from .control import DEFAULT_PRIORITY, ControlPlane
 from .core import GatewayCore, aggregate_shard_stats
 from .engine import EstimationService
 from .faults import FaultInjector, FaultPlan
@@ -100,6 +104,10 @@ class _ResilientCall:
         "fingerprint",
         "seq",
         "index",
+        "tenant",
+        "priority",
+        "deadline",
+        "metadata",
         "attempt",
         "outer",
         "lock",
@@ -110,13 +118,29 @@ class _ResilientCall:
         "hedge_timer",
     )
 
-    def __init__(self, workload, device, trace, fingerprint, seq, index):
+    def __init__(
+        self,
+        workload,
+        device,
+        trace,
+        fingerprint,
+        seq,
+        index,
+        tenant="",
+        priority=DEFAULT_PRIORITY,
+        deadline=None,
+        metadata=None,
+    ):
         self.workload = workload
         self.device = device
         self.trace = trace
         self.fingerprint = fingerprint
         self.seq = seq
         self.index = index
+        self.tenant = tenant
+        self.priority = priority
+        self.deadline = deadline
+        self.metadata = metadata
         self.attempt = 1
         self.outer: Future = Future()
         self.lock = threading.Lock()
@@ -152,6 +176,7 @@ class SyncGatewayShell:
         telemetry=None,
         resilience: Optional[ResiliencePolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        control: Optional[ControlPlane] = None,
     ) -> None:
         self._shard_services = tuple(shards)
         # resilience plane (PR 8): both optional, and when both are None
@@ -174,6 +199,7 @@ class SyncGatewayShell:
                 else ConsistentHashRouting(len(self._shard_services))
             ),
             max_queue_depth=max_queue_depth,
+            control=control,
         )
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -264,13 +290,22 @@ class SyncGatewayShell:
         workload: WorkloadConfig,
         device: DeviceSpec,
         trace: Optional[Trace] = None,
+        deadline: Optional[float] = None,
+        metadata: Optional[dict] = None,
+        tenant: str = "",
+        priority: int = DEFAULT_PRIORITY,
     ) -> Future:
         """Route one request to its shard; returns the shard's future.
 
         Raises :class:`ServiceClosedError` after ``drain()``/``close()``,
         :class:`RateLimitExceededError` when the target shard's queue is
         full (shed — nothing was enqueued), and passes through the shard
-        middleware's own synchronous rejections.
+        middleware's own synchronous rejections.  With a
+        :class:`~repro.service.control.ControlPlane` configured on the
+        core, ``tenant``/``priority``/``deadline`` are additionally
+        subject to quota, fair-share, and hopeless-deadline admission
+        (:class:`~repro.errors.QuotaExceededError` and friends) before
+        any queue slot is reserved.
 
         With a :class:`~repro.service.resilience.ResiliencePolicy` or
         :class:`~repro.service.faults.FaultPlan` configured, the future
@@ -279,7 +314,15 @@ class SyncGatewayShell:
         result or a typed error.
         """
         if self._resilience is not None or self._injector is not None:
-            return self._submit_resilient(workload, device, trace)
+            return self._submit_resilient(
+                workload,
+                device,
+                trace,
+                deadline=deadline,
+                metadata=metadata,
+                tenant=tenant,
+                priority=priority,
+            )
         fingerprint = self.fingerprint(workload, device)
         with self._lock:
             self.core.count_request()
@@ -288,7 +331,7 @@ class SyncGatewayShell:
             # serialization, so routing happens inside the lock too
             primary, replicas = self.core.route(fingerprint)
         span = None
-        metadata = None
+        metadata = dict(metadata) if metadata else None
         if self.telemetry is not None:
             span = self.telemetry.tracer.start_trace(
                 f"g{seq:06d}-{fingerprint[:12]}",
@@ -302,10 +345,11 @@ class SyncGatewayShell:
             # the shard-level request span re-parents under this one via
             # the span context riding the metadata bag
             metadata = {
+                **(metadata or {}),
                 "telemetry": {
                     "trace_id": span.trace_id,
                     "span_id": span.span_id,
-                }
+                },
             }
         future = self._dispatch(
             primary,
@@ -316,6 +360,9 @@ class SyncGatewayShell:
             metadata=metadata,
             span=span,
             seq=seq,
+            deadline=deadline,
+            tenant=tenant,
+            priority=priority,
         )
         for shard_index in replicas:
             self._replicate(
@@ -415,15 +462,57 @@ class SyncGatewayShell:
         metadata: Optional[dict] = None,
         span=None,
         seq: Optional[int] = None,
+        deadline: Optional[float] = None,
+        tenant: str = "",
+        priority: int = DEFAULT_PRIORITY,
     ) -> Future:
         service = self._shard_services[shard_index]
+        deadline_remaining = (
+            None if deadline is None else deadline - time.perf_counter()
+        )
         try:
             with self._lock:
                 # admit re-checks the gate while reserving the slot: a
                 # drain()/close() racing between submit()'s gate and here
                 # must either see our pending slot or turn us away — never
                 # report idle and then let this request hit a closed shard
-                self.core.admit(shard_index)
+                self.core.admit(
+                    shard_index,
+                    tenant=tenant,
+                    priority=priority,
+                    deadline_remaining=deadline_remaining,
+                )
+        except QuotaExceededError as error:
+            self._gateway_decision(
+                ledger_events.QUOTA,
+                f"{error.scope}:{error.tenant}",
+                fingerprint,
+                seq,
+                shard_index,
+            )
+            self._close_span(span, "shed")
+            raise
+        except DeadlineExceededError:
+            self._gateway_decision(
+                ledger_events.DEADLINE,
+                "hopeless_at_gateway",
+                fingerprint,
+                seq,
+                shard_index,
+            )
+            self._close_span(span, "rejected")
+            raise
+        except RequestRejectedError as error:
+            # the control plane's auth refusal (strict mode)
+            self._gateway_decision(
+                ledger_events.AUTH,
+                type(error).__name__,
+                fingerprint,
+                seq,
+                shard_index,
+            )
+            self._close_span(span, "rejected")
+            raise
         except RateLimitExceededError:
             self._gateway_decision(
                 ledger_events.SHED, "queue_full", fingerprint, seq, shard_index
@@ -439,7 +528,10 @@ class SyncGatewayShell:
                 device,
                 trace=trace,
                 fingerprint=fingerprint,
+                deadline=deadline,
                 metadata=metadata,
+                tenant=tenant,
+                priority=priority,
             )
         except RateLimitExceededError:
             self._settle(shard_index, throttled=True)
@@ -537,6 +629,10 @@ class SyncGatewayShell:
         workload: WorkloadConfig,
         device: DeviceSpec,
         trace: Optional[Trace],
+        deadline: Optional[float] = None,
+        metadata: Optional[dict] = None,
+        tenant: str = "",
+        priority: int = DEFAULT_PRIORITY,
     ) -> Future:
         res = self._resilience
         fingerprint = self.fingerprint(workload, device)
@@ -581,7 +677,18 @@ class SyncGatewayShell:
                     seq,
                     target,
                 )
-        state = _ResilientCall(workload, device, trace, fingerprint, seq, index)
+        state = _ResilientCall(
+            workload,
+            device,
+            trace,
+            fingerprint,
+            seq,
+            index,
+            tenant=tenant,
+            priority=priority,
+            deadline=deadline,
+            metadata=metadata,
+        )
         with self._lock:
             self._open_calls += 1
         self._begin_attempt(state, target, directive, cause="route")
@@ -619,9 +726,56 @@ class SyncGatewayShell:
                 slot_held=False,
             )
             return
+        deadline_remaining = (
+            None
+            if state.deadline is None
+            else state.deadline - time.perf_counter()
+        )
         try:
             with self._lock:
-                self.core.admit(shard_index)
+                self.core.admit(
+                    shard_index,
+                    tenant=state.tenant,
+                    priority=state.priority,
+                    deadline_remaining=deadline_remaining,
+                )
+        except QuotaExceededError as error:
+            self._gateway_decision(
+                ledger_events.QUOTA,
+                f"{error.scope}:{error.tenant}",
+                state.fingerprint,
+                state.seq,
+                shard_index,
+            )
+            self._finish_attempt(
+                state, shard_index, is_hedge, None, error, slot_held=False
+            )
+            return
+        except DeadlineExceededError as error:
+            self._gateway_decision(
+                ledger_events.DEADLINE,
+                "hopeless_at_gateway",
+                state.fingerprint,
+                state.seq,
+                shard_index,
+            )
+            self._finish_attempt(
+                state, shard_index, is_hedge, None, error, slot_held=False
+            )
+            return
+        except RequestRejectedError as error:
+            # the control plane's auth refusal (strict mode)
+            self._gateway_decision(
+                ledger_events.AUTH,
+                type(error).__name__,
+                state.fingerprint,
+                state.seq,
+                shard_index,
+            )
+            self._finish_attempt(
+                state, shard_index, is_hedge, None, error, slot_held=False
+            )
+            return
         except (RateLimitExceededError, ServiceClosedError) as error:
             shed_cause = (
                 "queue_full"
@@ -647,7 +801,10 @@ class SyncGatewayShell:
             shard_index,
             attributes={"attempt": state.attempt} if state.attempt > 1 else None,
         )
-        metadata: dict = {"attempt": state.attempt}
+        metadata: dict = {
+            **(state.metadata or {}),
+            "attempt": state.attempt,
+        }
         if directive is not None:
             metadata["fault"] = directive
         try:
@@ -656,7 +813,10 @@ class SyncGatewayShell:
                 state.device,
                 trace=state.trace,
                 fingerprint=state.fingerprint,
+                deadline=state.deadline,
                 metadata=metadata,
+                tenant=state.tenant,
+                priority=state.priority,
             )
         except RateLimitExceededError as error:
             self._finish_attempt(
@@ -981,6 +1141,7 @@ class ServiceGateway(SyncGatewayShell):
         telemetry=None,
         resilience: Optional[ResiliencePolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        control: Optional[ControlPlane] = None,
     ):
         if shards is None:
             if num_shards < 1:
@@ -1003,4 +1164,5 @@ class ServiceGateway(SyncGatewayShell):
             telemetry=telemetry,
             resilience=resilience,
             fault_plan=fault_plan,
+            control=control,
         )

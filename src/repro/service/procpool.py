@@ -434,6 +434,8 @@ class ProcEstimationService:
         fingerprint: Optional[str] = None,
         deadline: Optional[float] = None,
         metadata: Optional[dict] = None,
+        tenant: str = "",
+        priority: int = 1,
     ) -> Future:
         """Enqueue one request; returns a future of the EstimationResult.
 
@@ -457,6 +459,8 @@ class ProcEstimationService:
             trace=trace,
             deadline=deadline,
             metadata=metadata,
+            tenant=tenant,
+            priority=priority,
         )
         # an already-expired deadline is rejected before the dedup lookup:
         # piggybacking would hand the caller a result it declared useless
@@ -728,6 +732,7 @@ class ProcServiceGateway(SyncGatewayShell):
         resilience: Optional[ResiliencePolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         artifact_store=None,
+        control=None,
     ):
         if num_shards < 1:
             raise ValueError("gateway needs at least one shard")
@@ -757,6 +762,7 @@ class ProcServiceGateway(SyncGatewayShell):
             telemetry=telemetry,
             resilience=resilience,
             fault_plan=fault_plan,
+            control=control,
         )
 
     @property

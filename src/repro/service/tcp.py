@@ -81,12 +81,22 @@ _READ_CHUNK = 64 * 1024
 
 def _decode_estimate_payload(
     message: dict, now: float
-) -> tuple[WorkloadConfig, DeviceSpec, Optional[float], Optional[dict]]:
-    """Pull (workload, device, rebased deadline, metadata) out of one op.
+) -> tuple[
+    WorkloadConfig,
+    DeviceSpec,
+    Optional[float],
+    Optional[dict],
+    str,
+    int,
+]:
+    """Pull (workload, device, rebased deadline, metadata, tenant,
+    priority) out of one op.
 
     Raises :class:`WireProtocolError` on a structurally bad payload —
     the caller answers it *per request* (the frame itself was valid, so
-    the connection is not poisoned).
+    the connection is not poisoned).  ``tenant``/``priority`` are
+    optional on the wire (absent = untenanted standard traffic), so
+    pre-control-plane clients keep working unchanged.
     """
     request = message["request"]
     try:
@@ -99,11 +109,17 @@ def _decode_estimate_payload(
     metadata = request.get("metadata")
     if metadata is not None and not isinstance(metadata, dict):
         raise WireProtocolError("'metadata' must be an object or null")
+    tenant = request.get("tenant", "")
+    if not isinstance(tenant, str):
+        raise WireProtocolError("'tenant' must be a string")
+    priority = request.get("priority", 1)
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise WireProtocolError("'priority' must be an integer")
     remaining = message.get("deadline_remaining")
     # rebase: the client sent budget-left on *its* clock; the deadline
     # the core enforces must live on *this* host's clock
     deadline = None if remaining is None else now + remaining
-    return workload, device, deadline, metadata or None
+    return workload, device, deadline, metadata or None, tenant, priority
 
 
 class TcpEstimationServer:
@@ -307,14 +323,24 @@ class TcpEstimationServer:
         connection stays open either way.
         """
         try:
-            workload, device, deadline, metadata = _decode_estimate_payload(
-                message, self._clock()
-            )
+            (
+                workload,
+                device,
+                deadline,
+                metadata,
+                tenant,
+                priority,
+            ) = _decode_estimate_payload(message, self._clock())
         except WireProtocolError as error:
             return error_response(msg_id, error)
         try:
             return self.gateway.submit(
-                workload, device, deadline=deadline, metadata=metadata
+                workload,
+                device,
+                deadline=deadline,
+                metadata=metadata,
+                tenant=tenant,
+                priority=priority,
             )
         except Exception as error:
             return error_response(msg_id, error)
@@ -472,6 +498,8 @@ class TcpServiceClient:
         trace: Optional[Trace] = None,
         deadline: Optional[float] = None,
         metadata: Optional[dict] = None,
+        tenant: str = "",
+        priority: int = 1,
     ) -> Future:
         """Send one estimate request; returns a future of the result."""
         if trace is not None:
@@ -491,6 +519,12 @@ class TcpServiceClient:
         }
         if metadata:
             message["request"]["metadata"] = dict(metadata)
+        # tenant/priority ride only off their defaults so untenanted
+        # frames stay byte-identical to pre-control-plane clients
+        if tenant:
+            message["request"]["tenant"] = tenant
+        if priority != 1:
+            message["request"]["priority"] = priority
         return self._request(OP_ESTIMATE, message)
 
     def estimate(
@@ -788,6 +822,8 @@ class AsyncTcpServiceClient:
         trace: Optional[Trace] = None,
         deadline: Optional[float] = None,
         metadata: Optional[dict] = None,
+        tenant: str = "",
+        priority: int = 1,
     ) -> "asyncio.Future":
         """Send one estimate request; returns a future of the result."""
         if trace is not None:
@@ -807,6 +843,12 @@ class AsyncTcpServiceClient:
         }
         if metadata:
             message["request"]["metadata"] = dict(metadata)
+        # tenant/priority ride only off their defaults so untenanted
+        # frames stay byte-identical to pre-control-plane clients
+        if tenant:
+            message["request"]["tenant"] = tenant
+        if priority != 1:
+            message["request"]["priority"] = priority
         return self._request(OP_ESTIMATE, message)
 
     async def estimate(

@@ -44,6 +44,8 @@ __all__ = [
     "REJECTED",
     "ERROR",
     "WARMUP",
+    "QUOTA",
+    "AUTH",
     "RETRY",
     "HEDGE",
     "BREAKER",
@@ -67,6 +69,12 @@ DEADLINE = "deadline"
 REJECTED = "rejected"
 ERROR = "error"
 WARMUP = "warmup"
+#: Control-plane decisions (PR 10): a tenant's quota or fair share shed
+#: the request, or the auth shim refused it — recorded at the gateway
+#: layer with the deterministic gateway submission sequence as
+#: ``request_id`` (quota) or at the service layer (auth middleware).
+QUOTA = "quota"
+AUTH = "auth"
 #: Resilience-plane decisions (PR 8): recorded at the gateway layer with
 #: the deterministic gateway submission sequence as ``request_id``.
 RETRY = "retry"

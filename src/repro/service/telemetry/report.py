@@ -124,6 +124,20 @@ def render_loadtest_report(
         lines.append(
             render_shard_heat(shards, gateway.get("routed_per_shard"))
         )
+    tenants = getattr(report, "tenants", None)
+    if tenants:
+        lines.append("")
+        lines.append("per-tenant:")
+        for name in sorted(tenants):
+            bucket = tenants[name]
+            lines.append(
+                f"  {name:<14} submitted {bucket['submitted']:>5}  "
+                f"answered {bucket['answered']:>5}  "
+                f"quota-shed {bucket['quota_shed']:>4}  "
+                f"shed {bucket['shed']:>4}  "
+                f"rejected {bucket['rejected']:>4}  "
+                f"p99 {report.tenant_latency_ms(name, 99):.2f} ms"
+            )
     if ledger is not None:
         lines.append("")
         lines.append("ledger decisions:")
@@ -167,6 +181,11 @@ def render_trend_summary(trend: dict) -> str:
         f"{'delta':>9}{'verdict':>9}"
     )
     for name, entry in sorted(trend.get("metrics", {}).items()):
+        if not isinstance(entry, dict):
+            # hand-edited or truncated trend files happen; a malformed
+            # entry loses its row, not the whole report
+            lines.append(f"{name:<28}{'(malformed entry — skipped)':>42}")
+            continue
         delta = entry.get("delta")
         delta_text = f"{delta:+.1%}" if delta is not None else "n/a"
         lines.append(

@@ -36,11 +36,27 @@ from typing import Callable, Optional, Sequence
 
 from ..core.base import Estimator
 from ..core.result import EstimationResult
-from ..errors import RateLimitExceededError, RequestRejectedError
+from ..errors import (
+    QuotaExceededError,
+    RateLimitExceededError,
+    RequestRejectedError,
+)
 from ..models.registry import list_models
 from ..units import GiB, MiB
 from ..workload import EVAL_DEVICES, DeviceSpec, WorkloadConfig
+from .control import ControlPlane, TenantConfig
 from .faults import FaultPlan, FaultSpec
+from .metrics import percentile
+
+#: Multi-tenant scenario catalog (``loadtest --tenants``): traffic that
+#: only makes sense against a gateway with a
+#: :class:`~repro.service.control.ControlPlane` (see
+#: :func:`make_control`) — each request carries a tenant and QoS class.
+TENANT_SCENARIOS = (
+    "noisy-neighbor",
+    "quota-storm",
+    "priority-inversion",
+)
 
 SCENARIO_NAMES = (
     "uniform",
@@ -48,7 +64,7 @@ SCENARIO_NAMES = (
     "bursty",
     "duplicate-storm",
     "adversarial",
-)
+) + TENANT_SCENARIOS
 
 #: Chaos scenario catalog (``loadtest --chaos``): each name maps to a
 #: seeded :class:`~repro.service.faults.FaultPlan` shape — traffic says
@@ -73,6 +89,10 @@ class TrafficRequest:
     device: DeviceSpec
     #: burst index — replayers submit a wave, join it, then continue
     wave: int = 0
+    #: submitting tenant ("" = untenanted; see service.control)
+    tenant: str = ""
+    #: QoS class (0 interactive / 1 standard / 2 batch)
+    priority: int = 1
 
 
 @dataclass(frozen=True)
@@ -266,13 +286,177 @@ def _generate_adversarial(rng, catalog, devices, num_requests, waves):
     return requests
 
 
+def _generate_noisy_neighbor(rng, catalog, devices, num_requests, waves):
+    """One hostile tenant floods at ~10x its quota; one stays polite.
+
+    Three of every four requests belong to ``hostile`` and cache-bust
+    (unique batch size per request, so every admitted one costs a real
+    estimation); every fourth belongs to ``well-behaved`` and draws from
+    a two-workload hot set.  Against :func:`make_control` knobs the
+    hostile demand is ~10x its quota refill, so the quota bucket — not
+    the queue — absorbs the flood and the well-behaved tenant's latency
+    stays near its solo baseline (the bench_control_plane assertion).
+    """
+    hot = rng.sample(catalog, k=min(2, len(catalog)))
+    hot_device = rng.choice(devices)
+    requests = []
+    for index in range(num_requests):
+        wave = index * waves // num_requests
+        if index % 4 == 0:  # polite minority traffic on a hot set
+            requests.append(
+                TrafficRequest(
+                    workload=rng.choice(hot),
+                    device=hot_device,
+                    wave=wave,
+                    tenant="well-behaved",
+                )
+            )
+        else:  # hostile cache-busting flood
+            base = rng.choice(catalog)
+            requests.append(
+                TrafficRequest(
+                    workload=base.with_batch_size(96 + index),
+                    device=rng.choice(devices),
+                    wave=wave,
+                    tenant="hostile",
+                )
+            )
+    return requests
+
+
+def _generate_quota_storm(rng, catalog, devices, num_requests, waves):
+    """Three equal tenants all burst past their quota at once.
+
+    Round-robin interleave so every wave sees all three tenants over
+    their refill rate simultaneously — the drill for per-tenant quota
+    isolation (each tenant's sheds come out of its *own* bucket) rather
+    than one loud tenant draining a shared limiter.
+    """
+    tenants = ("alpha", "beta", "gamma")
+    device = rng.choice(devices)
+    return [
+        TrafficRequest(
+            workload=rng.choice(catalog),
+            device=device,
+            wave=index * waves // num_requests,
+            tenant=tenants[index % len(tenants)],
+        )
+        for index in range(num_requests)
+    ]
+
+
+def _generate_priority_inversion(rng, catalog, devices, num_requests, waves):
+    """One tenant's batch flood races its own interactive trickle.
+
+    Four of every five requests are priority-2 (batch) cache busters;
+    every fifth is a priority-0 (interactive) hot-key request.  Without
+    the QoS reserve the batch flood drains the tenant's fair share and
+    starves its interactive traffic — with it, batch admission stops at
+    the reserve floor and interactive requests keep landing.
+    """
+    hot = rng.choice(catalog)
+    hot_device = rng.choice(devices)
+    requests = []
+    for index in range(num_requests):
+        wave = index * waves // num_requests
+        if index % 5 == 0:  # interactive trickle
+            requests.append(
+                TrafficRequest(
+                    workload=hot,
+                    device=hot_device,
+                    wave=wave,
+                    tenant="mixed",
+                    priority=0,
+                )
+            )
+        else:  # batch flood, cache-busting
+            base = rng.choice(catalog)
+            requests.append(
+                TrafficRequest(
+                    workload=base.with_batch_size(96 + index),
+                    device=rng.choice(devices),
+                    wave=wave,
+                    tenant="mixed",
+                    priority=2,
+                )
+            )
+    return requests
+
+
 _GENERATORS: dict[str, Callable] = {
     "uniform": _generate_uniform,
     "zipf": _generate_zipf,
     "bursty": _generate_bursty,
     "duplicate-storm": _generate_duplicate_storm,
     "adversarial": _generate_adversarial,
+    "noisy-neighbor": _generate_noisy_neighbor,
+    "quota-storm": _generate_quota_storm,
+    "priority-inversion": _generate_priority_inversion,
 }
+
+#: Control-plane knobs matched to each tenant scenario's traffic shape:
+#: (tenant configs, admit_rate, admit_burst).  Rates are per admission
+#: *tick* (one tick per gateway admit call), so the ratios below are
+#: what matters: in ``noisy-neighbor`` the hostile tenant is 0.75 of
+#: the stream against a 0.075/tick quota — a 10x overdrive — while the
+#: well-behaved quarter of the stream fits inside both its quota (0.5)
+#: and its weighted fair share (3/4 of admit_rate 0.8).
+_TENANT_CONTROLS: dict[str, tuple[tuple[TenantConfig, ...], float, float]] = {
+    "noisy-neighbor": (
+        (
+            TenantConfig(
+                "well-behaved", quota_rate=0.5, quota_burst=64.0, weight=3.0
+            ),
+            TenantConfig(
+                "hostile", quota_rate=0.075, quota_burst=4.0, weight=1.0
+            ),
+        ),
+        0.8,
+        64.0,
+    ),
+    "quota-storm": (
+        tuple(
+            TenantConfig(name, quota_rate=0.15, quota_burst=6.0, weight=1.0)
+            for name in ("alpha", "beta", "gamma")
+        ),
+        1.0,
+        32.0,
+    ),
+    "priority-inversion": (
+        (
+            TenantConfig(
+                "mixed", quota_rate=1.0, quota_burst=64.0, weight=1.0
+            ),
+        ),
+        0.6,
+        16.0,
+    ),
+}
+
+
+def tenant_configs(scenario: str) -> tuple[TenantConfig, ...]:
+    """The tenant roster a multi-tenant scenario is calibrated against."""
+    if scenario not in _TENANT_CONTROLS:
+        raise ValueError(
+            f"unknown tenant scenario {scenario!r}; "
+            f"choose from {TENANT_SCENARIOS}"
+        )
+    return _TENANT_CONTROLS[scenario][0]
+
+
+def make_control(scenario: str) -> ControlPlane:
+    """A fresh, calibrated control plane for one multi-tenant scenario.
+
+    Token buckets are stateful, so every gateway (and every run) needs
+    its own instance — sharing one across drivers would make the second
+    replay start from drained buckets and break decision-sequence
+    comparisons.
+    """
+    tenant_configs(scenario)  # validates the name
+    configs, admit_rate, admit_burst = _TENANT_CONTROLS[scenario]
+    return ControlPlane(
+        configs, admit_rate=admit_rate, admit_burst=admit_burst
+    )
 
 
 def generate_traffic(
@@ -453,16 +637,52 @@ class SyntheticEstimator(Estimator):
 
 @dataclass
 class ReplayReport:
-    """Outcome counts and timings of one trace replay."""
+    """Outcome counts and timings of one trace replay.
+
+    Tenanted requests are additionally bucketed per tenant (counters +
+    end-to-end latency samples) so fairness claims — "the well-behaved
+    tenant's p99 survived the flood" — are assertable from one report.
+    Untenanted requests only touch the top-level counters, keeping the
+    report shape of single-tenant scenarios unchanged.
+    """
 
     scenario: str
     num_requests: int
     answered: int = 0
     shed: int = 0
+    quota_shed: int = 0
     rejected: int = 0
     errors: int = 0
     elapsed_seconds: float = 0.0
     stats: dict = field(default_factory=dict)
+    #: tenant -> outcome counters (submitted/answered/shed/quota_shed/
+    #: rejected/errors); populated only for tenanted requests
+    tenants: dict = field(default_factory=dict)
+    #: tenant -> raw submit-to-result latency samples (seconds, answered
+    #: requests only); serialized as percentiles, not raw samples
+    tenant_latencies: dict = field(default_factory=dict)
+
+    def tenant_bucket(self, tenant: str) -> dict:
+        """Per-tenant counters, created zeroed on first touch."""
+        return self.tenants.setdefault(
+            tenant,
+            {
+                "submitted": 0,
+                "answered": 0,
+                "shed": 0,
+                "quota_shed": 0,
+                "rejected": 0,
+                "errors": 0,
+            },
+        )
+
+    def note_latency(self, tenant: str, seconds: float) -> None:
+        self.tenant_latencies.setdefault(tenant, []).append(seconds)
+
+    def tenant_latency_ms(self, tenant: str, q: float) -> float:
+        """Linear-interpolated latency percentile for one tenant (ms)."""
+        value = percentile(self.tenant_latencies.get(tenant, ()), q)
+        return 0.0 if value is None else value * 1000.0
 
     @property
     def throughput_rps(self) -> float:
@@ -481,11 +701,12 @@ class ReplayReport:
         )
 
     def as_dict(self) -> dict:
-        return {
+        report = {
             "scenario": self.scenario,
             "num_requests": self.num_requests,
             "answered": self.answered,
             "shed": self.shed,
+            "quota_shed": self.quota_shed,
             "rejected": self.rejected,
             "errors": self.errors,
             "elapsed_seconds": self.elapsed_seconds,
@@ -494,6 +715,17 @@ class ReplayReport:
             "reject_rate": self.reject_rate,
             "stats": self.stats,
         }
+        if self.tenants:
+            report["tenants"] = {
+                name: {
+                    **counters,
+                    "p50_ms": self.tenant_latency_ms(name, 50),
+                    "p95_ms": self.tenant_latency_ms(name, 95),
+                    "p99_ms": self.tenant_latency_ms(name, 99),
+                }
+                for name, counters in sorted(self.tenants.items())
+            }
+        return report
 
 
 def replay(trace: TrafficTrace, target) -> ReplayReport:
@@ -516,24 +748,79 @@ def replay(trace: TrafficTrace, target) -> ReplayReport:
     for wave in trace.waves():
         futures = []
         for request in wave:
+            bucket = (
+                report.tenant_bucket(request.tenant)
+                if request.tenant
+                else None
+            )
+            if bucket is not None:
+                bucket["submitted"] += 1
+            # kwargs only off their defaults: untenanted traces call
+            # submit() exactly as pre-control-plane replays did, so any
+            # target with the old signature still works
+            kwargs = {}
+            if request.tenant:
+                kwargs["tenant"] = request.tenant
+            if request.priority != 1:
+                kwargs["priority"] = request.priority
+            submitted_at = time.perf_counter()
             try:
                 futures.append(
-                    target.submit(request.workload, request.device)
+                    (
+                        request,
+                        submitted_at,
+                        target.submit(
+                            request.workload, request.device, **kwargs
+                        ),
+                    )
                 )
+            except QuotaExceededError:
+                report.shed += 1
+                report.quota_shed += 1
+                if bucket is not None:
+                    bucket["shed"] += 1
+                    bucket["quota_shed"] += 1
             except RateLimitExceededError:
                 report.shed += 1
+                if bucket is not None:
+                    bucket["shed"] += 1
             except RequestRejectedError:
                 report.rejected += 1
-        for future in futures:
+                if bucket is not None:
+                    bucket["rejected"] += 1
+        for request, submitted_at, future in futures:
+            bucket = (
+                report.tenant_bucket(request.tenant)
+                if request.tenant
+                else None
+            )
             try:
                 future.result()
                 report.answered += 1
+                if bucket is not None:
+                    bucket["answered"] += 1
+                    report.note_latency(
+                        request.tenant,
+                        time.perf_counter() - submitted_at,
+                    )
+            except QuotaExceededError:
+                report.shed += 1
+                report.quota_shed += 1
+                if bucket is not None:
+                    bucket["shed"] += 1
+                    bucket["quota_shed"] += 1
             except RateLimitExceededError:
                 report.shed += 1
+                if bucket is not None:
+                    bucket["shed"] += 1
             except RequestRejectedError:
                 report.rejected += 1
+                if bucket is not None:
+                    bucket["rejected"] += 1
             except Exception:
                 report.errors += 1
+                if bucket is not None:
+                    bucket["errors"] += 1
     report.elapsed_seconds = time.perf_counter() - started
     report.stats = target.stats()
     return report

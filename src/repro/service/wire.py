@@ -55,7 +55,10 @@ from typing import Any, Optional
 
 from ..core.result import EstimationResult
 from ..errors import (
+    AuthenticationError,
+    AuthorizationError,
     DeadlineExceededError,
+    QuotaExceededError,
     RateLimitExceededError,
     RequestRejectedError,
     ServiceClosedError,
@@ -104,6 +107,8 @@ OPS = (OP_PING, OP_ESTIMATE, OP_ESTIMATE_MANY, OP_STATS, OP_DRAIN)
 #: Wire error codes — the response-side taxonomy.
 ERROR_REJECTED = "rejected"
 ERROR_RATE_LIMITED = "rate_limited"
+ERROR_QUOTA = "quota_exceeded"
+ERROR_AUTH = "auth"
 ERROR_DEADLINE = "deadline"
 ERROR_CLOSED = "closed"
 ERROR_PROTOCOL = "protocol"
@@ -358,8 +363,20 @@ def error_to_wire(error: BaseException) -> dict:
     if isinstance(error, DeadlineExceededError):
         payload["type"] = ERROR_DEADLINE
         payload["late_by_seconds"] = error.late_by_seconds
+    elif isinstance(error, (AuthenticationError, AuthorizationError)):
+        payload["type"] = ERROR_AUTH
+        payload["auth_kind"] = (
+            "authentication"
+            if isinstance(error, AuthenticationError)
+            else "authorization"
+        )
     elif isinstance(error, RequestRejectedError):
         payload["type"] = ERROR_REJECTED
+    elif isinstance(error, QuotaExceededError):
+        payload["type"] = ERROR_QUOTA
+        payload["tenant"] = error.tenant
+        payload["scope"] = error.scope
+        payload["retry_after_seconds"] = error.retry_after_seconds
     elif isinstance(error, RateLimitExceededError):
         payload["type"] = ERROR_RATE_LIMITED
         payload["retry_after_seconds"] = error.retry_after_seconds
@@ -383,8 +400,21 @@ def error_from_wire(payload: dict) -> Exception:
         error: Exception = DeadlineExceededError(
             payload.get("late_by_seconds", 0.0)
         )
+    elif kind == ERROR_AUTH:
+        auth_class = (
+            AuthorizationError
+            if payload.get("auth_kind") == "authorization"
+            else AuthenticationError
+        )
+        error = auth_class(message)
     elif kind == ERROR_REJECTED:
         error = RequestRejectedError(message)
+    elif kind == ERROR_QUOTA:
+        error = QuotaExceededError(
+            payload.get("tenant", ""),
+            retry_after_seconds=payload.get("retry_after_seconds", 0.0),
+            scope=payload.get("scope", "quota"),
+        )
     elif kind == ERROR_RATE_LIMITED:
         error = RateLimitExceededError(
             payload.get("retry_after_seconds", 0.0)

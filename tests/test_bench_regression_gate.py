@@ -224,6 +224,81 @@ class TestPresets:
         assert baseline["peaks_byte_identical"] is True
         assert baseline["delta_identity"]["identical"] is True
 
+    CONTROL_BASE = {
+        "quick": True,
+        "well_p99_ratio": 1.2,
+        "hostile_shed_fraction": 0.85,
+        "admission_overhead_us": 2.0,
+    }
+
+    def test_control_preset_metric_directions(self):
+        metrics, basename = check_regression.METRIC_PRESETS["control"]
+        assert basename == "BENCH_control"
+        assert metrics["well_p99_ratio"] == "lower"
+        assert metrics["hostile_shed_fraction"] == "higher"
+        assert metrics["admission_overhead_us"] == "lower"
+
+    def test_control_preset_catches_fairness_regression(self, tmp_path):
+        # the well-behaved tenant's p99 doubling relative to solo is
+        # exactly what this lane exists to stop
+        current = tmp_path / "cur.json"
+        current.write_text(
+            json.dumps({**self.CONTROL_BASE, "well_p99_ratio": 2.4})
+        )
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(self.CONTROL_BASE))
+        code = check_regression.main(
+            [
+                "--preset", "control",
+                "--current", str(current),
+                "--baseline", str(baseline),
+                "--trend-out", str(tmp_path / "trend.json"),
+            ]
+        )
+        assert code == 1
+
+    def test_control_preset_catches_shed_fraction_drop(self, tmp_path):
+        # hostile sheds collapsing means the flood is reaching the
+        # queues — higher-is-better metric, so a drop regresses
+        current = tmp_path / "cur.json"
+        current.write_text(
+            json.dumps({**self.CONTROL_BASE, "hostile_shed_fraction": 0.3})
+        )
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(self.CONTROL_BASE))
+        code = check_regression.main(
+            [
+                "--preset", "control",
+                "--current", str(current),
+                "--baseline", str(baseline),
+                "--trend-out", str(tmp_path / "trend.json"),
+            ]
+        )
+        assert code == 1
+
+    def test_checked_in_control_baseline_has_the_gated_metrics(self):
+        baseline_path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "baselines"
+            / "BENCH_control.baseline.json"
+        )
+        baseline = json.loads(baseline_path.read_text())
+        metrics = check_regression.METRIC_PRESETS["control"][0]
+        for metric in metrics:
+            assert isinstance(baseline[metric], (int, float)), metric
+        assert baseline["quick"] is True  # CI runs --quick
+        assert baseline["cross_driver"]["identical"] is True
+        assert baseline["well_behaved"]["quota_shed"] == 0
+
+    def test_unknown_preset_exits_2_listing_valid_presets(self, capsys):
+        code = check_regression.main(["--preset", "no-such-preset"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no-such-preset" in err
+        for preset in check_regression.METRIC_PRESETS:
+            assert preset in err
+
 
 _RENDER_SPEC = importlib.util.spec_from_file_location(
     "render_trend",
@@ -296,3 +371,14 @@ class TestRenderTrend:
         code = render_trend.main(["--trend", str(trend), "--out", str(out)])
         assert code == 2
         assert not out.exists()
+
+    def test_malformed_metric_entry_is_skipped_not_a_crash(self, tmp_path):
+        # a hand-edited or truncated trend can leave a metric entry as a
+        # bare number; the renderer must drop the row and keep the rest
+        trend = json.loads(json.dumps(self.OK_TREND))
+        trend["metrics"]["warm_cell_ms"] = 8.0
+        text = render_trend.render_file(self._write(tmp_path, trend))
+        assert "warm_speedup" in text  # the intact row survived
+        assert "warm_cell_ms" in text
+        assert "skipped" in text
+        assert "ok: all metrics within tolerance" in text
